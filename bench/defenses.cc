@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces the Sec. VIII defense evaluation: the covert channel
+ * rerun under each proposed mitigation, reporting residual BER, the
+ * physical signal gap (calibrated d=0 vs d=max latency difference)
+ * and goodput. Verdicts to match the paper: write-through, PLcache,
+ * DAWG, random-fill and full partitions close the channel; prefetch
+ * noise, weak partitions, fine fuzzy time and random replacement do
+ * not.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "defense/defense.hh"
+
+using namespace wb;
+using namespace wb::defense;
+
+int
+main()
+{
+    banner(std::cout, "Sec. VIII: defenses against the WB channel");
+
+    chan::ChannelConfig base;
+    base.protocol.ts = base.protocol.tr = 5500;
+    base.protocol.encoding = chan::Encoding::binary(8);
+    base.protocol.frames = 20;
+    base.calibration.measurements = 200;
+    base.seed = 5;
+
+    auto evals = evaluateDefenses(base, standardDefenseSpecs());
+
+    Table t("WB channel (d=8, 400 kbps) under each defense");
+    t.header({"defense", "BER", "signal gap (cyc)", "goodput",
+              "verdict"});
+    for (const auto &ev : evals) {
+        const bool closed =
+            ev.signalGap < 5.0 || ev.result.ber > 0.25;
+        t.row({defenseName(ev.spec), Table::pct(ev.result.ber, 1),
+               Table::num(ev.signalGap, 1),
+               Table::num(ev.result.goodputKbps, 0) + " kbps",
+               ev.spec.kind == DefenseKind::None
+                   ? "(baseline)"
+                   : (closed ? "mitigates" : "channel survives")});
+    }
+    t.note("Signal gap = calibrated latency difference between d=0 "
+           "and d=8 states; ~0 means the dirty-state physics is gone, "
+           "not merely the decoder.");
+    t.print(std::cout);
+
+    // Random replacement with the attacker adapting (Sec. VI-A).
+    Table t2("\nRandom replacement with an adaptive attacker");
+    t2.header({"operating point", "BER"});
+    for (auto [d, L] : {std::pair<unsigned, unsigned>{3, 12},
+                        {5, 14},
+                        {8, 16}}) {
+        chan::ChannelConfig cfg = base;
+        cfg.platform.l1.policy = sim::PolicyKind::RandomIid;
+        cfg.protocol.encoding = chan::Encoding::binary(d);
+        cfg.protocol.replacementSize = L;
+        auto res = chan::runChannel(cfg);
+        t2.row({"d=" + std::to_string(d) + ", L=" + std::to_string(L),
+                Table::pct(res.ber, 1)});
+    }
+    t2.note("Paper: \"simply adopting a random replacement policy "
+            "still cannot effectively defeat the WB channel\" - the "
+            "attacker raises d and the replacement-set size.");
+    t2.print(std::cout);
+
+    // Fuzzy time granularity sweep.
+    Table t3("\nFuzzy-time granularity sweep (d=8 signal = ~88 cyc)");
+    t3.header({"TSC granularity", "BER"});
+    for (unsigned g : {1u, 16u, 64u, 128u, 256u, 512u}) {
+        auto evalsG =
+            evaluateDefenses(base, {{DefenseKind::FuzzyTime, g}});
+        t3.row({std::to_string(g) + " cyc",
+                Table::pct(evalsG[1].result.ber, 1)});
+    }
+    t3.note("Coarse clocks degrade the channel gradually; the paper "
+            "notes attackers rebuild fine clocks with counting "
+            "threads anyway.");
+    t3.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5: example latency sequences observed by the
+ * receiver at 400 kbps (Ts = Tr = 5500) for d = 1, 4 and 8, including
+ * the 16-bit alignment preamble and the decision threshold.
+ */
+
+#include <iostream>
+
+#include "chan/channel.hh"
+#include "common/table.hh"
+
+using namespace wb;
+using namespace wb::chan;
+
+int
+main()
+{
+    banner(std::cout,
+           "Fig. 5: receiver traces at 400 kbps (Ts = Tr = 5500)");
+
+    for (unsigned d : {1u, 4u, 8u}) {
+        ChannelConfig cfg;
+        cfg.protocol.ts = cfg.protocol.tr = 5500;
+        cfg.protocol.encoding = Encoding::binary(d);
+        cfg.protocol.frames = 20;
+        cfg.calibration.measurements = 300;
+        cfg.seed = 2022 + d;
+        auto res = runChannel(cfg);
+
+        const double thr =
+            (res.calibrationMedians[0] + res.calibrationMedians[d]) / 2;
+        std::cout << "\n--- d = " << d << "  (threshold "
+                  << Table::num(thr, 1) << " cycles, BER "
+                  << Table::pct(res.ber, 2) << ", "
+                  << res.framesScored << "/" << res.framesExpected
+                  << " frames) ---\n";
+
+        // Locate the preamble in the decoded bits and print the
+        // aligned first-16-slot magnified view, like the lower panels.
+        auto anchor = alignByPattern(res.decodedBits, preamble16(), 2);
+        const std::size_t start = anchor.value_or(0);
+        std::cout << "  slot:    ";
+        for (int i = 0; i < 16; ++i)
+            std::printf("%6zu", start + i);
+        std::cout << "\n  latency: ";
+        for (int i = 0; i < 16; ++i)
+            std::printf("%6.0f", res.latencies[start + i]);
+        std::cout << "\n  decoded: ";
+        for (int i = 0; i < 16; ++i)
+            std::printf("%6d",
+                        res.latencies[start + i] > thr ? 1 : 0);
+        std::cout << "\n  sent:    ";
+        for (int i = 0; i < 16; ++i)
+            std::printf("%6d", int(res.sentFrame[i]));
+        std::cout << "\n";
+    }
+    std::cout << "\nPaper: 0-bits sit near the clean-replacement band, "
+                 "1-bits ~10*d cycles above; the dotted threshold "
+                 "separates them cleanly at this rate.\n";
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: the
+ * cache/hierarchy access machinery, pointer-chase measurement, SMT
+ * stepping, edit-distance scoring and a full channel slot. These keep
+ * the simulator fast enough for the 90-frame sweeps the paper-scale
+ * experiments need.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "chan/calibration.hh"
+#include "chan/channel.hh"
+#include "chan/set_mapping.hh"
+#include "common/edit_distance.hh"
+#include "sim/hierarchy.hh"
+#include "sim/smt_core.hh"
+
+using namespace wb;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Rng rng(1);
+    sim::HierarchyParams hp = sim::xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    sim::Hierarchy h(hp, &rng);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.access(0, a, false));
+        a = (a + 64) & 0xffff;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DirtyEvictionPath(benchmark::State &state)
+{
+    Rng rng(1);
+    sim::HierarchyParams hp = sim::xeonE5_2650Params();
+    sim::Hierarchy h(hp, &rng);
+    const auto &layout = h.l1().layout();
+    Addr tag = 1;
+    for (auto _ : state) {
+        // Store (dirty) then force an eviction next lap.
+        benchmark::DoNotOptimize(
+            h.access(0, layout.compose(9, tag), true));
+        tag = tag % 64 + 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirtyEvictionPath);
+
+void
+BM_PointerChaseMeasurement(benchmark::State &state)
+{
+    Rng rng(1);
+    sim::HierarchyParams hp = sim::xeonE5_2650Params();
+    sim::Hierarchy h(hp, &rng);
+    sim::NoiseModel noise;
+    sim::AddressSpace space(2);
+    auto lines = chan::linesForSet(h.l1().layout(), 13,
+                                   unsigned(state.range(0)), 0x100);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            chan::measureChaseOffline(h, 1, space, lines, noise));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PointerChaseMeasurement)->Arg(10)->Arg(16);
+
+void
+BM_SmtCoreStep(benchmark::State &state)
+{
+    Rng rng(1);
+    sim::HierarchyParams hp = sim::xeonE5_2650Params();
+    sim::Hierarchy h(hp, &rng);
+    sim::SmtCore core(h, sim::NoiseModel(), rng);
+    sim::TraceProgram a({sim::MemOp::load(0x1000),
+                         sim::MemOp::store(0x2000)},
+                        true);
+    sim::TraceProgram b({sim::MemOp::load(0x3000)}, true);
+    core.addThread(&a, sim::AddressSpace(1));
+    core.addThread(&b, sim::AddressSpace(2));
+    Cycles horizon = 10000;
+    for (auto _ : state) {
+        core.run(horizon);
+        horizon += 10000;
+    }
+}
+BENCHMARK(BM_SmtCoreStep);
+
+void
+BM_EditDistance128(benchmark::State &state)
+{
+    Rng rng(7);
+    const BitVec a = randomBits(128, rng);
+    BitVec b = a;
+    b[17] = !b[17];
+    b.erase(b.begin() + 63);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(editDistance(a, b));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EditDistance128);
+
+void
+BM_FullChannelFrame(benchmark::State &state)
+{
+    // One 128-bit frame end to end (calibration excluded via a small
+    // budget): the unit of every Fig. 5-7 experiment.
+    for (auto _ : state) {
+        chan::ChannelConfig cfg;
+        cfg.protocol.ts = cfg.protocol.tr = Cycles(state.range(0));
+        cfg.protocol.frames = 1;
+        cfg.calibration.measurements = 20;
+        cfg.seed = 1;
+        benchmark::DoNotOptimize(chan::runChannel(cfg));
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_FullChannelFrame)->Arg(800)->Arg(5500);
+
+void
+BM_Calibration(benchmark::State &state)
+{
+    sim::HierarchyParams hp = sim::xeonE5_2650Params();
+    sim::NoiseModel noise;
+    for (auto _ : state) {
+        Rng rng(3);
+        chan::CalibrationConfig cfg;
+        cfg.measurements = unsigned(state.range(0));
+        benchmark::DoNotOptimize(
+            chan::calibrate(hp, noise, cfg, rng));
+    }
+}
+BENCHMARK(BM_Calibration)->Arg(50)->Arg(200);
+
+} // namespace
+
+BENCHMARK_MAIN();

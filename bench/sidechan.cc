@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces the Sec. IX side-channel experiments: the three attack
+ * scenarios against secret-dependent victims, the serial-line
+ * requirement of scenario 3, and an end-to-end key recovery.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sidechan/attack.hh"
+
+using namespace wb;
+using namespace wb::sidechan;
+
+int
+main()
+{
+    banner(std::cout, "Sec. IX: WB side-channel scenarios");
+
+    Table t("500 secrets per cell, self-calibrated thresholds");
+    t.header({"scenario", "gadget", "accuracy", "lat(secret=0)",
+              "lat(secret=1)"});
+    auto runRow = [&](Scenario s, const char *name, const char *gadget,
+                      unsigned serial) {
+        AttackConfig cfg;
+        cfg.scenario = s;
+        cfg.serialLines = serial;
+        cfg.trials = 500;
+        cfg.seed = 9;
+        auto res = runAttack(cfg);
+        t.row({name, gadget, Table::pct(res.accuracy, 1),
+               Table::num(res.meanLatency0, 0),
+               Table::num(res.meanLatency1, 0)});
+    };
+    runRow(Scenario::DirtyProbe, "1: probe set m after victim",
+           "store branch", 1);
+    runRow(Scenario::DirtyPrime, "2: dirty-prime set m (read-only key)",
+           "load branch", 1);
+    runRow(Scenario::VictimTiming, "3: time the victim call",
+           "load branch", 2);
+    t.note("Scenario 1: a victim store leaves a dirty line -> slower "
+           "probe. Scenario 2: a victim load evicts one of the "
+           "attacker's dirty lines -> cheaper probe. Scenario 3: the "
+           "victim itself pays the write-back.");
+    t.print(std::cout);
+
+    Table t2("\nScenario 3 vs. serial lines per branch (paper: needs "
+             ">= 2)");
+    t2.header({"serial lines", "accuracy"});
+    for (unsigned serial : {1u, 2u, 3u, 4u}) {
+        AttackConfig cfg;
+        cfg.scenario = Scenario::VictimTiming;
+        cfg.serialLines = serial;
+        cfg.trials = 500;
+        cfg.seed = 9;
+        t2.row({std::to_string(serial),
+                Table::pct(runAttack(cfg).accuracy, 1)});
+    }
+    t2.note("Paper: \"only when each branch loads two cache lines "
+            "serially can the attacker clearly observe the time "
+            "difference\" - single-line timing drowns in call "
+            "overhead noise.");
+    t2.print(std::cout);
+
+    const unsigned recovered = recoverKeyDemo(128, 5, 11);
+    std::cout << "\nKey recovery demo (scenario 1, 5 votes/bit): "
+              << recovered << "/128 key bits recovered\n";
+
+    // Defended victims (the setting Sec. VIII's arguments target).
+    Table t3("\nScenario 1 against defended victims");
+    t3.header({"victim's platform", "attack accuracy"});
+    auto defended = [&](const char *name, auto mutate) {
+        AttackConfig cfg;
+        cfg.scenario = Scenario::DirtyProbe;
+        cfg.trials = 400;
+        cfg.seed = 17;
+        mutate(cfg);
+        t3.row({name, Table::pct(runAttack(cfg).accuracy, 1)});
+    };
+    defended("write-back (undefended)", [](AttackConfig &) {});
+    defended("write-through L1", [](AttackConfig &cfg) {
+        cfg.platform.l1.writePolicy = sim::WritePolicy::WriteThrough;
+    });
+    defended("PLcache (lock on write)", [](AttackConfig &cfg) {
+        cfg.platform.l1.lockOnWrite = true;
+    });
+    defended("random replacement (L=14)", [](AttackConfig &cfg) {
+        cfg.platform.l1.policy = sim::PolicyKind::RandomIid;
+        cfg.replacementSize = 14;
+    });
+    t3.note("Write-through and PLcache reduce the attack to coin "
+            "flipping; random replacement only adds noise - the same "
+            "verdicts as the covert-channel evaluation.");
+    t3.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces paper Table II: probability that the target line (line 0,
+ * freshly written) is evicted by accessing a replacement set of N
+ * lines, per replacement policy. 10 000 trials per cell, as in the
+ * paper.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/eviction_probe.hh"
+
+using namespace wb;
+using namespace wb::sim;
+
+namespace
+{
+
+std::string
+sweep(PolicyKind policy, unsigned n, double interferenceProb,
+      unsigned interferenceMax, Rng &rng)
+{
+    EvictionProbeConfig cfg;
+    cfg.policy = policy;
+    cfg.replacementSize = n;
+    cfg.interferenceProb = interferenceProb;
+    cfg.interferenceMax = interferenceMax;
+    const auto res = runEvictionProbe(cfg, 10000, rng);
+    return Table::pct(res.probTargetEvicted, 1);
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(2022);
+    banner(std::cout, "Table II: probability of line 0 being evicted");
+
+    Table t("10000 trials per cell; replacement set size N (paper "
+            "values in brackets)");
+    t.header({"policy", "N=8", "N=9", "N=10", "N=11", "N=12"});
+
+    t.row({"TrueLRU  [100% / - / -]",
+           sweep(PolicyKind::TrueLru, 8, 0, 0, rng),
+           sweep(PolicyKind::TrueLru, 9, 0, 0, rng),
+           sweep(PolicyKind::TrueLru, 10, 0, 0, rng),
+           sweep(PolicyKind::TrueLru, 11, 0, 0, rng),
+           sweep(PolicyKind::TrueLru, 12, 0, 0, rng)});
+
+    t.row({"TreePLRU [94.3% / 100% / -]",
+           sweep(PolicyKind::TreePlru, 8, 0, 0, rng),
+           sweep(PolicyKind::TreePlru, 9, 0, 0, rng),
+           sweep(PolicyKind::TreePlru, 10, 0, 0, rng),
+           sweep(PolicyKind::TreePlru, 11, 0, 0, rng),
+           sweep(PolicyKind::TreePlru, 12, 0, 0, rng)});
+
+    t.row({"TreePLRU+interference",
+           sweep(PolicyKind::TreePlru, 8, 0.4, 3, rng),
+           sweep(PolicyKind::TreePlru, 9, 0.4, 3, rng),
+           sweep(PolicyKind::TreePlru, 10, 0.4, 3, rng),
+           sweep(PolicyKind::TreePlru, 11, 0.4, 3, rng),
+           sweep(PolicyKind::TreePlru, 12, 0.4, 3, rng)});
+
+    t.row({"NoisyPLRU [Xeon: 68.8% / 81.7% / 100%]",
+           sweep(PolicyKind::QuadAgeLru, 8, 0, 0, rng),
+           sweep(PolicyKind::QuadAgeLru, 9, 0, 0, rng),
+           sweep(PolicyKind::QuadAgeLru, 10, 0, 0, rng),
+           sweep(PolicyKind::QuadAgeLru, 11, 0, 0, rng),
+           sweep(PolicyKind::QuadAgeLru, 12, 0, 0, rng)});
+
+    t.row({"SRRIP (scan-resistant)",
+           sweep(PolicyKind::Srrip, 8, 0, 0, rng),
+           sweep(PolicyKind::Srrip, 9, 0, 0, rng),
+           sweep(PolicyKind::Srrip, 10, 0, 0, rng),
+           sweep(PolicyKind::Srrip, 11, 0, 0, rng),
+           sweep(PolicyKind::Srrip, 12, 0, 0, rng)});
+
+    t.note("Paper: gem5 TreePLRU gave 94.3% at N=8; this idealized "
+           "TreePLRU turns the set over deterministically at N=8. The "
+           "interference/noisy variants model the extra same-set "
+           "traffic a real measurement suffers.");
+    t.note("NoisyPLRU is the calibrated stand-in for the undocumented "
+           "Sandy Bridge policy; it reproduces the sub-certain N=8..9 "
+           "band but saturates more slowly than the real part "
+           "(paper: 100% at N=10).");
+    t.note("SRRIP shown as an ablation: scan-resistant replacement "
+           "would naturally blunt replacement-sweep attacks.");
+    t.print(std::cout);
+    return 0;
+}

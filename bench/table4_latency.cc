@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces paper Table IV: latency of cache accesses on the modeled
+ * Xeon E5-2650 — L1D hit, L2 hit replacing a clean L1 line, and L2 hit
+ * replacing a dirty L1 line. Measured over many accesses with the
+ * realistic per-access noise enabled, reported as observed ranges.
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/hierarchy.hh"
+
+using namespace wb;
+using namespace wb::sim;
+
+int
+main()
+{
+    Rng rng(4);
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.l1.policy = PolicyKind::TrueLru; // exact victim order
+    Hierarchy h(hp, &rng);
+    const auto &layout = h.l1().layout();
+    auto line = [&](unsigned set, Addr tag) {
+        return layout.compose(set, tag);
+    };
+
+    Samples l1Hit, l2CleanReplace, l2DirtyReplace;
+    const unsigned set = 21;
+
+    // Warm a pool of lines into L2.
+    for (Addr t = 1; t <= 20; ++t)
+        h.access(0, line(set, t), false);
+
+    for (int i = 0; i < 1000; ++i) {
+        // --- L1 hit: re-access the most recent line. ---
+        const Addr hot = line(set, 1 + (i % 20));
+        h.access(0, hot, false); // ensure resident
+        l1Hit.add(double(h.access(0, hot, false).latency));
+
+        // --- L2 hit replacing a clean line: fill the set with clean
+        // lines, then access an L2-resident line. ---
+        for (Addr t = 1; t <= 8; ++t)
+            h.access(0, line(set, t + (i % 4) * 3), false);
+        auto clean = h.access(0, line(set, 15), false);
+        if (clean.servedBy == Level::L2 && !clean.l1VictimDirty)
+            l2CleanReplace.add(double(clean.latency));
+
+        // --- L2 hit replacing a dirty line: dirty the whole set
+        // first. ---
+        for (Addr t = 1; t <= 8; ++t)
+            h.access(0, line(set, t), true);
+        auto dirty = h.access(0, line(set, 16), false);
+        if (dirty.servedBy == Level::L2 && dirty.l1VictimDirty)
+            l2DirtyReplace.add(double(dirty.latency));
+    }
+
+    banner(std::cout, "Table IV: latency of cache access (cycles)");
+    Table t("Measured on the simulated Xeon E5-2650 (1000 samples)");
+    t.header({"access type", "paper", "measured p5-p95", "median"});
+    auto row = [&](const std::string &name, const std::string &paper,
+                   const Samples &s) {
+        t.row({name, paper,
+               Table::num(s.percentile(5), 0) + "-" +
+                   Table::num(s.percentile(95), 0),
+               Table::num(s.median(), 1)});
+    };
+    row("L1D hit", "4-5", l1Hit);
+    row("L2 hit + replacing clean line", "10-12", l2CleanReplace);
+    row("L2 hit + replacing dirty line", "22-23", l2DirtyReplace);
+    t.note("The dirty-victim case pays the write-back of the victim "
+           "before the fill completes - the WB channel's signal "
+           "(~2x the clean-replacement latency, as the paper stresses).");
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces paper Table V (and the Sec. VI-A analytic formula):
+ * probability that at least one of d dirty cache lines is replaced by
+ * accessing a replacement set of L lines under random replacement.
+ *
+ * Three columns per (d, L): the paper's analytic IID formula
+ * p = 1 - ((W-d)/W)^L, our IID simulation (matches the formula), and
+ * an LFSR pseudo-random policy clocked by the access stream (biased —
+ * the likely source of the gap between the paper's own gem5 Table V
+ * numbers and its formula).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/eviction_probe.hh"
+
+using namespace wb;
+using namespace wb::sim;
+
+namespace
+{
+
+EvictionProbeResult
+run(PolicyKind policy, unsigned d, unsigned L, Rng &rng)
+{
+    EvictionProbeConfig cfg;
+    cfg.policy = policy;
+    cfg.dirtyLines = d;
+    cfg.replacementSize = L;
+    return runEvictionProbe(cfg, 10000, rng);
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(5);
+    banner(std::cout,
+           "Table V: P[at least one dirty line replaced], random "
+           "replacement");
+
+    // The paper's measured (gem5) Table V values for reference.
+    const double paperD2[6] = {0.636, 0.759, 0.846, 0.890, 0.929, 0.950};
+    const double paperD3[6] = {0.895, 0.944, 0.968, 0.983, 0.994, 0.995};
+
+    for (unsigned d : {2u, 3u}) {
+        Table t("d = " + std::to_string(d) +
+                " dirty lines (10000 trials per cell)");
+        t.header({"L", "paper(gem5)", "analytic IID", "sim IID",
+                  "sim LFSR"});
+        for (unsigned L = 8; L <= 13; ++L) {
+            const double paper =
+                (d == 2 ? paperD2 : paperD3)[L - 8];
+            const double analytic = iidEvictionProbability(8, d, L);
+            const auto iid = run(PolicyKind::RandomIid, d, L, rng);
+            const auto lfsr = run(PolicyKind::LfsrRandom, d, L, rng);
+            t.row({std::to_string(L), Table::pct(paper, 1),
+                   Table::pct(analytic, 1),
+                   Table::pct(iid.probAnyDirtyEvicted, 1),
+                   Table::pct(lfsr.probAnyDirtyEvicted, 1)});
+        }
+        t.note("Paper text quotes the analytic formula (99.1% at d=3, "
+               "L=10); its Table V numbers are lower than its own "
+               "formula - consistent with a correlated pseudo-random "
+               "victim source as in the LFSR column.");
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Table VI: cache loads per unit time of the sender
+ * process, WB channel vs. LRU channel (whole-slot modulation), at
+ * Ts = 11000 cycles. The headline is the ratio: the WB sender's
+ * footprint is ~59.8% of the LRU sender's.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "perfmon/stealth.hh"
+
+using namespace wb;
+
+namespace
+{
+
+std::string
+sci(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner(std::cout,
+           "Table VI: sender cache loads per second (Ts = 11000)");
+
+    auto cmp = perfmon::compareSenderFootprints(11000, 10, 7);
+
+    Table t("Per-second counts (paper reports the same magnitudes; "
+            "its 'per millisecond' label is off by 1000x)");
+    t.header({"level", "WB sender", "LRU sender", "paper WB",
+              "paper LRU"});
+    t.row({"L1", sci(cmp.wb.l1PerSec), sci(cmp.lru.l1PerSec),
+           "3.151e+08", "5.265e+08"});
+    t.row({"L2", sci(cmp.wb.l2PerSec), sci(cmp.lru.l2PerSec),
+           "1.217e+05", "6.840e+04"});
+    t.row({"LLC", sci(cmp.wb.llcPerSec), sci(cmp.lru.llcPerSec),
+           "2.203e+03", "2.213e+03"});
+    t.row({"Total", sci(cmp.wb.totalPerSec), sci(cmp.lru.totalPerSec),
+           "3.153e+08", "5.266e+08"});
+    t.note("WB/LRU total ratio: " + Table::pct(cmp.ratio, 1) +
+           "  (paper: 59.8%)");
+    t.note("The WB sender modulates each bit once and spins; the LRU "
+           "sender must touch its line continuously for the whole "
+           "slot, roughly doubling its retired-load footprint.");
+    t.print(std::cout);
+    return 0;
+}

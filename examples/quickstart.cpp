@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Quickstart: transmit a string across the WB covert channel on the
+ * simulated hyper-threaded Xeon E5-2650 and decode it.
+ *
+ *   $ ./quickstart
+ *
+ * The sender and receiver are two simulated processes with disjoint
+ * address spaces sharing one physical core's L1D. The sender encodes
+ * each bit by dirtying (or not) a cache line of the agreed target set;
+ * the receiver times pointer-chased replacements of that set.
+ */
+
+#include <iostream>
+
+#include "chan/channel.hh"
+#include "common/table.hh"
+
+using namespace wb;
+
+int
+main()
+{
+    chan::ChannelConfig cfg;
+    cfg.protocol.ts = cfg.protocol.tr = 5500; // 400 kbps
+    cfg.protocol.encoding = chan::Encoding::binary(4);
+    cfg.seed = 1;
+
+    const std::string secret = "dirty bits talk";
+    chan::ChannelResult res;
+    const std::string received = chan::transmitString(cfg, secret, &res);
+
+    std::cout << "WB covert channel quickstart\n"
+              << "  platform: simulated Xeon E5-2650, two hyper-threads"
+                 ", no shared memory\n"
+              << "  rate:     " << Table::num(res.rateKbps, 0)
+              << " kbps (Ts = Tr = " << cfg.protocol.ts << " cycles)\n"
+              << "  sent:     \"" << secret << "\"\n"
+              << "  received: \"" << received << "\"\n"
+              << "  BER:      " << Table::pct(res.ber, 2) << "\n\n";
+
+    std::cout << "First receiver observations (cycles to replace the "
+                 "target set):\n  ";
+    for (std::size_t i = 0; i < 24 && i < res.latencies.size(); ++i)
+        std::cout << Table::num(res.latencies[i], 0) << " ";
+    std::cout << "\n  (low ~= clean set = bit 0; high = dirty line "
+                 "written back = bit 1)\n";
+    return received == secret ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The WB channel on a cache with *random* replacement (paper
+ * Sec. VI-A): replacement-state channels die, but the dirty-state
+ * channel survives once the sender uses more lines and the receiver a
+ * larger replacement set.
+ *
+ *   $ ./random_policy_channel [d] [L]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "chan/channel.hh"
+#include "sim/eviction_probe.hh"
+#include "common/table.hh"
+
+using namespace wb;
+using namespace wb::chan;
+
+int
+main(int argc, char **argv)
+{
+    const unsigned d = argc > 1 ? unsigned(std::atoi(argv[1])) : 8u;
+    const unsigned L = argc > 2 ? unsigned(std::atoi(argv[2])) : 16u;
+
+    ChannelConfig cfg;
+    cfg.platform.l1.policy = sim::PolicyKind::RandomIid;
+    cfg.protocol.ts = cfg.protocol.tr = 5500;
+    cfg.protocol.encoding = Encoding::binary(d);
+    cfg.protocol.replacementSize = L;
+    cfg.protocol.frames = 20;
+    cfg.seed = 9;
+
+    banner(std::cout, "WB channel under random replacement");
+    std::cout << "  P[>=1 of d dirty lines evicted per sweep] = "
+              << Table::pct(
+                     sim::iidEvictionProbability(8, d, L), 1)
+              << "  (analytic, W=8, d=" << d << ", L=" << L << ")\n";
+
+    auto res = runChannel(cfg);
+    std::cout << "  measured BER at 400 kbps: "
+              << Table::pct(res.ber, 2) << "  (aligned: "
+              << (res.aligned ? "yes" : "no") << ")\n";
+    std::cout << "\n  Try ./random_policy_channel 1 8 to see why weak "
+                 "operating points fail,\n  and 3 12 for the paper's "
+                 "analytic suggestion.\n";
+    return res.ber < 0.15 ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The shared-memory ("reuse-based") baseline channels of paper
+ * Table I: Flush+Reload, Flush+Flush, and a coherence-state channel.
+ *
+ * All three require the sender and receiver to map a common physical
+ * line (the WB channel explicitly does not), which is exactly why cloud
+ * providers' page-deduplication bans defeat them (paper Sec. VI).
+ *
+ *  - Flush+Reload (Hit+Miss): receiver times a reload of the shared
+ *    line; a sender touch makes it a cache hit, silence a DRAM miss.
+ *    The receiver clflushes the line after every measurement.
+ *  - Flush+Flush (Miss+Miss): receiver times the clflush itself, which
+ *    is slower when the line is present somewhere in the hierarchy.
+ *  - Coherence-state (Miss+Miss, after Yao et al.): the sender leaves
+ *    the shared line modified (M, dirty) or shared/clean; the receiver
+ *    times the clflush, which must write back an M line — the same
+ *    dirty-state asymmetry the WB channel exploits, but via coherence.
+ */
+
+#ifndef WB_BASELINES_FLUSH_CHANNELS_HH
+#define WB_BASELINES_FLUSH_CHANNELS_HH
+
+#include "baselines/framework.hh"
+
+namespace wb::baselines
+{
+
+/** Which flush-family mechanism to run. */
+enum class FlushKind
+{
+    FlushReload,
+    FlushFlush,
+    CoherenceState
+};
+
+/** Human-readable channel name. */
+std::string flushKindName(FlushKind kind);
+
+/**
+ * Receiver for the flush-family channels: per slot either a timed
+ * reload followed by clflush (FlushReload), or a timed clflush
+ * (FlushFlush / CoherenceState).
+ */
+class FlushReceiver : public sim::Program, public LatencySource
+{
+  public:
+    /**
+     * @param sharedLine the shared line's virtual address (receiver's
+     *        mapping)
+     * @param kind which mechanism
+     * @param tr sampling period
+     * @param sampleCount observations before halting
+     */
+    FlushReceiver(Addr sharedLine, FlushKind kind, Cycles tr,
+                  std::size_t sampleCount);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+    std::vector<double> latencies() const override { return samples_; }
+
+  private:
+    enum class Phase
+    {
+        InitTsc,
+        Wait,
+        MeasStart, //!< TscRead
+        MeasOp,    //!< timed Load (FlushReload) or Flush (others)
+        MeasEnd,   //!< TscRead
+        CleanFlush, //!< FlushReload: untimed clflush after measuring
+        Done
+    };
+
+    Addr line_;
+    FlushKind kind_;
+    Cycles tr_;
+    std::size_t sampleCount_;
+
+    Phase phase_ = Phase::InitTsc;
+    Cycles tlast_ = 0;
+    Cycles tscStart_ = 0;
+    std::vector<double> samples_;
+};
+
+/**
+ * Sender for the flush-family channels: touches (or, for the coherence
+ * channel, stores to) the shared line to send 1.
+ */
+class FlushSender : public sim::Program
+{
+  public:
+    /**
+     * @param sharedLine the shared line's virtual address (sender's
+     *        mapping)
+     * @param kind which mechanism (CoherenceState stores; others load)
+     * @param bits the bit sequence
+     * @param ts sending period
+     */
+    FlushSender(Addr sharedLine, FlushKind kind, std::vector<bool> bits,
+                Cycles ts);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+  private:
+    enum class Phase
+    {
+        Init,
+        Touch,
+        Wait,
+        Done
+    };
+
+    Addr line_;
+    FlushKind kind_;
+    std::vector<bool> bits_;
+    Cycles ts_;
+
+    Phase phase_ = Phase::Init;
+    std::size_t bitIdx_ = 0;
+    Cycles tlast_ = 0;
+};
+
+/** Run one of the flush-family channels end to end. */
+BaselineResult runFlushChannel(const BaselineConfig &cfg, FlushKind kind);
+
+} // namespace wb::baselines
+
+#endif // WB_BASELINES_FLUSH_CHANNELS_HH

@@ -1,0 +1,77 @@
+#include "baselines/framework.hh"
+
+#include "common/log.hh"
+#include "chan/set_mapping.hh"
+
+namespace wb::baselines
+{
+
+BaselineResult
+runBaseline(const BaselineConfig &cfg, const PartsFactory &factory)
+{
+    Rng rootRng(cfg.seed);
+    Rng frameRng = rootRng.split();
+    Rng runRng = rootRng.split();
+
+    const BitVec frame = randomFrame(cfg.frameBits - 16, frameRng);
+    BitVec allBits;
+    allBits.reserve(static_cast<std::size_t>(cfg.frameBits) * cfg.frames);
+    for (unsigned f = 0; f < cfg.frames; ++f)
+        allBits.insert(allBits.end(), frame.begin(), frame.end());
+
+    sim::Hierarchy hierarchy(cfg.platform, &runRng);
+    sim::SmtCore core(hierarchy, cfg.noise, runRng);
+
+    BaselineParts parts = factory(cfg, allBits, hierarchy, runRng);
+    if (!parts.sender || !parts.receiver || !parts.latencySource)
+        panic("runBaseline: factory returned incomplete parts");
+
+    const Cycles senderStart =
+        static_cast<Cycles>(cfg.senderStartSlots) * cfg.ts;
+    const ThreadId senderTid =
+        core.addThread(parts.sender.get(), parts.senderSpace, senderStart);
+    const ThreadId receiverTid =
+        core.addThread(parts.receiver.get(), parts.receiverSpace, 0);
+
+    std::vector<std::unique_ptr<chan::NoiseProcess>> noisePrograms;
+    const auto &layout = hierarchy.l1().layout();
+    for (unsigned i = 0; i < cfg.noiseProcesses; ++i) {
+        auto lines = chan::linesForSet(
+            layout, cfg.targetSet, std::max(1u, cfg.noiseCfg.burstLines),
+            /*tagBase=*/0x300 + 0x10 * i);
+        noisePrograms.push_back(std::make_unique<chan::NoiseProcess>(
+            std::move(lines), cfg.noiseCfg));
+        core.addThread(noisePrograms.back().get(),
+                       sim::AddressSpace(10 + i), 500 * i);
+    }
+
+    const Cycles horizon = senderStart +
+        static_cast<Cycles>(allBits.size() + 8) * (cfg.ts + 50) + 200000;
+    core.run(horizon);
+
+    BaselineResult res;
+    res.latencies = parts.latencySource->latencies();
+    res.rateKbps = cfg.rateKbps();
+    res.sentFrame = frame;
+    res.framesExpected = cfg.frames;
+
+    if (parts.centroidHigh <= parts.centroidLow)
+        panic("runBaseline: centroidHigh must exceed centroidLow");
+    chan::Classifier classifier({parts.centroidLow, parts.centroidHigh});
+    const chan::Encoding enc = chan::Encoding::binary(1);
+    auto symbols = chan::classifyAll(res.latencies, classifier);
+    if (parts.invert)
+        for (auto &s : symbols)
+            s = 1 - s;
+    const BitVec bits = chan::symbolsToBits(symbols, enc);
+    auto dec = chan::scoreFrames(bits, frame, cfg.frames);
+    res.ber = dec.ber;
+    res.breakdown = dec.breakdown;
+    res.aligned = dec.aligned;
+    res.framesScored = dec.framesScored;
+    res.senderCounters = hierarchy.counters(senderTid);
+    res.receiverCounters = hierarchy.counters(receiverTid);
+    return res;
+}
+
+} // namespace wb::baselines

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A CacheBleed-style Hit+Hit covert channel (paper Table I / Fig. 2(b)
+ * class): both parties' accesses *hit*, and the signal is contention —
+ * the sender hammers loads so the receiver's timed burst of L1 hits is
+ * delayed by port/bank conflicts when (and only when) a 1 is sent.
+ *
+ * Completes the taxonomy with a working exemplar of the third class:
+ * unlike the WB channel it requires the two hyper-threads to execute
+ * *simultaneously* (the paper: "Hit+Hit attacks such as CacheBleed
+ * always require the sender and receiver to be two concurrent
+ * hyper-threads, making them challenging to deploy") and its per-bit
+ * signal is a couple of cycles of added mean latency, so it needs many
+ * accesses per bit.
+ */
+
+#ifndef WB_BASELINES_HIT_HIT_CHANNEL_HH
+#define WB_BASELINES_HIT_HIT_CHANNEL_HH
+
+#include "baselines/framework.hh"
+
+namespace wb::baselines
+{
+
+/** Receiver: times a burst of same-line L1 hits every slot. */
+class HitHitReceiver : public sim::Program, public LatencySource
+{
+  public:
+    /**
+     * @param line the receiver's private hot line
+     * @param burst loads per timed measurement
+     * @param tr sampling period
+     * @param sampleCount observations before halting
+     */
+    HitHitReceiver(Addr line, unsigned burst, Cycles tr,
+                   std::size_t sampleCount);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+    std::vector<double> latencies() const override { return samples_; }
+
+  private:
+    enum class Phase
+    {
+        Warm,
+        InitTsc,
+        Wait,
+        MeasStart,
+        Burst,
+        MeasEnd,
+        Done
+    };
+
+    Addr line_;
+    unsigned burst_;
+    Cycles tr_;
+    std::size_t sampleCount_;
+
+    Phase phase_ = Phase::Warm;
+    unsigned pos_ = 0;
+    Cycles tlast_ = 0;
+    Cycles tscStart_ = 0;
+    std::vector<double> samples_;
+};
+
+/** Sender: hammers loads all slot for 1, spins for 0. */
+class HitHitSender : public sim::Program
+{
+  public:
+    /**
+     * @param line the sender's private hammered line
+     * @param bits the bit sequence
+     * @param ts sending period
+     */
+    HitHitSender(Addr line, std::vector<bool> bits, Cycles ts);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+  private:
+    enum class Phase
+    {
+        Init,
+        Hammer,
+        Spin,
+        Done
+    };
+
+    Addr line_;
+    std::vector<bool> bits_;
+    Cycles ts_;
+
+    Phase phase_ = Phase::Init;
+    std::size_t bitIdx_ = 0;
+    Cycles tlast_ = 0;
+};
+
+/**
+ * Run the Hit+Hit channel end to end. The platform's port-contention
+ * parameters supply the physics; the default NoiseModel's modest
+ * contention gives a small (cycles-scale) per-burst signal.
+ */
+BaselineResult runHitHitChannel(const BaselineConfig &cfg,
+                                unsigned burst = 64);
+
+} // namespace wb::baselines
+
+#endif // WB_BASELINES_HIT_HIT_CHANNEL_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The LRU-state covert channel of Xiong & Szefer (HPCA'20), as the
+ * paper describes it in Sec. VI / Fig. 8(a) — the no-shared-memory
+ * variant used for all stability and stealth comparisons.
+ *
+ * Mechanism (8-way set): the receiver keeps eight of its own lines in
+ * the target set, split into an init half (lines 0-3) and a decode half
+ * (lines 4-7). To send 1, the sender accesses its own line 8 during the
+ * slot, pushing the replacement state so that the receiver's decode
+ * accesses evict line 0; to send 0 it stays silent. The receiver then
+ * times a single load of line 0: an L1 hit decodes 0, an L1 miss
+ * decodes 1.
+ *
+ * Unlike the WB sender (one store per bit), the LRU sender must
+ * modulate continuously for the whole slot — the source of its ~1.7x
+ * higher cache-load footprint (paper Table VI).
+ */
+
+#ifndef WB_BASELINES_LRU_CHANNEL_HH
+#define WB_BASELINES_LRU_CHANNEL_HH
+
+#include "baselines/framework.hh"
+
+namespace wb::baselines
+{
+
+/** Receiver of the LRU channel (init half + decode half + timed line). */
+class LruReceiver : public sim::Program, public LatencySource
+{
+  public:
+    /**
+     * @param lines the receiver's W lines mapping to the target set;
+     *        lines[0] is the timed line
+     * @param tr sampling period
+     * @param sampleCount observations before halting
+     */
+    LruReceiver(std::vector<Addr> lines, Cycles tr,
+                std::size_t sampleCount);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+    std::vector<double> latencies() const override { return samples_; }
+
+  private:
+    enum class Phase
+    {
+        Warmup,
+        InitTsc,
+        Wait,
+        DecodeHalf, //!< access lines W/2..W-1
+        MeasStart,  //!< TscRead
+        MeasLoad,   //!< timed load of lines[0]
+        MeasEnd,    //!< TscRead
+        Refill,     //!< re-access lines 1..W/2-1 (init for next slot)
+        Done
+    };
+
+    std::vector<Addr> lines_;
+    Cycles tr_;
+    std::size_t sampleCount_;
+
+    Phase phase_ = Phase::Warmup;
+    std::size_t pos_ = 0;
+    Cycles tlast_ = 0;
+    Cycles tscStart_ = 0;
+    std::vector<double> samples_;
+};
+
+/** Sender of the LRU channel. */
+class LruSender : public sim::Program
+{
+  public:
+    /**
+     * @param line the sender's line mapping to the target set
+     * @param bits the full bit sequence to modulate
+     * @param ts sending period
+     * @param modulateCycles how long the 1-bit access burst lasts. A
+     *        short burst (default 150 cycles) keeps the receiver's
+     *        re-init self-restoring; 0 means modulate the entire slot
+     *        (Xiong's continuous modulation — the configuration whose
+     *        load footprint paper Table VI measures, but which corrupts
+     *        the replacement state whenever the receiver's decode
+     *        overlaps it).
+     */
+    LruSender(Addr line, std::vector<bool> bits, Cycles ts,
+              Cycles modulateCycles = 150);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+  private:
+    enum class Phase
+    {
+        Init,
+        Modulate, //!< bit 1: tight load loop for the burst window
+        SpinRest, //!< busy-wait for the remainder of the slot
+        Done
+    };
+
+    Addr line_;
+    std::vector<bool> bits_;
+    Cycles ts_;
+    Cycles modulateCycles_;
+
+    Phase phase_ = Phase::Init;
+    std::size_t bitIdx_ = 0;
+    Cycles tlast_ = 0;
+};
+
+/**
+ * Run the LRU covert channel end to end.
+ * @param modulateCycles see LruSender (0 = whole-slot modulation)
+ */
+BaselineResult runLruChannel(const BaselineConfig &cfg,
+                             Cycles modulateCycles = 150);
+
+} // namespace wb::baselines
+
+#endif // WB_BASELINES_LRU_CHANNEL_HH

@@ -1,0 +1,184 @@
+#include "baselines/prime_probe.hh"
+
+#include "common/log.hh"
+#include "chan/set_mapping.hh"
+
+namespace wb::baselines
+{
+
+PrimeProbeReceiver::PrimeProbeReceiver(std::vector<Addr> lines, Cycles tr,
+                                       std::size_t sampleCount)
+    : lines_(std::move(lines)), tr_(tr), sampleCount_(sampleCount)
+{
+    if (lines_.empty())
+        fatalf("PrimeProbeReceiver: needs prime lines");
+}
+
+std::optional<sim::MemOp>
+PrimeProbeReceiver::next(sim::ProcView &)
+{
+    switch (phase_) {
+      case Phase::Warmup:
+        if (pos_ < 2 * lines_.size())
+            return sim::MemOp::load(lines_[pos_ % lines_.size()]);
+        phase_ = Phase::InitTsc;
+        return sim::MemOp::tscRead();
+      case Phase::InitTsc:
+        return sim::MemOp::tscRead();
+      case Phase::Wait:
+        return sim::MemOp::spinUntil(tlast_ + tr_);
+      case Phase::ProbeStart:
+        return sim::MemOp::tscRead();
+      case Phase::Probe: {
+        const std::size_t idx =
+            forward_ ? pos_ : lines_.size() - 1 - pos_;
+        return sim::MemOp::load(lines_[idx]);
+      }
+      case Phase::ProbeEnd:
+        return sim::MemOp::tscRead();
+      case Phase::Done:
+        return sim::MemOp::halt();
+    }
+    return sim::MemOp::halt();
+}
+
+void
+PrimeProbeReceiver::onResult(const sim::MemOp &, const sim::OpResult &res,
+                             sim::ProcView &)
+{
+    switch (phase_) {
+      case Phase::Warmup:
+        ++pos_;
+        break;
+      case Phase::InitTsc:
+        tlast_ = res.tsc;
+        phase_ = Phase::Wait;
+        break;
+      case Phase::Wait:
+        tlast_ = res.tsc;
+        phase_ = Phase::ProbeStart;
+        break;
+      case Phase::ProbeStart:
+        tscStart_ = res.tsc;
+        pos_ = 0;
+        phase_ = Phase::Probe;
+        break;
+      case Phase::Probe:
+        ++pos_;
+        if (pos_ >= lines_.size())
+            phase_ = Phase::ProbeEnd;
+        break;
+      case Phase::ProbeEnd:
+        samples_.push_back(static_cast<double>(res.tsc - tscStart_));
+        forward_ = !forward_; // reverse traversal next slot
+        phase_ = samples_.size() >= sampleCount_ ? Phase::Done
+                                                 : Phase::Wait;
+        break;
+      case Phase::Done:
+        break;
+    }
+}
+
+PrimeProbeSender::PrimeProbeSender(std::vector<Addr> lines,
+                                   unsigned linesPerOne,
+                                   std::vector<bool> bits, Cycles ts)
+    : lines_(std::move(lines)), linesPerOne_(linesPerOne),
+      bits_(std::move(bits)), ts_(ts)
+{
+    if (linesPerOne_ > lines_.size())
+        fatalf("PrimeProbeSender: linesPerOne exceeds line pool");
+}
+
+std::optional<sim::MemOp>
+PrimeProbeSender::next(sim::ProcView &)
+{
+    switch (phase_) {
+      case Phase::Init:
+        return sim::MemOp::tscRead();
+      case Phase::Touch:
+        return sim::MemOp::load(lines_[touchIdx_]);
+      case Phase::Wait:
+        return sim::MemOp::spinUntil(tlast_ + ts_);
+      case Phase::Done:
+        return sim::MemOp::halt();
+    }
+    return sim::MemOp::halt();
+}
+
+void
+PrimeProbeSender::onResult(const sim::MemOp &op, const sim::OpResult &res,
+                           sim::ProcView &)
+{
+    auto beginSlot = [this]() {
+        if (bitIdx_ >= bits_.size()) {
+            phase_ = Phase::Done;
+        } else if (bits_[bitIdx_]) {
+            touchIdx_ = 0;
+            phase_ = Phase::Touch;
+        } else {
+            phase_ = Phase::Wait;
+        }
+    };
+
+    switch (op.kind) {
+      case sim::MemOp::Kind::TscRead:
+        tlast_ = res.tsc;
+        beginSlot();
+        break;
+      case sim::MemOp::Kind::Load:
+        ++touchIdx_;
+        if (touchIdx_ >= linesPerOne_)
+            phase_ = Phase::Wait;
+        break;
+      case sim::MemOp::Kind::SpinUntil:
+        tlast_ = res.tsc;
+        ++bitIdx_;
+        beginSlot();
+        break;
+      default:
+        break;
+    }
+}
+
+BaselineResult
+runPrimeProbeChannel(const BaselineConfig &cfg, unsigned linesPerOne)
+{
+    auto factory = [linesPerOne](const BaselineConfig &c,
+                                 const std::vector<bool> &frameBits,
+                                 sim::Hierarchy &hierarchy,
+                                 Rng &) -> BaselineParts {
+        const auto &layout = hierarchy.l1().layout();
+        const unsigned ways = c.platform.l1.ways;
+        auto rxLines = chan::linesForSet(layout, c.targetSet, ways,
+                                         /*tagBase=*/0x100);
+        auto txLines = chan::linesForSet(layout, c.targetSet,
+                                         std::max(1u, linesPerOne),
+                                         /*tagBase=*/1);
+
+        const std::size_t sampleCount =
+            frameBits.size() + c.senderStartSlots + c.sampleMargin;
+
+        BaselineParts parts;
+        auto receiver = std::make_unique<PrimeProbeReceiver>(
+            rxLines, c.tr, sampleCount);
+        parts.latencySource = receiver.get();
+        parts.receiver = std::move(receiver);
+        parts.sender = std::make_unique<PrimeProbeSender>(
+            txLines, linesPerOne, frameBits, c.ts);
+
+        // Centroids: all-hit probe vs. linesPerOne L2 refills.
+        const auto &lat = c.platform.lat;
+        const double perHit =
+            static_cast<double>(lat.l1Hit + c.noise.opOverhead);
+        const double base = perHit * ways +
+            static_cast<double>(c.noise.tscReadCost);
+        parts.centroidLow = base;
+        parts.centroidHigh = base +
+            static_cast<double>(linesPerOne) *
+                static_cast<double>(lat.l2Hit - lat.l1Hit);
+        return parts;
+    };
+    return runBaseline(cfg, factory);
+}
+
+} // namespace wb::baselines

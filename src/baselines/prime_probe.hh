@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Prime+Probe covert channel (Osvik, Shamir & Tromer; paper Secs. II,
+ * VI). Contention-based, no shared memory.
+ *
+ * The receiver primes the target set with W of its own lines, sleeps,
+ * then probes them with a timed traversal: extra misses mean the sender
+ * touched the set (sent 1). The probe is walked in the reverse of the
+ * previous traversal order, the classic trick that avoids self-eviction
+ * thrashing under LRU (paper Sec. VI-A).
+ */
+
+#ifndef WB_BASELINES_PRIME_PROBE_HH
+#define WB_BASELINES_PRIME_PROBE_HH
+
+#include "baselines/framework.hh"
+
+namespace wb::baselines
+{
+
+/** Prime+Probe receiver: timed whole-set probe each slot. */
+class PrimeProbeReceiver : public sim::Program, public LatencySource
+{
+  public:
+    /**
+     * @param lines the receiver's W prime lines
+     * @param tr sampling period
+     * @param sampleCount observations before halting
+     */
+    PrimeProbeReceiver(std::vector<Addr> lines, Cycles tr,
+                       std::size_t sampleCount);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+    std::vector<double> latencies() const override { return samples_; }
+
+  private:
+    enum class Phase
+    {
+        Warmup,
+        InitTsc,
+        Wait,
+        ProbeStart, //!< TscRead
+        Probe,      //!< W loads, reverse order per slot
+        ProbeEnd,   //!< TscRead
+        Done
+    };
+
+    std::vector<Addr> lines_;
+    Cycles tr_;
+    std::size_t sampleCount_;
+
+    Phase phase_ = Phase::Warmup;
+    std::size_t pos_ = 0;
+    bool forward_ = true;
+    Cycles tlast_ = 0;
+    Cycles tscStart_ = 0;
+    std::vector<double> samples_;
+};
+
+/** Prime+Probe sender: one burst of accesses per 1-bit. */
+class PrimeProbeSender : public sim::Program
+{
+  public:
+    /**
+     * @param lines sender lines mapping to the target set
+     * @param linesPerOne how many to touch when sending 1
+     * @param bits the bit sequence
+     * @param ts sending period
+     */
+    PrimeProbeSender(std::vector<Addr> lines, unsigned linesPerOne,
+                     std::vector<bool> bits, Cycles ts);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+  private:
+    enum class Phase
+    {
+        Init,
+        Touch, //!< bit 1: access linesPerOne lines
+        Wait,
+        Done
+    };
+
+    std::vector<Addr> lines_;
+    unsigned linesPerOne_;
+    std::vector<bool> bits_;
+    Cycles ts_;
+
+    Phase phase_ = Phase::Init;
+    std::size_t bitIdx_ = 0;
+    unsigned touchIdx_ = 0;
+    Cycles tlast_ = 0;
+};
+
+/** Run the Prime+Probe covert channel end to end. */
+BaselineResult runPrimeProbeChannel(const BaselineConfig &cfg,
+                                    unsigned linesPerOne = 2);
+
+} // namespace wb::baselines
+
+#endif // WB_BASELINES_PRIME_PROBE_HH

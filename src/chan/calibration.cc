@@ -1,0 +1,121 @@
+#include "chan/calibration.hh"
+
+#include "chan/pointer_chase.hh"
+#include "chan/set_mapping.hh"
+#include "common/log.hh"
+
+namespace wb::chan
+{
+
+Classifier
+Calibration::binaryClassifier(unsigned d2) const
+{
+    if (d2 >= medianByD.size())
+        fatalf("binaryClassifier: d2 ", d2, " out of calibrated range");
+    return Classifier({medianByD[0], medianByD[d2]});
+}
+
+Classifier
+Calibration::classifierFor(const Encoding &encoding) const
+{
+    std::vector<double> centroids;
+    centroids.reserve(encoding.symbols());
+    for (unsigned s = 0; s < encoding.symbols(); ++s) {
+        const unsigned d = encoding.level(s);
+        if (d >= medianByD.size())
+            fatalf("classifierFor: level ", d, " out of calibrated range");
+        centroids.push_back(medianByD[d]);
+    }
+    return Classifier(centroids);
+}
+
+double
+measureChaseOffline(sim::Hierarchy &hierarchy, ThreadId tid,
+                    const sim::AddressSpace &space,
+                    const std::vector<Addr> &order,
+                    const sim::NoiseModel &noise)
+{
+    double total = 0.0;
+    for (Addr va : order) {
+        const auto res = hierarchy.access(tid, space.translate(va),
+                                          /*isWrite=*/false);
+        total += static_cast<double>(res.latency + noise.opOverhead);
+    }
+    return total + static_cast<double>(noise.tscReadCost);
+}
+
+Calibration
+calibrate(const sim::HierarchyParams &hp, const sim::NoiseModel &noise,
+          const CalibrationConfig &cfg, Rng &rng)
+{
+    const unsigned ways = hp.l1.ways;
+    Calibration out;
+    out.latencyByD.resize(ways + 1);
+    out.medianByD.resize(ways + 1, 0.0);
+
+    const ThreadId senderTid = 0;
+    const ThreadId receiverTid = 1;
+    sim::AddressSpace senderSpace(1);
+    sim::AddressSpace receiverSpace(2);
+
+    // One hierarchy for the whole calibration, with the d values
+    // interleaved at random. This matters for non-stack replacement
+    // policies (PLRU variants, SRRIP, random): leftover lines from
+    // previous slots shift the steady-state baseline, so calibrating
+    // each d in isolation would misplace the thresholds the live
+    // receiver needs (an in-situ attacker calibrates the same way).
+    sim::Hierarchy hierarchy(hp, &rng);
+    const auto sets = makeChannelSets(hierarchy.l1().layout(),
+                                      cfg.targetSet, ways,
+                                      cfg.replacementSize);
+    PointerChase chaseA(sets.replacementA);
+    PointerChase chaseB(sets.replacementB);
+
+    // Warm both replacement sets into L2.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+        for (Addr va : sets.replacementA)
+            hierarchy.access(receiverTid, receiverSpace.translate(va),
+                             false);
+        for (Addr va : sets.replacementB)
+            hierarchy.access(receiverTid, receiverSpace.translate(va),
+                             false);
+    }
+
+    std::vector<unsigned> mix = cfg.levelsMix;
+    if (mix.empty()) {
+        for (unsigned d = 0; d <= ways; ++d)
+            mix.push_back(d);
+    }
+    for (unsigned d : mix) {
+        if (d > ways)
+            fatalf("calibrate: level ", d, " exceeds associativity");
+    }
+
+    const std::size_t total = mix.size() * cfg.measurements + cfg.discard;
+    bool useA = true;
+    for (std::size_t m = 0; m < total; ++m) {
+        const unsigned d = mix[rng.below(mix.size())];
+        // Sender phase: dirty d lines (Algorithm 1 encode).
+        for (unsigned i = 0; i < d; ++i) {
+            hierarchy.access(senderTid,
+                             senderSpace.translate(sets.senderLines[i]),
+                             /*isWrite=*/true);
+        }
+        // Receiver phase: timed traversal (Algorithm 2 decode).
+        PointerChase &chase = useA ? chaseA : chaseB;
+        chase.reshuffle(rng);
+        double lat = measureChaseOffline(hierarchy, receiverTid,
+                                         receiverSpace, chase.order(),
+                                         noise);
+        if (noise.measBaseSigma > 0.0)
+            lat += rng.gaussian(0.0, noise.measBaseSigma);
+        useA = !useA;
+        if (m >= cfg.discard)
+            out.latencyByD[d].add(lat);
+    }
+    for (unsigned d = 0; d <= ways; ++d)
+        out.medianByD[d] = out.latencyByD[d].median();
+    return out;
+}
+
+} // namespace wb::chan

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Offline latency calibration (paper Fig. 4).
+ *
+ * For each d in 0..W, the target set is loaded with d dirty lines and
+ * the replacement-set access latency is measured many times. The
+ * resulting per-d latency distributions (CDFs) are narrow and
+ * separable — each extra dirty line adds roughly the dirty-victim
+ * write-back penalty — and their medians become the classifier
+ * centroids used by the live receiver.
+ */
+
+#ifndef WB_CHAN_CALIBRATION_HH
+#define WB_CHAN_CALIBRATION_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "chan/modulation.hh"
+#include "sim/hierarchy.hh"
+#include "sim/noise_model.hh"
+
+namespace wb::chan
+{
+
+/** Calibration inputs. */
+struct CalibrationConfig
+{
+    unsigned targetSet = 13;      //!< agreed cache set
+    unsigned replacementSize = 10; //!< lines per replacement set
+    unsigned measurements = 1000; //!< samples per d (paper: 1000)
+    unsigned discard = 3;         //!< cold samples dropped per d
+
+    /**
+     * Dirty-line counts interleaved during calibration. Empty means
+     * all of 0..W (the Fig. 4 sweep). A live channel calibrates with
+     * exactly its encoding's levels: under non-stack replacement
+     * policies the steady-state baseline depends on the traffic mix
+     * (leftover lines hit in L1), so thresholds must be measured
+     * under the mix the receiver will actually see.
+     */
+    std::vector<unsigned> levelsMix;
+};
+
+/** Per-d latency distributions and medians. */
+struct Calibration
+{
+    std::vector<Samples> latencyByD; //!< index d = 0..W
+    std::vector<double> medianByD;   //!< medians of the above
+
+    /** Classifier for a binary encoding with the given d2. */
+    Classifier binaryClassifier(unsigned d2) const;
+
+    /** Classifier whose centroids follow @p encoding's levels. */
+    Classifier classifierFor(const Encoding &encoding) const;
+};
+
+/**
+ * Run the calibration on a fresh hierarchy.
+ *
+ * @param hp hierarchy configuration (the platform)
+ * @param noise platform noise model (per-measurement base dispersion)
+ * @param cfg calibration parameters
+ * @param rng randomness source
+ */
+Calibration calibrate(const sim::HierarchyParams &hp,
+                      const sim::NoiseModel &noise,
+                      const CalibrationConfig &cfg, Rng &rng);
+
+/**
+ * Measure one replacement-set traversal directly against a hierarchy
+ * (no SMT interleaving): the sum of the permuted dependent-load
+ * latencies plus timestamp-read cost. Shared by calibration and the
+ * single-process side-channel attacks of Sec. IX.
+ *
+ * @param hierarchy the hierarchy to measure against
+ * @param tid issuing thread id
+ * @param order replacement-set lines in traversal order (physical
+ *        addresses are formed by @p translate-ing each)
+ * @param space address space of the issuing process
+ * @param noise noise model (timestamp cost, op overhead)
+ */
+double measureChaseOffline(sim::Hierarchy &hierarchy, ThreadId tid,
+                           const sim::AddressSpace &space,
+                           const std::vector<Addr> &order,
+                           const sim::NoiseModel &noise);
+
+} // namespace wb::chan
+
+#endif // WB_CHAN_CALIBRATION_HH

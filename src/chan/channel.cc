@@ -1,0 +1,153 @@
+#include "chan/channel.hh"
+
+#include <memory>
+
+#include "common/log.hh"
+#include "chan/receiver.hh"
+#include "chan/sender.hh"
+#include "chan/set_mapping.hh"
+#include "sim/smt_core.hh"
+
+namespace wb::chan
+{
+
+namespace
+{
+
+/** Shared implementation: run the platform with a given frame. */
+ChannelResult
+runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
+{
+    const ProtocolConfig &proto = cfg.protocol;
+    const Encoding &enc = proto.encoding;
+    if (frame.size() % enc.bitsPerSymbol() != 0)
+        fatalf("runChannel: frame bits ", frame.size(),
+               " not divisible by bits/symbol ", enc.bitsPerSymbol());
+    if (enc.maxLevel() > cfg.platform.l1.ways)
+        fatalf("runChannel: encoding level ", enc.maxLevel(),
+               " exceeds associativity ", cfg.platform.l1.ways);
+
+    Rng rootRng(cfg.seed);
+    Rng calRng = rootRng.split();
+    Rng runRng = rootRng.split();
+
+    // --- Offline calibration -> classifier centroids. The mix of
+    // dirty-line levels matches the live encoding so the measured
+    // steady-state baseline is the one the receiver will see. ---
+    CalibrationConfig calCfg = cfg.calibration;
+    if (calCfg.levelsMix.empty())
+        calCfg.levelsMix = enc.levels();
+    calCfg.targetSet = proto.targetSet;
+    calCfg.replacementSize = proto.replacementSize;
+    Calibration cal = calibrate(cfg.platform, cfg.noise, calCfg, calRng);
+    Classifier classifier = cal.classifierFor(enc);
+
+    // --- Per-slot dirty-line levels for all frame repetitions ---
+    const auto frameLevels = frameToLevels(frame, enc);
+    std::vector<unsigned> dSeq;
+    dSeq.reserve(frameLevels.size() * proto.frames);
+    for (unsigned f = 0; f < proto.frames; ++f)
+        dSeq.insert(dSeq.end(), frameLevels.begin(), frameLevels.end());
+
+    // --- Platform ---
+    sim::Hierarchy hierarchy(cfg.platform, &runRng);
+    sim::SmtCore core(hierarchy, cfg.noise, runRng);
+    const auto &layout = hierarchy.l1().layout();
+    const auto sets = makeChannelSets(layout, proto.targetSet,
+                                      cfg.platform.l1.ways,
+                                      proto.replacementSize);
+
+    SenderProgram sender(sets.senderLines, dSeq, proto.ts);
+    const std::size_t sampleCount =
+        dSeq.size() + cfg.senderStartSlots + cfg.sampleMargin;
+    ReceiverProgram receiver(sets.replacementA, sets.replacementB,
+                             proto.tr, sampleCount);
+
+    const Cycles senderStart =
+        static_cast<Cycles>(cfg.senderStartSlots) * proto.ts;
+    const ThreadId senderTid =
+        core.addThread(&sender, sim::AddressSpace(1), senderStart);
+    const ThreadId receiverTid =
+        core.addThread(&receiver, sim::AddressSpace(2), 0);
+
+    // --- Optional co-resident noise processes (Sec. VI) ---
+    std::vector<std::unique_ptr<NoiseProcess>> noisePrograms;
+    for (unsigned i = 0; i < cfg.noiseProcesses; ++i) {
+        auto lines = linesForSet(layout, proto.targetSet,
+                                 std::max(1u, cfg.noiseCfg.burstLines),
+                                 /*tagBase=*/0x300 + 0x10 * i);
+        noisePrograms.push_back(
+            std::make_unique<NoiseProcess>(std::move(lines), cfg.noiseCfg));
+        core.addThread(noisePrograms.back().get(),
+                       sim::AddressSpace(10 + i), /*startTime=*/500 * i);
+    }
+
+    const Cycles horizon = senderStart +
+        static_cast<Cycles>(dSeq.size() + 8) * (proto.ts + 50) + 200000;
+    const Cycles end = core.run(horizon);
+
+    // --- Decode ---
+    ChannelResult res;
+    res.latencies = receiver.latencies();
+    DecodeResult dec = decodeTransmission(res.latencies, classifier, enc,
+                                          frame, proto.frames);
+    res.ber = dec.ber;
+    res.breakdown = dec.breakdown;
+    res.aligned = dec.aligned;
+    res.framesScored = dec.framesScored;
+    res.framesExpected = dec.framesExpected;
+    res.rateKbps = proto.rateKbps();
+    res.goodputKbps = res.rateKbps * (1.0 - std::min(1.0, res.ber));
+    res.sentFrame = frame;
+    res.decodedBits = dec.bitstream;
+    res.calibrationMedians = cal.medianByD;
+    res.senderCounters = hierarchy.counters(senderTid);
+    res.receiverCounters = hierarchy.counters(receiverTid);
+    res.simulatedCycles = end;
+    return res;
+}
+
+} // namespace
+
+ChannelResult
+runChannel(const ChannelConfig &cfg)
+{
+    Rng frameRng(cfg.seed ^ 0xf00dULL);
+    const BitVec frame =
+        randomFrame(cfg.protocol.frameBits - 16, frameRng);
+    return runWithFrame(cfg, frame);
+}
+
+std::string
+transmitString(const ChannelConfig &cfg, const std::string &msg,
+               ChannelResult *result)
+{
+    ChannelConfig local = cfg;
+    BitVec frame = preamble16();
+    const BitVec payload = fromString(msg);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    // Pad to a whole number of symbols.
+    while (frame.size() % local.protocol.encoding.bitsPerSymbol() != 0)
+        frame.push_back(false);
+    local.protocol.frameBits = static_cast<unsigned>(frame.size());
+    local.protocol.frames = 1;
+
+    ChannelResult res = runWithFrame(local, frame);
+
+    // Extract the payload bits following the aligned preamble.
+    std::string decoded;
+    auto anchor = alignByPattern(res.decodedBits, preamble16(), 2);
+    if (anchor) {
+        const std::size_t start = *anchor + 16;
+        BitVec got;
+        for (std::size_t i = start;
+             i < res.decodedBits.size() && got.size() < payload.size(); ++i)
+            got.push_back(res.decodedBits[i]);
+        decoded = toString(got);
+    }
+    if (result != nullptr)
+        *result = res;
+    return decoded;
+}
+
+} // namespace wb::chan

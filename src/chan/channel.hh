@@ -1,0 +1,84 @@
+/**
+ * @file
+ * End-to-end WB covert channel runner.
+ *
+ * Orchestrates one complete transmission experiment: calibrate the
+ * classifier offline, stand up a simulated hyper-threaded platform with
+ * sender and receiver as separate processes (disjoint address spaces),
+ * run the protocol, decode, and report BER/throughput — the measurement
+ * loop behind paper Figs. 5, 6, 7 and Tables VI, VII.
+ */
+
+#ifndef WB_CHAN_CHANNEL_HH
+#define WB_CHAN_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "chan/calibration.hh"
+#include "chan/noise_process.hh"
+#include "chan/protocol.hh"
+#include "sim/hierarchy.hh"
+#include "sim/noise_model.hh"
+
+namespace wb::chan
+{
+
+/** Complete experiment configuration. */
+struct ChannelConfig
+{
+    sim::HierarchyParams platform = sim::xeonE5_2650Params();
+    sim::NoiseModel noise;         //!< platform noise (default realistic)
+    ProtocolConfig protocol;       //!< pacing/encoding/framing
+    CalibrationConfig calibration; //!< offline calibration parameters
+    std::uint64_t seed = 1;        //!< run seed (bit-exact reproducible)
+
+    /** Sender launch delay in slots (receiver starts first). */
+    unsigned senderStartSlots = 8;
+
+    /** Extra receiver samples beyond the expected symbol count. */
+    unsigned sampleMargin = 96;
+
+    /** Number of co-resident noise processes (Sec. VI experiments). */
+    unsigned noiseProcesses = 0;
+    NoiseProcessConfig noiseCfg; //!< their behaviour
+};
+
+/** Everything a transmission experiment produces. */
+struct ChannelResult
+{
+    double ber = 1.0;                  //!< edit-distance bit error rate
+    EditBreakdown breakdown;           //!< error-type totals
+    double rateKbps = 0.0;             //!< raw channel rate
+    double goodputKbps = 0.0;          //!< rate * (1 - ber)
+    bool aligned = false;              //!< preamble ever found
+    unsigned framesScored = 0;
+    unsigned framesExpected = 0;
+
+    BitVec sentFrame;                  //!< the repeated frame
+    BitVec decodedBits;                //!< full decoded bit stream
+    std::vector<double> latencies;     //!< receiver raw observations
+
+    std::vector<double> calibrationMedians; //!< classifier centroids
+
+    sim::PerfCounters senderCounters;   //!< sender process perf view
+    sim::PerfCounters receiverCounters; //!< receiver process perf view
+    Cycles simulatedCycles = 0;         //!< wall virtual time
+};
+
+/** Run one complete covert-channel transmission experiment. */
+ChannelResult runChannel(const ChannelConfig &cfg);
+
+/**
+ * Convenience: transmit an arbitrary byte string once (no frame
+ * repetition) and return the decoded string. Used by the quickstart
+ * example; BER and metadata are still reported via @p result when
+ * non-null.
+ */
+std::string transmitString(const ChannelConfig &cfg, const std::string &msg,
+                           ChannelResult *result = nullptr);
+
+} // namespace wb::chan
+
+#endif // WB_CHAN_CHANNEL_HH

@@ -1,0 +1,161 @@
+#include "chan/fec.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace wb::chan
+{
+
+HammingCode::HammingCode(unsigned interleaveDepth)
+    : depth_(interleaveDepth == 0 ? 1 : interleaveDepth)
+{
+}
+
+void
+HammingCode::encodeNibble(const bool d[4], bool out[7])
+{
+    // Systematic Hamming(7,4): positions 0..3 data, 4..6 parity.
+    out[0] = d[0];
+    out[1] = d[1];
+    out[2] = d[2];
+    out[3] = d[3];
+    out[4] = d[0] ^ d[1] ^ d[2];
+    out[5] = d[1] ^ d[2] ^ d[3];
+    out[6] = d[0] ^ d[1] ^ d[3];
+}
+
+void
+HammingCode::decodeWord(const bool c[7], bool out[4])
+{
+    bool w[7];
+    for (int i = 0; i < 7; ++i)
+        w[i] = c[i];
+    const bool s0 = w[4] ^ w[0] ^ w[1] ^ w[2];
+    const bool s1 = w[5] ^ w[1] ^ w[2] ^ w[3];
+    const bool s2 = w[6] ^ w[0] ^ w[1] ^ w[3];
+    // Syndrome -> flipped position (derived from the parity sets).
+    int flip = -1;
+    if (s0 && s1 && s2)
+        flip = 1; // d1 is in all three parities
+    else if (s0 && s1)
+        flip = 2;
+    else if (s0 && s2)
+        flip = 0;
+    else if (s1 && s2)
+        flip = 3;
+    else if (s0)
+        flip = 4;
+    else if (s1)
+        flip = 5;
+    else if (s2)
+        flip = 6;
+    if (flip >= 0)
+        w[flip] = !w[flip];
+    out[0] = w[0];
+    out[1] = w[1];
+    out[2] = w[2];
+    out[3] = w[3];
+}
+
+std::size_t
+HammingCode::codedLength(std::size_t dataBits) const
+{
+    const std::size_t nibbles = (dataBits + 3) / 4;
+    return nibbles * 7;
+}
+
+BitVec
+HammingCode::encode(const BitVec &data) const
+{
+    BitVec padded = data;
+    while (padded.size() % 4 != 0)
+        padded.push_back(false);
+
+    BitVec flat;
+    flat.reserve(padded.size() / 4 * 7);
+    for (std::size_t i = 0; i < padded.size(); i += 4) {
+        bool d[4] = {padded[i], padded[i + 1], padded[i + 2],
+                     padded[i + 3]};
+        bool c[7];
+        encodeNibble(d, c);
+        for (bool b : c)
+            flat.push_back(b);
+    }
+
+    if (depth_ == 1)
+        return flat;
+
+    // Block interleave: groups of `depth_` codewords, emitted
+    // column-first so a burst of up to depth_ adjacent channel errors
+    // lands in distinct codewords.
+    BitVec out;
+    out.reserve(flat.size());
+    const std::size_t wordsTotal = flat.size() / 7;
+    for (std::size_t g = 0; g < wordsTotal; g += depth_) {
+        const std::size_t inGroup =
+            std::min<std::size_t>(depth_, wordsTotal - g);
+        for (std::size_t col = 0; col < 7; ++col)
+            for (std::size_t row = 0; row < inGroup; ++row)
+                out.push_back(flat[(g + row) * 7 + col]);
+    }
+    return out;
+}
+
+BitVec
+HammingCode::decode(const BitVec &coded) const
+{
+    // Deinterleave back to codeword-major order.
+    const std::size_t wordsTotal = coded.size() / 7;
+    BitVec flat(wordsTotal * 7, false);
+    if (depth_ == 1) {
+        flat.assign(coded.begin(),
+                    coded.begin() +
+                        static_cast<std::ptrdiff_t>(wordsTotal * 7));
+    } else {
+        std::size_t pos = 0;
+        for (std::size_t g = 0; g < wordsTotal; g += depth_) {
+            const std::size_t inGroup =
+                std::min<std::size_t>(depth_, wordsTotal - g);
+            for (std::size_t col = 0; col < 7; ++col) {
+                for (std::size_t row = 0; row < inGroup; ++row) {
+                    if (pos < coded.size())
+                        flat[(g + row) * 7 + col] = coded[pos];
+                    ++pos;
+                }
+            }
+        }
+    }
+
+    BitVec out;
+    out.reserve(wordsTotal * 4);
+    for (std::size_t w = 0; w < wordsTotal; ++w) {
+        bool c[7];
+        for (int i = 0; i < 7; ++i)
+            c[i] = flat[w * 7 + static_cast<std::size_t>(i)];
+        bool d[4];
+        decodeWord(c, d);
+        for (bool b : d)
+            out.push_back(b);
+    }
+    return out;
+}
+
+double
+simulateResidualBer(const HammingCode &code, double flipProb,
+                    std::size_t dataBits, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVec data = randomBits(dataBits, rng);
+    BitVec coded = code.encode(data);
+    for (std::size_t i = 0; i < coded.size(); ++i)
+        if (rng.chance(flipProb))
+            coded[i] = !coded[i];
+    BitVec decoded = code.decode(coded);
+    std::size_t wrong = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        if (i >= decoded.size() || decoded[i] != data[i])
+            ++wrong;
+    return dataBits ? double(wrong) / double(dataBits) : 0.0;
+}
+
+} // namespace wb::chan

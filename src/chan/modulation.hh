@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Symbol encodings and the latency classifier.
+ *
+ * Binary encoding (paper Sec. V "Symbols encoding binary"): d = 0 dirty
+ * lines sends 0; d = d2 in {1..W} dirty lines sends 1. Larger d2 widens
+ * the latency gap at the cost of more sender stores.
+ *
+ * Multi-bit encoding ("Symbols encoding multiple bits"): the target set
+ * holds 0..W dirty lines, so up to log2(W+1) bits per symbol. The paper
+ * encodes 2 bits with the non-adjacent levels d in {0, 3, 5, 8}.
+ *
+ * Decoding classifies a measured replacement latency against thresholds
+ * derived from calibration medians (the dotted threshold lines in paper
+ * Figs. 5 and 7).
+ */
+
+#ifndef WB_CHAN_MODULATION_HH
+#define WB_CHAN_MODULATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/log.hh"
+
+namespace wb::chan
+{
+
+/**
+ * A symbol alphabet: symbol s is transmitted as levels[s] dirty lines.
+ * bitsPerSymbol() bits of the message select one symbol.
+ */
+class Encoding
+{
+  public:
+    /** Binary encoding with d1 = 0 and the given d2 (1..W). */
+    static Encoding binary(unsigned d2);
+
+    /**
+     * Multi-bit encoding over the given dirty-line levels; size must be
+     * a power of two >= 2. The paper's 2-bit alphabet is {0, 3, 5, 8}.
+     */
+    static Encoding multiBit(std::vector<unsigned> levels);
+
+    /** The paper's 2-bit alphabet {0, 3, 5, 8}. */
+    static Encoding paperTwoBit();
+
+    /** Bits encoded per symbol (log2 of alphabet size). */
+    unsigned bitsPerSymbol() const { return bits_; }
+
+    /** Number of symbols in the alphabet. */
+    unsigned symbols() const { return static_cast<unsigned>(levels_.size()); }
+
+    /** Dirty-line count for symbol @p s. */
+    unsigned level(unsigned s) const { return levels_.at(s); }
+
+    /** All levels. */
+    const std::vector<unsigned> &levels() const { return levels_; }
+
+    /** Largest level (the most dirty lines any symbol uses). */
+    unsigned maxLevel() const;
+
+    /**
+     * Map the next bitsPerSymbol bits of @p bits starting at @p pos to
+     * a symbol index (MSB first). Missing bits read as 0.
+     */
+    unsigned symbolAt(const BitVec &bits, std::size_t pos) const;
+
+    /** Append symbol @p s's bits to @p out. */
+    void appendSymbolBits(unsigned s, BitVec &out) const;
+
+  private:
+    explicit Encoding(std::vector<unsigned> levels);
+
+    std::vector<unsigned> levels_;
+    unsigned bits_ = 1;
+};
+
+/**
+ * Latency-to-symbol classifier: nearest centroid with precomputed
+ * midpoint thresholds. Centroids come from Calibration medians.
+ */
+class Classifier
+{
+  public:
+    /**
+     * @param centroids calibrated median latency per symbol, indexed by
+     *        symbol; must be strictly increasing
+     */
+    explicit Classifier(std::vector<double> centroids);
+
+    /** Classify one measured latency to a symbol index. */
+    unsigned classify(double latency) const;
+
+    /** Midpoint threshold between symbols i and i+1. */
+    double threshold(std::size_t i) const { return thresholds_.at(i); }
+
+    /** The centroid used for symbol @p s. */
+    double centroid(unsigned s) const { return centroids_.at(s); }
+
+    /** Number of symbols. */
+    unsigned
+    symbols() const
+    {
+        return static_cast<unsigned>(centroids_.size());
+    }
+
+  private:
+    std::vector<double> centroids_;
+    std::vector<double> thresholds_;
+};
+
+} // namespace wb::chan
+
+#endif // WB_CHAN_MODULATION_HH

@@ -1,0 +1,57 @@
+#include "chan/noise_process.hh"
+
+#include "common/log.hh"
+
+namespace wb::chan
+{
+
+NoiseProcess::NoiseProcess(std::vector<Addr> lines,
+                           const NoiseProcessConfig &cfg)
+    : lines_(std::move(lines)), cfg_(cfg)
+{
+    if (lines_.empty())
+        fatalf("NoiseProcess: needs at least one line");
+}
+
+std::optional<sim::MemOp>
+NoiseProcess::next(sim::ProcView &view)
+{
+    if (!started_) {
+        started_ = true;
+        return sim::MemOp::tscRead();
+    }
+    if (spinning_)
+        return sim::MemOp::spinUntil(tlast_ + cfg_.period);
+    const Addr line = lines_[nextLine_];
+    nextLine_ = (nextLine_ + 1) % lines_.size();
+    const bool isStore = view.rng().chance(cfg_.storeFraction);
+    return isStore ? sim::MemOp::store(line) : sim::MemOp::load(line);
+}
+
+void
+NoiseProcess::onResult(const sim::MemOp &op, const sim::OpResult &res,
+                       sim::ProcView &)
+{
+    switch (op.kind) {
+      case sim::MemOp::Kind::TscRead:
+        tlast_ = res.tsc;
+        spinning_ = true;
+        break;
+      case sim::MemOp::Kind::SpinUntil:
+        tlast_ = res.tsc;
+        spinning_ = false;
+        burstPos_ = 0;
+        break;
+      case sim::MemOp::Kind::Load:
+      case sim::MemOp::Kind::Store:
+        ++accesses_;
+        ++burstPos_;
+        if (burstPos_ >= cfg_.burstLines)
+            spinning_ = true;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace wb::chan

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Noisy-cache-line processes (paper Sec. VI / Fig. 8).
+ *
+ * A noise process models "another part of the program or other
+ * processes on the core" periodically loading (or, rarely, storing)
+ * lines that map to the target set. Clean noisy lines break the LRU
+ * channel but not the WB channel; dirty noisy lines (stores) are the
+ * one interference source the WB channel admits.
+ */
+
+#ifndef WB_CHAN_NOISE_PROCESS_HH
+#define WB_CHAN_NOISE_PROCESS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/smt_core.hh"
+
+namespace wb::chan
+{
+
+/** Noise process parameters. */
+struct NoiseProcessConfig
+{
+    Cycles period = 15000;     //!< cycles between bursts
+    unsigned burstLines = 1;   //!< lines touched per burst
+    double storeFraction = 0.0; //!< probability a touch is a store
+};
+
+/** The noise program: periodic bursts of target-set accesses. */
+class NoiseProcess : public sim::Program
+{
+  public:
+    /**
+     * @param lines noise lines mapping to the target set (own space)
+     * @param cfg burst timing/composition
+     */
+    NoiseProcess(std::vector<Addr> lines, const NoiseProcessConfig &cfg);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+    /** Total accesses issued. */
+    std::uint64_t accesses() const { return accesses_; }
+
+  private:
+    std::vector<Addr> lines_;
+    NoiseProcessConfig cfg_;
+    Cycles tlast_ = 0;
+    unsigned burstPos_ = 0;
+    std::size_t nextLine_ = 0;
+    bool spinning_ = true;
+    bool started_ = false;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace wb::chan
+
+#endif // WB_CHAN_NOISE_PROCESS_HH

@@ -1,0 +1,68 @@
+#include "chan/sender.hh"
+
+#include "common/log.hh"
+
+namespace wb::chan
+{
+
+SenderProgram::SenderProgram(std::vector<Addr> lines,
+                             std::vector<unsigned> dSequence, Cycles ts)
+    : lines_(std::move(lines)), dSeq_(std::move(dSequence)), ts_(ts)
+{
+    unsigned maxD = 0;
+    for (unsigned d : dSeq_)
+        maxD = std::max(maxD, d);
+    if (maxD > lines_.size())
+        fatalf("SenderProgram: needs ", maxD, " lines, got ",
+               lines_.size());
+}
+
+std::optional<sim::MemOp>
+SenderProgram::next(sim::ProcView &)
+{
+    switch (phase_) {
+      case Phase::Init:
+        return sim::MemOp::tscRead();
+      case Phase::Encode: {
+        if (symbolIdx_ >= dSeq_.size()) {
+            done_ = true;
+            return sim::MemOp::halt();
+        }
+        const unsigned d = dSeq_[symbolIdx_];
+        if (storeIdx_ < d)
+            return sim::MemOp::store(lines_[storeIdx_]);
+        phase_ = Phase::Wait;
+        return sim::MemOp::spinUntil(tlast_ + ts_);
+      }
+      case Phase::Wait:
+        // onResult advances the phase; next() is never called while in
+        // Wait because SpinUntil is the single op of this phase.
+        return sim::MemOp::spinUntil(tlast_ + ts_);
+    }
+    return sim::MemOp::halt();
+}
+
+void
+SenderProgram::onResult(const sim::MemOp &op, const sim::OpResult &res,
+                        sim::ProcView &)
+{
+    switch (op.kind) {
+      case sim::MemOp::Kind::TscRead:
+        tlast_ = res.tsc;
+        phase_ = Phase::Encode;
+        break;
+      case sim::MemOp::Kind::Store:
+        ++storeIdx_;
+        break;
+      case sim::MemOp::Kind::SpinUntil:
+        tlast_ = res.tsc; // Algorithm 3: Tlast = TSC (post-spin)
+        ++symbolIdx_;
+        storeIdx_ = 0;
+        phase_ = Phase::Encode;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace wb::chan

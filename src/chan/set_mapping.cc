@@ -1,0 +1,30 @@
+#include "chan/set_mapping.hh"
+
+namespace wb::chan
+{
+
+std::vector<Addr>
+linesForSet(const sim::AddressLayout &layout, unsigned targetSet,
+            unsigned count, Addr tagBase)
+{
+    std::vector<Addr> lines;
+    lines.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        lines.push_back(layout.compose(targetSet, tagBase + i));
+    return lines;
+}
+
+ChannelSets
+makeChannelSets(const sim::AddressLayout &layout, unsigned targetSet,
+                unsigned ways, unsigned replacementSize)
+{
+    ChannelSets sets;
+    sets.senderLines = linesForSet(layout, targetSet, ways, /*tagBase=*/1);
+    sets.replacementA =
+        linesForSet(layout, targetSet, replacementSize, /*tagBase=*/0x100);
+    sets.replacementB =
+        linesForSet(layout, targetSet, replacementSize, /*tagBase=*/0x200);
+    return sets;
+}
+
+} // namespace wb::chan

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Construction of target-set line pools and replacement sets.
+ *
+ * The L1D is virtually indexed: bits 6..11 of a virtual address select
+ * one of 64 sets (paper Sec. IV). A process can therefore build, from
+ * its own address space, any number of distinct lines that all map to
+ * an agreed target set: same index bits, different tag bits. The
+ * receiver needs two such "replacement sets" (used alternately so that
+ * the lines being timed always come from L2), and the sender needs a
+ * small pool of lines it can dirty.
+ */
+
+#ifndef WB_CHAN_SET_MAPPING_HH
+#define WB_CHAN_SET_MAPPING_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/address.hh"
+
+namespace wb::chan
+{
+
+/**
+ * Build @p count distinct virtual line addresses mapping to @p targetSet.
+ *
+ * @param layout the L1 address layout (gives index-bit geometry)
+ * @param targetSet the agreed set index
+ * @param count how many lines
+ * @param tagBase starting tag; callers use disjoint tag ranges to keep
+ *        pools (sender lines, replacement set A, replacement set B)
+ *        non-overlapping within one address space
+ */
+std::vector<Addr> linesForSet(const sim::AddressLayout &layout,
+                              unsigned targetSet, unsigned count,
+                              Addr tagBase = 1);
+
+/** The standard pools used by the two channel parties. */
+struct ChannelSets
+{
+    std::vector<Addr> senderLines; //!< lines the sender dirties (W of them)
+    std::vector<Addr> replacementA; //!< receiver replacement set A
+    std::vector<Addr> replacementB; //!< receiver replacement set B
+};
+
+/**
+ * Build the sender/receiver pools for @p targetSet. Tag ranges are
+ * disjoint; the sender and receiver live in different address spaces,
+ * so overlap would be harmless, but disjoint tags keep traces readable.
+ *
+ * @param replacementSize lines per replacement set (paper: 10 for the
+ *        Xeon's 8-way L1, per Sec. IV-A)
+ */
+ChannelSets makeChannelSets(const sim::AddressLayout &layout,
+                            unsigned targetSet, unsigned ways,
+                            unsigned replacementSize);
+
+} // namespace wb::chan
+
+#endif // WB_CHAN_SET_MAPPING_HH

@@ -1,0 +1,124 @@
+#include "common/bitvec.hh"
+
+namespace wb
+{
+
+BitVec
+preamble16()
+{
+    return fromUint(0xA5C3, 16);
+}
+
+BitVec
+randomBits(std::size_t n, Rng &rng)
+{
+    BitVec out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(rng.flip());
+    return out;
+}
+
+BitVec
+randomFrame(std::size_t payloadBits, Rng &rng)
+{
+    BitVec frame = preamble16();
+    BitVec payload = randomBits(payloadBits, rng);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
+}
+
+BitVec
+fromString(const std::string &s)
+{
+    BitVec out;
+    out.reserve(s.size() * 8);
+    for (unsigned char c : s)
+        for (int b = 7; b >= 0; --b)
+            out.push_back(((c >> b) & 1) != 0);
+    return out;
+}
+
+std::string
+toString(const BitVec &bits)
+{
+    std::string out;
+    for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+        unsigned char c = 0;
+        for (std::size_t b = 0; b < 8; ++b)
+            c = static_cast<unsigned char>((c << 1) | (bits[i + b] ? 1 : 0));
+        out.push_back(static_cast<char>(c));
+    }
+    return out;
+}
+
+BitVec
+fromUint(std::uint64_t value, unsigned k)
+{
+    BitVec out;
+    out.reserve(k);
+    for (unsigned b = k; b-- > 0;)
+        out.push_back(((value >> b) & 1) != 0);
+    return out;
+}
+
+std::uint64_t
+toUint(const BitVec &bits)
+{
+    std::uint64_t v = 0;
+    const std::size_t n = bits.size() < 64 ? bits.size() : 64;
+    for (std::size_t i = 0; i < n; ++i)
+        v = (v << 1) | (bits[i] ? 1 : 0);
+    return v;
+}
+
+std::optional<std::size_t>
+alignByPattern(const BitVec &haystack, const BitVec &pattern,
+               std::size_t maxErrors)
+{
+    if (pattern.empty() || haystack.size() < pattern.size())
+        return std::nullopt;
+    std::optional<std::size_t> best;
+    std::size_t bestErrors = maxErrors + 1;
+    for (std::size_t off = 0; off + pattern.size() <= haystack.size();
+         ++off) {
+        std::size_t errors = 0;
+        for (std::size_t i = 0; i < pattern.size() && errors < bestErrors;
+             ++i) {
+            if (haystack[off + i] != pattern[i])
+                ++errors;
+        }
+        if (errors < bestErrors) {
+            bestErrors = errors;
+            best = off;
+            if (errors == 0)
+                break;
+        }
+    }
+    return bestErrors <= maxErrors ? best : std::nullopt;
+}
+
+std::string
+toBitString(const BitVec &bits)
+{
+    std::string s;
+    s.reserve(bits.size());
+    for (bool b : bits)
+        s.push_back(b ? '1' : '0');
+    return s;
+}
+
+BitVec
+fromBitString(const std::string &s)
+{
+    BitVec out;
+    for (char c : s) {
+        if (c == '0')
+            out.push_back(false);
+        else if (c == '1')
+            out.push_back(true);
+    }
+    return out;
+}
+
+} // namespace wb

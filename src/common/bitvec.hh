@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bit-sequence helpers for channel payloads: random message generation,
+ * the fixed 16-bit alignment preamble used in the paper's evaluation,
+ * byte/string packing and sequence alignment by preamble search.
+ */
+
+#ifndef WB_COMMON_BITVEC_HH
+#define WB_COMMON_BITVEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace wb
+{
+
+/** Sequence of bits, most significant bit of the message first. */
+using BitVec = std::vector<bool>;
+
+/**
+ * The fixed 16-bit preamble the paper prepends to every frame so the
+ * receiver can identify frame boundaries ("the first 16 bits of the
+ * random sequence are set to a fixed value for the receiver to
+ * identify"). 0xA5C3 alternates runs of both polarities, which keeps it
+ * unlikely to appear in random payloads.
+ */
+BitVec preamble16();
+
+/** Generate @p n random bits from @p rng. */
+BitVec randomBits(std::size_t n, Rng &rng);
+
+/**
+ * Build a frame: 16-bit preamble followed by @p payloadBits random bits.
+ * Mirrors the paper's 128-bit (16 preamble + 112 random) test frames.
+ */
+BitVec randomFrame(std::size_t payloadBits, Rng &rng);
+
+/** Pack a string's bytes, MSB first per byte. */
+BitVec fromString(const std::string &s);
+
+/** Inverse of fromString; trailing partial bytes are dropped. */
+std::string toString(const BitVec &bits);
+
+/** Pack the k low bits of @p value, MSB first. */
+BitVec fromUint(std::uint64_t value, unsigned k);
+
+/** Inverse of fromUint over the first (up to 64) bits. */
+std::uint64_t toUint(const BitVec &bits);
+
+/**
+ * Locate @p pattern inside @p haystack allowing up to @p maxErrors
+ * substitution errors (Hamming match at each offset).
+ *
+ * @return offset of the best match, or std::nullopt when no offset has
+ *         <= maxErrors mismatches.
+ */
+std::optional<std::size_t> alignByPattern(const BitVec &haystack,
+                                          const BitVec &pattern,
+                                          std::size_t maxErrors);
+
+/** Render as a '0'/'1' string, for logs and bench output. */
+std::string toBitString(const BitVec &bits);
+
+/** Parse a '0'/'1' string (other characters are skipped). */
+BitVec fromBitString(const std::string &s);
+
+} // namespace wb
+
+#endif // WB_COMMON_BITVEC_HH

@@ -1,0 +1,47 @@
+#include "common/log.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace wb
+{
+
+namespace
+{
+bool verbose = true;
+} // namespace
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verbose)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+void
+setVerbose(bool on)
+{
+    verbose = on;
+}
+
+} // namespace wb

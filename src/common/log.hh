@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal gem5-flavoured status/error reporting.
+ *
+ * panic()  - internal invariant violated (a bug in this library); aborts.
+ * fatal()  - the caller/user supplied an impossible configuration; exits.
+ * warn()   - something is off but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef WB_COMMON_LOG_HH
+#define WB_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace wb
+{
+
+/** Abort with a message; use for library-internal invariant violations. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Exit(1) with a message; use for invalid user configuration. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string &msg);
+
+/** Print a status line to stderr. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool on);
+
+namespace detail
+{
+
+/** Variadic stream-concatenation helper for the message builders. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** panic() with streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+panicf(Args &&...args)
+{
+    panic(detail::concat(std::forward<Args>(args)...));
+}
+
+/** fatal() with streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+fatalf(Args &&...args)
+{
+    fatal(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace wb
+
+#endif // WB_COMMON_LOG_HH

@@ -1,0 +1,193 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace wb
+{
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(n_);
+    const auto n2 = static_cast<double>(other.n_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+void
+Samples::add(double x)
+{
+    data_.push_back(x);
+    dirty_ = true;
+}
+
+void
+Samples::addAll(const std::vector<double> &xs)
+{
+    data_.insert(data_.end(), xs.begin(), xs.end());
+    dirty_ = true;
+}
+
+double
+Samples::mean() const
+{
+    if (data_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : data_)
+        sum += x;
+    return sum / static_cast<double>(data_.size());
+}
+
+double
+Samples::stddev() const
+{
+    if (data_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double x : data_)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(data_.size() - 1));
+}
+
+void
+Samples::ensureSorted() const
+{
+    if (dirty_ || sorted_.size() != data_.size()) {
+        sorted_ = data_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+}
+
+double
+Samples::percentile(double p) const
+{
+    if (data_.empty())
+        return 0.0;
+    ensureSorted();
+    if (p <= 0.0)
+        return sorted_.front();
+    if (p >= 100.0)
+        return sorted_.back();
+    const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size())
+        return sorted_.back();
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double
+Samples::cdfAt(double x) const
+{
+    if (data_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>>
+Samples::cdfGrid(double lo, double hi, std::size_t steps) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (steps < 2)
+        steps = 2;
+    out.reserve(steps);
+    const double dx = (hi - lo) / static_cast<double>(steps - 1);
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double x = lo + dx * static_cast<double>(i);
+        out.emplace_back(x, cdfAt(x));
+    }
+    return out;
+}
+
+Histogram::Histogram(double lo, double binWidth, std::size_t bins)
+    : lo_(lo), binWidth_(binWidth), counts_(bins, 0)
+{
+}
+
+void
+Histogram::add(double x)
+{
+    double pos = (x - lo_) / binWidth_;
+    std::size_t idx;
+    if (pos < 0.0) {
+        idx = 0;
+    } else {
+        idx = static_cast<std::size_t>(pos);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+    }
+    ++counts_[idx];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + binWidth_ * (static_cast<double>(i) + 0.5);
+}
+
+std::string
+Histogram::ascii(std::size_t width) const
+{
+    std::uint64_t peak = 0;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const auto bar = peak
+            ? static_cast<std::size_t>(counts_[i] * width / peak) : 0;
+        os << "  " << binCenter(i) << "\t" << counts_[i] << "\t"
+           << std::string(bar, '#') << "\n";
+    }
+    return os.str();
+}
+
+} // namespace wb

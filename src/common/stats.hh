@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Lightweight statistics containers used by experiments and benches:
+ * online mean/variance, sample collections with percentiles, histograms
+ * and empirical CDFs (paper Fig. 4 is an overlay of per-d CDFs).
+ */
+
+#ifndef WB_COMMON_STATS_HH
+#define WB_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wb
+{
+
+/** Numerically stable online mean/variance accumulator (Welford). */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation seen (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest observation seen (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A bag of scalar samples supporting percentiles, median and empirical
+ * CDF evaluation. Sorting is performed lazily and cached.
+ */
+class Samples
+{
+  public:
+    /** Append one sample. */
+    void add(double x);
+
+    /** Append many samples. */
+    void addAll(const std::vector<double> &xs);
+
+    /** Number of stored samples. */
+    std::size_t count() const { return data_.size(); }
+
+    /** True when no samples are stored. */
+    bool empty() const { return data_.empty(); }
+
+    /** Sample mean (0 when empty). */
+    double mean() const;
+
+    /** Sample standard deviation (0 with fewer than two samples). */
+    double stddev() const;
+
+    /**
+     * Percentile via nearest-rank interpolation.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Median, i.e. percentile(50). */
+    double median() const { return percentile(50.0); }
+
+    /** Fraction of samples <= x (the empirical CDF evaluated at x). */
+    double cdfAt(double x) const;
+
+    /** Read-only access to the (unsorted) raw samples. */
+    const std::vector<double> &raw() const { return data_; }
+
+    /**
+     * Evaluate the CDF on a regular grid, for plotting/printing.
+     * @param lo grid start
+     * @param hi grid end (inclusive)
+     * @param steps number of grid points (>= 2)
+     * @return pairs (x, P[X <= x])
+     */
+    std::vector<std::pair<double, double>>
+    cdfGrid(double lo, double hi, std::size_t steps) const;
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> data_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = false;
+};
+
+/** Fixed-bin-width histogram over doubles. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin
+     * @param binWidth width of every bin (> 0)
+     * @param bins number of bins; samples outside clamp to first/last
+     */
+    Histogram(double lo, double binWidth, std::size_t bins);
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Count in bin i. */
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Center x-value of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total observations. */
+    std::uint64_t total() const { return total_; }
+
+    /** Render as a compact ASCII bar chart (for bench output). */
+    std::string ascii(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double binWidth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** A ratio expressed with hit/total counters, printed as a percentage. */
+struct Rate
+{
+    std::uint64_t hits = 0;  //!< numerator
+    std::uint64_t total = 0; //!< denominator
+
+    /** Record one event, counting toward hits when @p hit. */
+    void
+    record(bool hit)
+    {
+        ++total;
+        if (hit)
+            ++hits;
+    }
+
+    /** hits/total in [0,1]; 0 when total == 0. */
+    double value() const { return total ? double(hits) / total : 0.0; }
+
+    /** 100 * value(). */
+    double percent() const { return 100.0 * value(); }
+};
+
+} // namespace wb
+
+#endif // WB_COMMON_STATS_HH

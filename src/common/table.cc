@@ -1,0 +1,107 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace wb
+{
+
+Table::Table(std::string title) : title_(std::move(title))
+{
+}
+
+Table &
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+    return *this;
+}
+
+Table &
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+Table &
+Table::note(std::string text)
+{
+    notes_.push_back(std::move(text));
+    return *this;
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::pct(double ratio, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << ratio * 100.0 << "%";
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << "  ";
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+               << cell;
+        }
+        os << "\n";
+    };
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 2;
+        for (auto w : width)
+            total += w + 2;
+        os << "  " << std::string(total - 2, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    for (const auto &n : notes_)
+        os << "  * " << n << "\n";
+    os.flush();
+}
+
+void
+Table::print() const
+{
+    print(std::cout);
+}
+
+void
+banner(std::ostream &os, const std::string &title)
+{
+    os << "\n== " << title << " ==\n";
+}
+
+} // namespace wb

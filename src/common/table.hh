@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Aligned console table rendering. Every bench binary reproduces a paper
+ * table or figure and prints it with this printer so output is uniform
+ * and diff-able (EXPERIMENTS.md is assembled from these dumps).
+ */
+
+#ifndef WB_COMMON_TABLE_HH
+#define WB_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wb
+{
+
+/** Column-aligned plain-text table with optional title and notes. */
+class Table
+{
+  public:
+    /** @param title heading printed above the table. */
+    explicit Table(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    Table &header(std::vector<std::string> cols);
+
+    /** Append a row of pre-formatted cells. */
+    Table &row(std::vector<std::string> cells);
+
+    /** Append a footnote line printed under the table. */
+    Table &note(std::string text);
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a ratio in [0,1] as a percentage string like "94.3%". */
+    static std::string pct(double ratio, int precision = 1);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+/** Print a section banner ("== title ==") used between bench phases. */
+void banner(std::ostream &os, const std::string &title);
+
+} // namespace wb
+
+#endif // WB_COMMON_TABLE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every wbchan subsystem.
+ */
+
+#ifndef WB_COMMON_TYPES_HH
+#define WB_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace wb
+{
+
+/** Virtual time in CPU cycles. All simulator time is expressed in cycles. */
+using Cycles = std::uint64_t;
+
+/** Signed cycle delta, used for drift/jitter arithmetic. */
+using CycleDelta = std::int64_t;
+
+/** A (virtual or physical) byte address inside a simulated address space. */
+using Addr = std::uint64_t;
+
+/**
+ * Identifier of a simulated address space. Two processes with different
+ * AddressSpaceIds share no cache lines unless they map a shared segment.
+ */
+using AddressSpaceId = std::uint32_t;
+
+/** Hardware-thread (SMT context) identifier on the simulated core. */
+using ThreadId = std::uint32_t;
+
+/** Size of a cache line in bytes, fixed at 64 as on all modeled CPUs. */
+inline constexpr Addr lineBytes = 64;
+
+/** log2(lineBytes), the number of block-offset address bits. */
+inline constexpr unsigned lineShift = 6;
+
+} // namespace wb
+
+#endif // WB_COMMON_TYPES_HH

@@ -1,0 +1,213 @@
+#include "hw/channel_hw.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "common/edit_distance.hh"
+#include "hw/tsc_hw.hh"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace wb::hw
+{
+
+namespace
+{
+
+/** Pin the calling thread to @p cpu. @return success. */
+bool
+pinSelf(int cpu)
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+/** Carve `count` lines mapping to `targetSet` out of `storage`. */
+std::vector<std::uint8_t *>
+carveLines(std::vector<std::uint8_t> &storage, unsigned sets,
+           unsigned count, unsigned targetSet)
+{
+    const std::size_t way = static_cast<std::size_t>(sets) * 64;
+    storage.assign(way * (count + 2) + 4096, 0);
+    auto base = reinterpret_cast<std::uintptr_t>(storage.data());
+    const std::uintptr_t aligned = (base + way - 1) / way * way;
+    std::vector<std::uint8_t *> lines;
+    for (unsigned k = 0; k < count; ++k) {
+        lines.push_back(reinterpret_cast<std::uint8_t *>(
+            aligned + static_cast<std::size_t>(k) * way +
+            static_cast<std::size_t>(targetSet) * 64));
+    }
+    return lines;
+}
+
+/** Random-order linked list over the lines; returns the head. */
+std::uint8_t *
+buildChain(std::vector<std::uint8_t *> lines, std::mt19937_64 &rng)
+{
+    std::shuffle(lines.begin(), lines.end(), rng);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i)
+        *reinterpret_cast<std::uint8_t **>(lines[i]) = lines[i + 1];
+    *reinterpret_cast<std::uint8_t **>(lines.back()) = nullptr;
+    return lines.front();
+}
+
+/** Timed dependent-load traversal (paper Fig. 3). */
+inline std::uint64_t
+timedChase(std::uint8_t *head)
+{
+    const std::uint64_t t0 = rdtscp();
+    const std::uint8_t *p = head;
+    while (p != nullptr)
+        p = *reinterpret_cast<std::uint8_t *const *>(p);
+    const std::uint64_t t1 = rdtscp();
+    return t1 - t0;
+}
+
+} // namespace
+
+int
+siblingOf(int cpu)
+{
+    std::ostringstream path;
+    path << "/sys/devices/system/cpu/cpu" << cpu
+         << "/topology/thread_siblings_list";
+    std::ifstream in(path.str());
+    if (!in)
+        return -1;
+    std::string list;
+    std::getline(in, list);
+    // Formats like "0,12" or "0-1"; pick the entry that is not `cpu`.
+    for (char &c : list)
+        if (c == ',' || c == '-')
+            c = ' ';
+    std::istringstream parse(list);
+    int id;
+    while (parse >> id)
+        if (id != cpu)
+            return id;
+    return -1;
+}
+
+HwChannelResult
+runHwChannel(const HwChannelConfig &cfg, const std::vector<bool> &bits)
+{
+    HwChannelResult res;
+    if (!available() || bits.empty())
+        return res;
+    if (std::thread::hardware_concurrency() < 2) {
+        res.note = "fewer than two logical CPUs";
+        return res;
+    }
+    res.supported = true;
+    res.senderCpu = cfg.senderCpu;
+    res.receiverCpu =
+        cfg.receiverCpu >= 0 ? cfg.receiverCpu : siblingOf(cfg.senderCpu);
+    if (res.receiverCpu < 0) {
+        res.receiverCpu = cfg.senderCpu + 1;
+        res.note += "[no SMT sibling found; using adjacent CPU "
+                    "(expect noise)] ";
+    }
+
+    std::mt19937_64 rng(0xbadc0de);
+
+    // Sender pool: its own lines mapping to the target set.
+    std::vector<std::uint8_t> senderStorage;
+    auto senderLines = carveLines(senderStorage, cfg.l1Sets,
+                                  cfg.l1Ways, cfg.targetSet);
+
+    // Receiver pools: alternating replacement sets A/B.
+    std::vector<std::uint8_t> storageA, storageB;
+    auto linesA = carveLines(storageA, cfg.l1Sets, cfg.replacementSize,
+                             cfg.targetSet);
+    auto linesB = carveLines(storageB, cfg.l1Sets, cfg.replacementSize,
+                             cfg.targetSet);
+    std::uint8_t *chainA = buildChain(linesA, rng);
+    std::uint8_t *chainB = buildChain(linesB, rng);
+
+    const std::size_t slots = bits.size();
+    std::vector<double> lat(slots + 16, 0.0);
+
+    std::atomic<bool> go{false};
+    std::atomic<bool> senderPinned{true}, receiverPinned{true};
+
+    std::thread sender([&]() {
+        if (!pinSelf(res.senderCpu))
+            senderPinned = false;
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        std::uint64_t tlast = rdtscp();
+        for (bool bit : bits) {
+            if (bit) {
+                // Algorithm 1: put d lines in the dirty state.
+                for (unsigned k = 0; k < cfg.d; ++k)
+                    *(senderLines[k] + 32) = static_cast<std::uint8_t>(k);
+            }
+            while (rdtscp() < tlast + cfg.tsCycles) {
+            }
+            tlast = rdtscp();
+        }
+    });
+
+    std::thread receiver([&]() {
+        if (!pinSelf(res.receiverCpu))
+            receiverPinned = false;
+        // Warm both replacement sets.
+        for (int sweep = 0; sweep < 4; ++sweep) {
+            timedChase(chainA);
+            timedChase(chainB);
+        }
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        std::uint64_t tlast = rdtscp();
+        bool useA = true;
+        for (auto &sample : lat) {
+            while (rdtscp() < tlast + cfg.tsCycles) {
+            }
+            tlast = rdtscp();
+            // Algorithm 2: timed replacement, alternating sets.
+            sample = static_cast<double>(
+                timedChase(useA ? chainA : chainB));
+            useA = !useA;
+        }
+    });
+
+    go.store(true, std::memory_order_release);
+    sender.join();
+    receiver.join();
+
+    if (!senderPinned || !receiverPinned)
+        res.note += "[affinity pinning failed] ";
+
+    res.latencies = lat;
+
+    // Threshold: midpoint between the lower and upper quartiles —
+    // robust without a separate calibration run.
+    std::vector<double> sorted = lat;
+    std::sort(sorted.begin(), sorted.end());
+    const double lo = sorted[sorted.size() / 4];
+    const double hi = sorted[sorted.size() * 3 / 4];
+    res.threshold = (lo + hi) / 2.0;
+
+    std::vector<bool> decoded;
+    decoded.reserve(lat.size());
+    for (double v : lat)
+        decoded.push_back(v > res.threshold);
+    res.ber = bitErrorRate(bits, decoded);
+    return res;
+}
+
+} // namespace wb::hw

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Real-hardware WB covert channel proof of concept: a near-verbatim
+ * port of the paper's sender/receiver (Algorithms 1-3) to two threads
+ * pinned to a physical core's hyper-thread siblings.
+ *
+ * The paper deploys sender and receiver as two *processes* pinned with
+ * sched_setaffinity; this PoC uses two threads of one process for a
+ * self-contained binary (the cache-state mechanics are identical —
+ * the parties still share no data lines). Results are only meaningful
+ * when the two logical CPUs are SMT siblings sharing an L1D; the
+ * harness reports the CPUs it used so the caller can judge.
+ */
+
+#ifndef WB_HW_CHANNEL_HW_HH
+#define WB_HW_CHANNEL_HW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wb::hw
+{
+
+/** Hardware channel configuration. */
+struct HwChannelConfig
+{
+    unsigned targetSet = 13;       //!< agreed L1 set
+    unsigned l1Sets = 64;
+    unsigned l1Ways = 8;
+    unsigned replacementSize = 10;
+    std::uint64_t tsCycles = 20000; //!< slot period (host TSC cycles)
+    unsigned d = 8;                 //!< dirty lines per 1-bit
+    int senderCpu = 0;              //!< logical CPU for the sender
+    int receiverCpu = -1;           //!< -1: pick senderCpu's sibling
+};
+
+/** Hardware channel outcome. */
+struct HwChannelResult
+{
+    bool supported = false; //!< x86-64 build with >= 2 CPUs
+    int senderCpu = -1;
+    int receiverCpu = -1;
+    double ber = 1.0;           //!< edit-distance BER over the payload
+    double threshold = 0.0;     //!< latency threshold used
+    std::vector<double> latencies; //!< receiver observations
+    std::string note;           //!< diagnostics (affinity failures...)
+};
+
+/**
+ * Transmit @p bits once over the live L1D of this machine.
+ * Returns supported=false on non-x86 builds.
+ */
+HwChannelResult runHwChannel(const HwChannelConfig &cfg,
+                             const std::vector<bool> &bits);
+
+/** Sibling of @p cpu per /sys topology, or -1 when unknown. */
+int siblingOf(int cpu);
+
+} // namespace wb::hw
+
+#endif // WB_HW_CHANNEL_HW_HH

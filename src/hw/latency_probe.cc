@@ -1,0 +1,149 @@
+#include "hw/latency_probe.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/tsc_hw.hh"
+
+namespace wb::hw
+{
+
+namespace
+{
+
+/**
+ * A buffer large enough to carve many distinct same-set lines from.
+ * Lines mapping to L1 set s are at offsets s*64 + k*(sets*64).
+ */
+class SetBuffer
+{
+  public:
+    SetBuffer(unsigned sets, unsigned count, unsigned targetSet)
+    {
+        const std::size_t way = static_cast<std::size_t>(sets) * 64;
+        storage_.resize(way * (count + 2) + 4096, 0);
+        // Align the base to the way size so set indices are exact.
+        auto base = reinterpret_cast<std::uintptr_t>(storage_.data());
+        const std::uintptr_t aligned = (base + way - 1) / way * way;
+        for (unsigned k = 0; k < count; ++k) {
+            lines_.push_back(reinterpret_cast<std::uint8_t *>(
+                aligned + static_cast<std::size_t>(k) * way +
+                static_cast<std::size_t>(targetSet) * 64));
+        }
+    }
+
+    /** k-th line mapping to the target set. */
+    std::uint8_t *line(unsigned k) { return lines_.at(k); }
+
+    /** All carved lines. */
+    const std::vector<std::uint8_t *> &lines() const { return lines_; }
+
+  private:
+    std::vector<std::uint8_t> storage_;
+    std::vector<std::uint8_t *> lines_;
+};
+
+/**
+ * Build a pointer-chase chain over the given lines in a random order:
+ * each line's first 8 bytes hold the address of the next line.
+ * Returns the head. (Paper Fig. 3's linked list.)
+ */
+std::uint8_t *
+buildChain(std::vector<std::uint8_t *> lines, std::mt19937_64 &rng)
+{
+    std::shuffle(lines.begin(), lines.end(), rng);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i)
+        *reinterpret_cast<std::uint8_t **>(lines[i]) = lines[i + 1];
+    *reinterpret_cast<std::uint8_t **>(lines.back()) = nullptr;
+    return lines.front();
+}
+
+/** Timed traversal of a chain (dependent loads, rdtscp brackets). */
+inline std::uint64_t
+timedChase(std::uint8_t *head)
+{
+    const std::uint64_t t0 = rdtscp();
+    const std::uint8_t *p = head;
+    while (p != nullptr)
+        p = *reinterpret_cast<std::uint8_t *const *>(p);
+    const std::uint64_t t1 = rdtscp();
+    return t1 - t0;
+}
+
+} // namespace
+
+ProbeResult
+runLatencyProbe(const ProbeConfig &cfg)
+{
+    ProbeResult res;
+    if (!available())
+        return res;
+    res.supported = true;
+
+    std::mt19937_64 rng(0xc0ffee);
+
+    // --- L1 hit latency: hammer one hot line. ---
+    {
+        SetBuffer buf(cfg.l1Sets, 1, cfg.targetSet);
+        volatile std::uint8_t *hot = buf.line(0);
+        (void)*hot;
+        for (unsigned i = 0; i < cfg.measurements; ++i) {
+            const std::uint64_t t0 = rdtscp();
+            (void)*hot;
+            const std::uint64_t t1 = rdtscp();
+            res.l1Hit.add(static_cast<double>(t1 - t0));
+        }
+    }
+
+    // --- Replacement-set chase with d dirty lines in the set. ---
+    // Pools: dirty lines (tags 0..7), replacement sets A and B.
+    SetBuffer dirtyBuf(cfg.l1Sets, cfg.l1Ways, cfg.targetSet);
+    SetBuffer bufA(cfg.l1Sets, cfg.replacementSize, cfg.targetSet);
+    SetBuffer bufB(cfg.l1Sets, cfg.replacementSize, cfg.targetSet);
+
+    // Build each chain once (writing the links dirties the lines, so
+    // it must happen before warm-up, exactly as the paper's receiver
+    // sets its list up once and then only loads).
+    std::uint8_t *chainA = buildChain(bufA.lines(), rng);
+    std::uint8_t *chainB = buildChain(bufB.lines(), rng);
+
+    for (unsigned d = 0; d <= 8 && d <= cfg.l1Ways; ++d) {
+        Samples &samples = res.chaseByDirty[d];
+        bool useA = true;
+        // Warm both replacement sets (and drain the link-write dirt).
+        for (int sweep = 0; sweep < 4; ++sweep) {
+            timedChase(chainA);
+            timedChase(chainB);
+        }
+        for (unsigned i = 0; i < cfg.measurements; ++i) {
+            // Sender phase: dirty d lines.
+            for (unsigned k = 0; k < d; ++k)
+                *(dirtyBuf.line(k) + 32) = static_cast<std::uint8_t>(i);
+            mfence();
+            // Receiver phase: timed chase of the replacement set.
+            samples.add(static_cast<double>(
+                timedChase(useA ? chainA : chainB)));
+            useA = !useA;
+        }
+    }
+
+    // Least-squares slope of median latency vs d.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double n = 9.0;
+    for (unsigned d = 0; d <= 8; ++d) {
+        const double x = d;
+        const double y = res.chaseByDirty[d].median();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    res.perLinePenalty = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    return res;
+}
+
+} // namespace wb::hw

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Host-machine latency probe: measures this machine's equivalents of
+ * paper Table IV (L1 hit; L2 hit replacing a clean L1 line; L2 hit
+ * replacing a dirty L1 line) with the paper's own method — a randomly
+ * permuted pointer chase over lines mapping to one L1 set, bracketed
+ * by rdtscp (Fig. 3 verbatim, ported from C to C++).
+ *
+ * Single-process and self-contained: no SMT co-location needed, so it
+ * produces meaningful numbers on any x86-64 Linux host, container or
+ * bare metal. This is the repro=5 "same intrinsics" port; the
+ * simulator remains the source of all bench/test numbers.
+ */
+
+#ifndef WB_HW_LATENCY_PROBE_HH
+#define WB_HW_LATENCY_PROBE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace wb::hw
+{
+
+/** Probe configuration. */
+struct ProbeConfig
+{
+    unsigned l1Sets = 64;          //!< assumed L1 geometry
+    unsigned l1Ways = 8;
+    unsigned targetSet = 13;       //!< probed set
+    unsigned replacementSize = 10; //!< lines per replacement set
+    unsigned measurements = 1000;  //!< samples per configuration
+};
+
+/** Probe outcome: latency distributions in host TSC cycles. */
+struct ProbeResult
+{
+    bool supported = false;    //!< false on non-x86 builds
+    Samples l1Hit;             //!< repeated access to a hot line
+    Samples chaseByDirty[9];   //!< replacement-set chase for d = 0..8
+    double perLinePenalty = 0; //!< fitted extra cycles per dirty line
+};
+
+/**
+ * Run the probe on the host. Allocates a few MiB, builds same-set
+ * line pools from virtual addresses (the L1 is virtually indexed),
+ * and measures. Returns supported=false without touching timing
+ * hardware when the build target is not x86-64.
+ */
+ProbeResult runLatencyProbe(const ProbeConfig &cfg);
+
+} // namespace wb::hw
+
+#endif // WB_HW_LATENCY_PROBE_HH

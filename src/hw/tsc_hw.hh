@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Real-hardware timing primitives: the same rdtscp/lfence intrinsics
+ * the paper's measurement code (Fig. 3) uses. Compiles to working code
+ * on x86-64 and to graceful "unsupported" stubs elsewhere, so the rest
+ * of the library never needs an #ifdef.
+ */
+
+#ifndef WB_HW_TSC_HW_HH
+#define WB_HW_TSC_HW_HH
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define WB_HW_X86 1
+#include <x86intrin.h>
+#else
+#define WB_HW_X86 0
+#endif
+
+namespace wb::hw
+{
+
+/** True when real-hardware timing is available on this build. */
+constexpr bool
+available()
+{
+    return WB_HW_X86 != 0;
+}
+
+/** Serialized timestamp read (rdtscp). Returns 0 when unavailable. */
+inline std::uint64_t
+rdtscp()
+{
+#if WB_HW_X86
+    unsigned aux;
+    return __rdtscp(&aux);
+#else
+    return 0;
+#endif
+}
+
+/** Fenced timestamp read (lfence; rdtsc). Returns 0 when unavailable. */
+inline std::uint64_t
+fencedTsc()
+{
+#if WB_HW_X86
+    _mm_lfence();
+    return __rdtsc();
+#else
+    return 0;
+#endif
+}
+
+/** clflush the line containing @p p (no-op when unavailable). */
+inline void
+clflush(const void *p)
+{
+#if WB_HW_X86
+    _mm_clflush(p);
+#else
+    (void)p;
+#endif
+}
+
+/** Full memory fence. */
+inline void
+mfence()
+{
+#if WB_HW_X86
+    _mm_mfence();
+#endif
+}
+
+} // namespace wb::hw
+
+#endif // WB_HW_TSC_HW_HH

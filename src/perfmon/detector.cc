@@ -1,0 +1,180 @@
+#include "perfmon/detector.hh"
+
+#include <memory>
+
+#include "baselines/lru_channel.hh"
+#include "chan/protocol.hh"
+#include "chan/receiver.hh"
+#include "chan/sender.hh"
+#include "chan/set_mapping.hh"
+#include "common/bitvec.hh"
+#include "perfmon/workloads.hh"
+#include "sim/smt_core.hh"
+
+namespace wb::perfmon
+{
+
+namespace
+{
+
+/** A process that only busy-waits (periodic wakeups, no data work). */
+class Spinner : public sim::Program
+{
+  public:
+    explicit Spinner(Cycles period) : period_(period) {}
+
+    std::optional<sim::MemOp>
+    next(sim::ProcView &) override
+    {
+        if (!started_) {
+            started_ = true;
+            return sim::MemOp::tscRead();
+        }
+        return sim::MemOp::spinUntil(tlast_ + period_);
+    }
+
+    void
+    onResult(const sim::MemOp &, const sim::OpResult &res,
+             sim::ProcView &) override
+    {
+        tlast_ = res.tsc;
+    }
+
+  private:
+    Cycles period_;
+    Cycles tlast_ = 0;
+    bool started_ = false;
+};
+
+} // namespace
+
+std::string
+workloadName(Workload w)
+{
+    switch (w) {
+      case Workload::Idle:
+        return "idle spinners";
+      case Workload::WbChannel:
+        return "WB channel (d=1)";
+      case Workload::WbChannelD8:
+        return "WB channel (d=8)";
+      case Workload::LruChannel:
+        return "LRU channel";
+      case Workload::CompilerPair:
+        return "2x compiler (benign)";
+      case Workload::Streaming:
+        return "streaming (benign)";
+    }
+    return "?";
+}
+
+std::vector<WindowFeatures>
+collectTrace(Workload workload, unsigned windows, Cycles windowCycles,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    sim::HierarchyParams hp = sim::xeonE5_2650Params();
+    sim::NoiseModel noise;
+    sim::Hierarchy hierarchy(hp, &rng);
+    sim::SmtCore core(hierarchy, noise, rng);
+    const auto &layout = hierarchy.l1().layout();
+    const Cycles ts = 11000;
+
+    // Owning storage for whichever programs the scenario needs.
+    std::vector<std::unique_ptr<sim::Program>> programs;
+    Rng bitRng = rng.split();
+    const BitVec bits = randomBits(4096, bitRng);
+
+    auto addWbPair = [&](unsigned d) {
+        const auto sets = chan::makeChannelSets(layout, 13, hp.l1.ways,
+                                                10);
+        std::vector<unsigned> levels;
+        for (bool b : bits)
+            levels.push_back(b ? d : 0);
+        programs.push_back(std::make_unique<chan::SenderProgram>(
+            sets.senderLines, levels, ts));
+        core.addThread(programs.back().get(), sim::AddressSpace(1), 0);
+        programs.push_back(std::make_unique<chan::ReceiverProgram>(
+            sets.replacementA, sets.replacementB, ts, bits.size() + 64));
+        core.addThread(programs.back().get(), sim::AddressSpace(2), 0);
+    };
+
+    switch (workload) {
+      case Workload::Idle:
+        programs.push_back(std::make_unique<Spinner>(ts));
+        core.addThread(programs.back().get(), sim::AddressSpace(1), 0);
+        programs.push_back(std::make_unique<Spinner>(ts));
+        core.addThread(programs.back().get(), sim::AddressSpace(2), 0);
+        break;
+      case Workload::WbChannel:
+        addWbPair(1);
+        break;
+      case Workload::WbChannelD8:
+        addWbPair(8);
+        break;
+      case Workload::LruChannel: {
+        auto rxLines = chan::linesForSet(layout, 13, hp.l1.ways, 0x100);
+        auto txLines = chan::linesForSet(layout, 13, 1, 1);
+        programs.push_back(std::make_unique<baselines::LruSender>(
+            txLines[0], bits, ts, /*modulateCycles=*/0));
+        core.addThread(programs.back().get(), sim::AddressSpace(1), 0);
+        programs.push_back(std::make_unique<baselines::LruReceiver>(
+            rxLines, ts, bits.size() + 64));
+        core.addThread(programs.back().get(), sim::AddressSpace(2), 0);
+        break;
+      }
+      case Workload::CompilerPair:
+        programs.push_back(std::make_unique<CompilerWorkload>());
+        core.addThread(programs.back().get(), sim::AddressSpace(1), 0);
+        programs.push_back(std::make_unique<CompilerWorkload>());
+        core.addThread(programs.back().get(), sim::AddressSpace(2), 0);
+        break;
+      case Workload::Streaming:
+        programs.push_back(std::make_unique<StreamingWorkload>());
+        core.addThread(programs.back().get(), sim::AddressSpace(1), 0);
+        programs.push_back(std::make_unique<Spinner>(ts));
+        core.addThread(programs.back().get(), sim::AddressSpace(2), 0);
+        break;
+    }
+
+    std::vector<WindowFeatures> out;
+    out.reserve(windows);
+    sim::PerfCounters prev = hierarchy.totalCounters();
+    for (unsigned w = 1; w <= windows; ++w) {
+        core.run(Cycles(w) * windowCycles);
+        const sim::PerfCounters now = hierarchy.totalCounters();
+        WindowFeatures f;
+        const double kc = double(windowCycles) / 1000.0;
+        f.l1MissPerKcycle = double(now.l1Misses - prev.l1Misses) / kc;
+        f.writebacksPerKcycle =
+            double(now.l1DirtyWritebacks - prev.l1DirtyWritebacks) / kc;
+        f.l2AccessPerKcycle =
+            double(now.l2Accesses - prev.l2Accesses) / kc;
+        out.push_back(f);
+        prev = now;
+    }
+    return out;
+}
+
+std::vector<DetectionRow>
+thresholdDetector(const std::vector<std::vector<WindowFeatures>> &traces,
+                  const std::vector<Workload> &workloads,
+                  double threshold)
+{
+    std::vector<DetectionRow> rows;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        DetectionRow row;
+        row.workload = workloads.at(i);
+        unsigned alarms = 0;
+        for (const auto &f : traces[i])
+            if (f.writebacksPerKcycle > threshold)
+                ++alarms;
+        row.alarmRate = traces[i].empty()
+            ? 0.0
+            : double(alarms) / double(traces[i].size());
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace wb::perfmon

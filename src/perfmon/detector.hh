@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A perf-counter-based timing-channel detector, in the style the paper
+ * cites (CloudRadar, counter-ML safeguards) and argues against in
+ * Sec. VII: "if a victim wants to use performance counters to detect
+ * possible time-based channels, the WB channel is difficult to
+ * distinguish from contention due to benign programs."
+ *
+ * The detector samples a core's global counters in fixed windows and
+ * scores each window by the features a WB channel would plausibly
+ * shift: L1 miss rate and dirty write-back rate. The experiment sweeps
+ * the alarm threshold and reports detection/false-positive trade-offs
+ * for the WB channel, the (louder) LRU channel, and benign workloads.
+ */
+
+#ifndef WB_PERFMON_DETECTOR_HH
+#define WB_PERFMON_DETECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/hierarchy.hh"
+
+namespace wb::perfmon
+{
+
+/** One observation window's features. */
+struct WindowFeatures
+{
+    double l1MissPerKcycle = 0.0;
+    double writebacksPerKcycle = 0.0;
+    double l2AccessPerKcycle = 0.0;
+};
+
+/** Scenario the detector observes. */
+enum class Workload
+{
+    Idle,          //!< two spinning processes, no channel
+    WbChannel,     //!< live WB covert channel (binary d=1)
+    WbChannelD8,   //!< WB channel at d=8 (louder encode)
+    LruChannel,    //!< LRU covert channel (continuous modulation)
+    CompilerPair,  //!< two benign compiler workloads
+    Streaming      //!< benign streaming workload
+};
+
+/** Human-readable workload name. */
+std::string workloadName(Workload w);
+
+/**
+ * Run @p workload for `windows` windows of `windowCycles` cycles each
+ * and return per-window global core features.
+ */
+std::vector<WindowFeatures> collectTrace(Workload workload,
+                                         unsigned windows,
+                                         Cycles windowCycles,
+                                         std::uint64_t seed);
+
+/** Detection outcome for one workload at one threshold. */
+struct DetectionRow
+{
+    Workload workload;
+    double alarmRate = 0.0; //!< fraction of windows above threshold
+};
+
+/**
+ * Score traces with a write-back-rate threshold detector.
+ *
+ * @param traces per-workload window features
+ * @param workloads workload label per trace
+ * @param threshold alarm when writebacksPerKcycle exceeds this
+ */
+std::vector<DetectionRow>
+thresholdDetector(const std::vector<std::vector<WindowFeatures>> &traces,
+                  const std::vector<Workload> &workloads,
+                  double threshold);
+
+} // namespace wb::perfmon
+
+#endif // WB_PERFMON_DETECTOR_HH

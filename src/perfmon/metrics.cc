@@ -1,0 +1,32 @@
+#include "perfmon/metrics.hh"
+
+namespace wb::perfmon
+{
+
+LoadFootprint
+loadFootprint(const sim::PerfCounters &ctr, Cycles elapsed, double ghz)
+{
+    LoadFootprint fp;
+    if (elapsed == 0)
+        return fp;
+    const double seconds =
+        static_cast<double>(elapsed) / (ghz * 1e9);
+    fp.l1PerSec =
+        static_cast<double>(ctr.l1LoadsWithSpin() + ctr.stores) / seconds;
+    fp.l2PerSec = static_cast<double>(ctr.l2Accesses) / seconds;
+    fp.llcPerSec = static_cast<double>(ctr.llcAccesses) / seconds;
+    fp.totalPerSec = fp.l1PerSec + fp.l2PerSec + fp.llcPerSec;
+    return fp;
+}
+
+MissProfile
+missProfile(const sim::PerfCounters &ctr)
+{
+    MissProfile mp;
+    mp.l1d = ctr.l1MissRateWithSpin();
+    mp.l2 = ctr.l2MissRate();
+    mp.llc = ctr.llcMissRate();
+    return mp;
+}
+
+} // namespace wb::perfmon

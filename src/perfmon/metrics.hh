@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Perf-style derived metrics (paper Tables VI and VII): cache-load
+ * throughput per unit time and per-level miss rates for a process, as
+ * the Linux perf tool would report them — i.e. including the L1 loads
+ * retired by busy-wait loops.
+ */
+
+#ifndef WB_PERFMON_METRICS_HH
+#define WB_PERFMON_METRICS_HH
+
+#include "common/types.hh"
+#include "sim/hierarchy.hh"
+
+namespace wb::perfmon
+{
+
+/** Per-level load counts normalized to events per second (Table VI). */
+struct LoadFootprint
+{
+    double l1PerSec = 0.0;
+    double l2PerSec = 0.0;
+    double llcPerSec = 0.0;
+    double totalPerSec = 0.0;
+};
+
+/**
+ * Normalize a process' counters over @p elapsed cycles at @p ghz.
+ * L1 loads include spin-loop loads (perf counts them as retired
+ * loads); L2/LLC counts are that process' accesses to those levels.
+ */
+LoadFootprint loadFootprint(const sim::PerfCounters &ctr, Cycles elapsed,
+                            double ghz);
+
+/** Per-level miss rates (Table VII rows). */
+struct MissProfile
+{
+    double l1d = 0.0; //!< misses / (demand refs + spin loads)
+    double l2 = 0.0;  //!< L2 misses / L2 accesses
+    double llc = 0.0; //!< LLC misses / LLC accesses
+};
+
+/** Compute the Table VII-style miss profile for one process. */
+MissProfile missProfile(const sim::PerfCounters &ctr);
+
+} // namespace wb::perfmon
+
+#endif // WB_PERFMON_METRICS_HH

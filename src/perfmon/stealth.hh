@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Stealth experiments (paper Sec. VII, Tables VI and VII): the WB
+ * sender's perf-visible footprint compared with the LRU channel's
+ * sender and with benign co-runners.
+ */
+
+#ifndef WB_PERFMON_STEALTH_HH
+#define WB_PERFMON_STEALTH_HH
+
+#include <cstdint>
+
+#include "perfmon/metrics.hh"
+
+namespace wb::perfmon
+{
+
+/** Table VI: sender load footprints of the WB and LRU channels. */
+struct FootprintComparison
+{
+    LoadFootprint wb;   //!< WB sender (binary, one store per bit)
+    LoadFootprint lru;  //!< LRU sender (whole-slot modulation)
+    double ratio = 0.0; //!< wb.total / lru.total (paper: 59.8%)
+};
+
+/**
+ * Run both channels at the given period and compare sender footprints.
+ * @param ts slot period in cycles (paper Table VI uses Ts = 11000)
+ * @param frames frames transmitted per channel
+ * @param seed run seed
+ */
+FootprintComparison compareSenderFootprints(Cycles ts, unsigned frames,
+                                            std::uint64_t seed);
+
+/** Which co-runner shares the core with the WB sender (Table VII). */
+enum class CoRunner
+{
+    WbReceiver, //!< the real WB channel receiver
+    Compiler,   //!< benign g++-like workload
+    None        //!< sender alone on the core
+};
+
+/**
+ * Table VII: the WB sender's miss profile under a given co-runner.
+ *
+ * @param coRunner who shares the physical core
+ * @param multiBit use the 2-bit {0,3,5,8} encoding instead of binary
+ * @param ts slot period
+ * @param bits number of message bits the sender modulates
+ * @param seed run seed
+ */
+MissProfile senderMissProfile(CoRunner coRunner, bool multiBit, Cycles ts,
+                              unsigned bits, std::uint64_t seed);
+
+} // namespace wb::perfmon
+
+#endif // WB_PERFMON_STEALTH_HH

@@ -1,0 +1,60 @@
+#include "perfmon/workloads.hh"
+
+namespace wb::perfmon
+{
+
+namespace
+{
+
+/** Cheap deterministic per-program PRNG step (xorshift64). */
+std::uint64_t
+xorshift(std::uint64_t &s)
+{
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+}
+
+} // namespace
+
+CompilerWorkload::CompilerWorkload() : CompilerWorkload(Params{})
+{
+}
+
+CompilerWorkload::CompilerWorkload(const Params &params) : params_(params)
+{
+}
+
+std::optional<sim::MemOp>
+CompilerWorkload::next(sim::ProcView &)
+{
+    if (walking_) {
+        const std::uint64_t r = xorshift(walkState_);
+        const Addr va =
+            0x1000000 + (r % params_.walkLines) * lineBytes;
+        const bool store =
+            (static_cast<double>((r >> 32) & 0xffff) / 65536.0) <
+            params_.storeFraction;
+        return store ? sim::MemOp::store(va) : sim::MemOp::load(va);
+    }
+    const Addr va =
+        0x2000000 + (streamPos_ % params_.streamLines) * lineBytes;
+    ++streamPos_;
+    return sim::MemOp::pipelinedLoad(va);
+}
+
+void
+CompilerWorkload::onResult(const sim::MemOp &, const sim::OpResult &,
+                           sim::ProcView &)
+{
+    ++burstPos_;
+    const unsigned limit =
+        walking_ ? params_.walkBurst : params_.streamBurst;
+    if (burstPos_ >= limit) {
+        burstPos_ = 0;
+        walking_ = !walking_;
+    }
+}
+
+} // namespace wb::perfmon

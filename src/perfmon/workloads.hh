@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Benign co-runner workloads for the stealth experiments (paper
+ * Table VII compares the WB sender against `sender & g++`).
+ *
+ * CompilerWorkload approximates a compiler's cache behaviour: a
+ * pointer-heavy random walk over an AST-sized working set interleaved
+ * with streaming passes over a larger buffer, plus a store share. Its
+ * working set straddles L1 and L2 so a co-scheduled process sees real
+ * L1/L2 contention.
+ */
+
+#ifndef WB_PERFMON_WORKLOADS_HH
+#define WB_PERFMON_WORKLOADS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/smt_core.hh"
+
+namespace wb::perfmon
+{
+
+/** Compiler-like mixed workload (runs forever; stopped by horizon). */
+class CompilerWorkload : public sim::Program
+{
+  public:
+    /**
+     * Workload shape parameters. The default working set (96 KiB walk
+     * + 128 KiB stream) exceeds the L1 by ~7x but stays L2-resident,
+     * so the workload runs at L2 speed and exerts heavy, continuous
+     * L1 pressure on a co-scheduled hyper-thread — the behaviour that
+     * makes a benign compiler look worse than the WB receiver in the
+     * paper's Table VII comparison.
+     */
+    struct Params
+    {
+        unsigned walkLines = 1536;    //!< AST walk working set (96 KiB)
+        unsigned streamLines = 4096;  //!< streaming buffer (256 KiB)
+        unsigned walkBurst = 768;     //!< walk accesses per phase
+        unsigned streamBurst = 256;   //!< stream accesses per phase
+        double storeFraction = 0.25;  //!< stores among walk accesses
+    };
+
+    /** Construct with default parameters. */
+    CompilerWorkload();
+
+    /** Construct with explicit parameters. */
+    explicit CompilerWorkload(const Params &params);
+
+    std::optional<sim::MemOp> next(sim::ProcView &view) override;
+    void onResult(const sim::MemOp &op, const sim::OpResult &res,
+                  sim::ProcView &view) override;
+
+  private:
+    Params params_;
+    bool walking_ = true;
+    unsigned burstPos_ = 0;
+    Addr streamPos_ = 0;
+    std::uint64_t walkState_ = 0x1234567;
+};
+
+/** Pure streaming workload (memory bandwidth bound). */
+class StreamingWorkload : public sim::Program
+{
+  public:
+    /** @param lines buffer size in cache lines. */
+    explicit StreamingWorkload(unsigned lines = 16384) : lines_(lines) {}
+
+    std::optional<sim::MemOp>
+    next(sim::ProcView &) override
+    {
+        const Addr va = 0x4000000 + (pos_ % lines_) * lineBytes;
+        ++pos_;
+        return sim::MemOp::pipelinedLoad(va);
+    }
+
+    void onResult(const sim::MemOp &, const sim::OpResult &,
+                  sim::ProcView &) override
+    {
+    }
+
+  private:
+    unsigned lines_;
+    Addr pos_ = 0;
+};
+
+} // namespace wb::perfmon
+
+#endif // WB_PERFMON_WORKLOADS_HH

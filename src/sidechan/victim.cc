@@ -1,0 +1,36 @@
+#include "sidechan/victim.hh"
+
+#include "chan/set_mapping.hh"
+#include "common/log.hh"
+
+namespace wb::sidechan
+{
+
+Victim::Victim(sim::Hierarchy &hierarchy, sim::AddressSpace space,
+               GadgetKind kind, unsigned setM, unsigned setN,
+               unsigned serialLines, const sim::NoiseModel &noise)
+    : hierarchy_(hierarchy), space_(space), kind_(kind),
+      serialLines_(serialLines == 0 ? 1 : serialLines), noise_(noise)
+{
+    const auto &layout = hierarchy.l1().layout();
+    linesM_ = chan::linesForSet(layout, setM, serialLines_,
+                                /*tagBase=*/0x40);
+    linesN_ = chan::linesForSet(layout, setN, serialLines_,
+                                /*tagBase=*/0x50);
+}
+
+Cycles
+Victim::run(bool secret)
+{
+    const std::vector<Addr> &lines = secret ? linesM_ : linesN_;
+    const bool isWrite = secret && kind_ == GadgetKind::StoreBranch;
+    Cycles total = 0;
+    for (Addr va : lines) {
+        const auto res =
+            hierarchy_.access(tid, space_.translate(va), isWrite);
+        total += res.latency + noise_.opOverhead;
+    }
+    return total;
+}
+
+} // namespace wb::sidechan

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Victim gadgets with secret-dependent memory behaviour (paper Fig. 9).
+ *
+ * Gadget (a): `if (secret) modify line0; else access line1;` — the
+ * secret decides whether a store dirties a line in cache set m.
+ *
+ * Gadget (b): `if (secret) access line0; else access line1;` — the
+ * secret decides which set a read-only load touches (line0 in set m,
+ * line1 in set n), as in table-lookup cryptography where the key is
+ * never written.
+ *
+ * Scenario 3 additionally needs each branch to touch several lines
+ * serially so the victim's own execution-time difference rises above
+ * call overhead noise (the paper found two serial lines per branch are
+ * required).
+ */
+
+#ifndef WB_SIDECHAN_VICTIM_HH
+#define WB_SIDECHAN_VICTIM_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/address.hh"
+#include "sim/hierarchy.hh"
+#include "sim/noise_model.hh"
+
+namespace wb::sidechan
+{
+
+/** Which Fig. 9 gadget the victim embodies. */
+enum class GadgetKind
+{
+    StoreBranch, //!< Fig. 9(a): the taken branch stores
+    LoadBranch   //!< Fig. 9(b): the taken branch only loads
+};
+
+/** A callable victim executing one secret-dependent gadget. */
+class Victim
+{
+  public:
+    /**
+     * @param hierarchy shared platform
+     * @param space the victim process' address space
+     * @param kind which gadget
+     * @param setM cache set of the secret=1 branch's line(s)
+     * @param setN cache set of the secret=0 branch's line(s)
+     * @param serialLines lines touched serially per branch (scenario 3)
+     * @param noise noise model (per-op overhead accounting)
+     */
+    Victim(sim::Hierarchy &hierarchy, sim::AddressSpace space,
+           GadgetKind kind, unsigned setM, unsigned setN,
+           unsigned serialLines, const sim::NoiseModel &noise);
+
+    /**
+     * Execute the gadget once.
+     * @param secret the secret bit
+     * @return the victim's own execution latency in cycles
+     */
+    Cycles run(bool secret);
+
+    /** The victim thread id on the hierarchy (for counters). */
+    static constexpr ThreadId tid = 3;
+
+  private:
+    sim::Hierarchy &hierarchy_;
+    sim::AddressSpace space_;
+    GadgetKind kind_;
+    unsigned serialLines_;
+    sim::NoiseModel noise_;
+    std::vector<Addr> linesM_; //!< secret=1 branch lines (set m)
+    std::vector<Addr> linesN_; //!< secret=0 branch lines (set n)
+};
+
+} // namespace wb::sidechan
+
+#endif // WB_SIDECHAN_VICTIM_HH

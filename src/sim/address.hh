@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Address decomposition and per-process address spaces.
+ *
+ * The simulated caches are physically tagged. Each simulated process owns
+ * an AddressSpace; private virtual addresses translate to disjoint
+ * physical ranges (so the sender and receiver share no cache lines, the
+ * paper's "no shared memory" property), while explicitly registered
+ * shared segments translate to a common physical range (used only by the
+ * Flush+Reload / Flush+Flush baselines).
+ *
+ * Translation is page-linear: the low pageBits of the virtual address are
+ * preserved, so set-index bits (bits 6..11 for a 64-set L1) survive
+ * translation exactly as on a VIPT L1 — a process can target a cache set
+ * purely from its virtual addresses, as the paper describes (Sec. IV).
+ */
+
+#ifndef WB_SIM_ADDRESS_HH
+#define WB_SIM_ADDRESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace wb::sim
+{
+
+/** Index/tag decomposition for one cache geometry. */
+class AddressLayout
+{
+  public:
+    /**
+     * @param numSets number of sets; must be a power of two
+     */
+    explicit AddressLayout(unsigned numSets) : numSets_(numSets)
+    {
+        if (numSets == 0 || (numSets & (numSets - 1)) != 0)
+            panicf("AddressLayout: numSets ", numSets, " not a power of 2");
+        unsigned n = numSets;
+        while (n >>= 1)
+            ++indexBits_;
+    }
+
+    /** Cache-line-granular address (drops the block offset). */
+    static Addr lineAddr(Addr addr) { return addr >> lineShift; }
+
+    /** Set index for a byte address. */
+    unsigned
+    setIndex(Addr addr) const
+    {
+        return static_cast<unsigned>(lineAddr(addr) & (numSets_ - 1));
+    }
+
+    /** Tag (everything above the index bits) for a byte address. */
+    Addr tag(Addr addr) const { return lineAddr(addr) >> indexBits_; }
+
+    /** Number of sets. */
+    unsigned numSets() const { return numSets_; }
+
+    /** Number of index bits. */
+    unsigned indexBits() const { return indexBits_; }
+
+    /**
+     * Reconstruct a byte address with the given set index and tag
+     * (inverse of setIndex/tag); used by set-mapping helpers.
+     */
+    Addr
+    compose(unsigned set, Addr tag) const
+    {
+        return ((tag << indexBits_) | set) << lineShift;
+    }
+
+  private:
+    unsigned numSets_;
+    unsigned indexBits_ = 0;
+};
+
+/** A registered shared-memory segment inside an AddressSpace. */
+struct SharedSegment
+{
+    Addr vaBase = 0;   //!< virtual base inside the owning process
+    Addr size = 0;     //!< segment size in bytes
+    Addr physBase = 0; //!< common physical base of the segment
+};
+
+/**
+ * One simulated process' address space: a linear private mapping plus
+ * optional shared segments.
+ */
+class AddressSpace
+{
+  public:
+    /** @param asid unique id of this process' private physical range. */
+    explicit AddressSpace(AddressSpaceId asid) : asid_(asid) {}
+
+    /** The address-space id. */
+    AddressSpaceId asid() const { return asid_; }
+
+    /**
+     * Map @p size bytes at virtual @p vaBase onto the shared physical
+     * range starting at @p physBase. Multiple processes mapping the same
+     * physBase share cache lines (Flush+Reload's precondition).
+     */
+    void
+    mapShared(Addr vaBase, Addr size, Addr physBase)
+    {
+        shared_.push_back({vaBase, size, physBase});
+    }
+
+    /** Translate a virtual byte address to a physical byte address. */
+    Addr
+    translate(Addr va) const
+    {
+        for (const auto &seg : shared_) {
+            if (va >= seg.vaBase && va < seg.vaBase + seg.size)
+                return sharedBase + seg.physBase + (va - seg.vaBase);
+        }
+        return (static_cast<Addr>(asid_) << privateShift) | (va & vaMask);
+    }
+
+    /** Physical bit region reserved for shared mappings. */
+    static constexpr Addr sharedBase = Addr(1) << 60;
+
+    /** Shift placing the asid above any private virtual address. */
+    static constexpr unsigned privateShift = 44;
+
+    /** Mask limiting private virtual addresses to 44 bits. */
+    static constexpr Addr vaMask = (Addr(1) << privateShift) - 1;
+
+  private:
+    AddressSpaceId asid_;
+    std::vector<SharedSegment> shared_;
+};
+
+} // namespace wb::sim
+
+#endif // WB_SIM_ADDRESS_HH

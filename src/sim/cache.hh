@@ -1,0 +1,199 @@
+/**
+ * @file
+ * A single set-associative, physically tagged cache level with
+ * write-back/write-through and allocate/no-allocate policies, per-line
+ * dirty bits and lock bits (PLcache), and per-thread way partitioning
+ * (NoMo/DAWG). This is the structure of paper Fig. 1.
+ */
+
+#ifndef WB_SIM_CACHE_HH
+#define WB_SIM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/address.hh"
+#include "sim/replacement.hh"
+
+namespace wb::sim
+{
+
+/** When modified data is propagated to the next level. */
+enum class WritePolicy
+{
+    WriteBack,   //!< dirty bit per line; write back on eviction
+    WriteThrough //!< every store is forwarded; lines never dirty
+};
+
+/** Whether a store miss allocates the line. */
+enum class AllocPolicy
+{
+    WriteAllocate,
+    NoWriteAllocate
+};
+
+/** Static configuration of one cache level. */
+struct CacheParams
+{
+    std::string name = "L1D";          //!< label used in stats/logs
+    std::size_t sizeBytes = 32 * 1024; //!< total capacity
+    unsigned ways = 8;                 //!< associativity
+    PolicyKind policy = PolicyKind::TreePlru; //!< replacement policy
+    WritePolicy writePolicy = WritePolicy::WriteBack;
+    AllocPolicy allocPolicy = AllocPolicy::WriteAllocate;
+
+    /**
+     * Per-thread way masks for partitioned caches (bit w set = thread
+     * may fill way w). Empty means no partitioning. (NoMo/DAWG.)
+     */
+    std::vector<std::uint32_t> fillMaskPerThread;
+
+    /**
+     * DAWG-style isolation: when true a thread's probes can only hit in
+     * its own partition ways; NoMo (false) isolates fills only.
+     */
+    bool probeIsolated = false;
+
+    /**
+     * PLcache defense: lines become locked when written (the protected
+     * process' dirty data cannot be evicted by other processes, which
+     * removes the replacement-latency signal).
+     */
+    bool lockOnWrite = false;
+
+    /** Number of sets implied by size/ways/line size. */
+    unsigned
+    numSets() const
+    {
+        return static_cast<unsigned>(sizeBytes / (ways * lineBytes));
+    }
+};
+
+/** One cache line's metadata (data values are not simulated). */
+struct Line
+{
+    bool valid = false;
+    bool dirty = false;
+    bool locked = false;       //!< PLcache lock bit
+    Addr lineAddr = 0;         //!< full line-granular physical address
+    ThreadId filledBy = 0;     //!< thread that installed the line
+};
+
+/** Description of a line pushed out by a fill. */
+struct Evicted
+{
+    bool any = false;   //!< a valid line was evicted
+    bool dirty = false; //!< ...and it was dirty (needs write-back)
+    Addr lineAddr = 0;  //!< its address
+};
+
+/** Result of Cache::fill(). */
+struct FillOutcome
+{
+    bool filled = false; //!< false when locking/partitioning blocked it
+    unsigned way = 0;
+    Evicted evicted;
+};
+
+/**
+ * One cache level. The surrounding Hierarchy implements the latency
+ * model and inter-level traffic; this class only tracks state.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param params static configuration
+     * @param rng randomness for stochastic replacement policies; may be
+     *        nullptr if the chosen policy is deterministic
+     */
+    Cache(const CacheParams &params, Rng *rng);
+
+    /** Invalidate everything and reset replacement state. */
+    void reset();
+
+    /** The static configuration. */
+    const CacheParams &params() const { return params_; }
+
+    /** Address decomposition for this geometry. */
+    const AddressLayout &layout() const { return layout_; }
+
+    /**
+     * Look up @p paddr. Honors probe isolation for @p tid when
+     * configured. @return the hit way, or nullopt on miss.
+     */
+    std::optional<unsigned> probe(Addr paddr, ThreadId tid) const;
+
+    /**
+     * Record a hit on @p way for @p paddr: updates replacement state
+     * and, for write-back caches, sets the dirty bit on stores.
+     */
+    void onHit(Addr paddr, unsigned way, ThreadId tid, bool isWrite);
+
+    /**
+     * Install @p paddr, evicting a victim if the set is full.
+     *
+     * @param asDirty install already dirty (write-allocate store, or a
+     *        write-back arriving from the level above)
+     * @return fill outcome including the evicted line, if any
+     */
+    FillOutcome fill(Addr paddr, ThreadId tid, bool asDirty);
+
+    /**
+     * Drop @p paddr if present.
+     * @param wasDirty out-param set when the dropped line was dirty
+     * @return true when the line was present
+     */
+    bool invalidate(Addr paddr, bool &wasDirty);
+
+    /** PLcache: lock the line holding @p paddr. @return success. */
+    bool lock(Addr paddr);
+
+    /** PLcache: unlock the line holding @p paddr. @return success. */
+    bool unlock(Addr paddr);
+
+    /** PLcache: clear every lock bit. */
+    void unlockAll();
+
+    /** True when @p paddr is cached (ignores probe isolation). */
+    bool contains(Addr paddr) const;
+
+    /** True when @p paddr is cached and dirty. */
+    bool isDirty(Addr paddr) const;
+
+    /** Number of dirty lines currently in @p set. */
+    unsigned dirtyCountInSet(unsigned set) const;
+
+    /** Number of valid lines currently in @p set. */
+    unsigned validCountInSet(unsigned set) const;
+
+    /** Copy of the lines of @p set (tests/benches introspection). */
+    std::vector<Line> setContents(unsigned set) const;
+
+    /** Total number of sets. */
+    unsigned numSets() const { return layout_.numSets(); }
+
+  private:
+    /** Candidate mask for victim selection for @p tid in @p set. */
+    std::vector<bool> fillCandidates(unsigned set, ThreadId tid) const;
+
+    /** True when @p tid may fill @p way. */
+    bool allowedWay(ThreadId tid, unsigned way) const;
+
+    Line *find(Addr paddr);
+    const Line *find(Addr paddr) const;
+
+    CacheParams params_;
+    AddressLayout layout_;
+    std::vector<std::vector<Line>> sets_;
+    std::vector<std::unique_ptr<ReplacementPolicy>> policies_;
+};
+
+} // namespace wb::sim
+
+#endif // WB_SIM_CACHE_HH

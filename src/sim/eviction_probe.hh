@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Replacement-policy eviction experiments (paper Secs. IV-A and VI-A).
+ *
+ * Table II: after random set history, write line 0 (making it dirty),
+ * then access a replacement set of N fresh lines; record whether line 0
+ * was evicted. Repeated trials give the probability that a replacement
+ * set of size N flushes the victim line under each policy.
+ *
+ * Table V: place d dirty lines (accessed in a loop), then access a
+ * replacement set of L fresh lines under a (pseudo-)random policy;
+ * record whether at least one dirty line was evicted. The analytic IID
+ * reference is p = 1 - ((W - d) / W)^L.
+ */
+
+#ifndef WB_SIM_EVICTION_PROBE_HH
+#define WB_SIM_EVICTION_PROBE_HH
+
+#include "common/rng.hh"
+#include "sim/cache.hh"
+
+namespace wb::sim
+{
+
+/** Configuration of one eviction experiment. */
+struct EvictionProbeConfig
+{
+    PolicyKind policy = PolicyKind::TreePlru;
+    unsigned ways = 8;            //!< set associativity W
+    unsigned replacementSize = 8; //!< N (Table II) or L (Table V)
+    unsigned dirtyLines = 1;      //!< d: dirty lines placed first
+    unsigned dirtyLoops = 2;      //!< times the d dirty lines are swept
+    unsigned warmupAccesses = 64; //!< random prior history length
+
+    /**
+     * Measurement interference (the "commercial processor" effect of
+     * Table II row 3): extra touches of resident lines — TLB walks,
+     * sibling-thread loads, the receiver's own bookkeeping — land in
+     * the set while the replacement set is swept. At most
+     * interferenceMax touches occur, each with probability
+     * interferenceProb per sweep access.
+     */
+    double interferenceProb = 0.0;
+    unsigned interferenceMax = 2;
+};
+
+/** Aggregated outcome over all trials. */
+struct EvictionProbeResult
+{
+    double probTargetEvicted = 0.0; //!< P[line 0 evicted] (Table II)
+    double probAnyDirtyEvicted = 0.0; //!< P[>=1 dirty evicted] (Table V)
+    double probAllDirtyEvicted = 0.0; //!< P[all dirty evicted]
+};
+
+/**
+ * Run the experiment for @p trials independent trials.
+ * Trial structure: reset -> random warm-up -> write d dirty lines
+ * (line 0 first) -> sweep replacement set -> inspect the set.
+ */
+EvictionProbeResult runEvictionProbe(const EvictionProbeConfig &cfg,
+                                     unsigned trials, Rng &rng);
+
+/** The paper's IID random-replacement formula p = 1-((W-d)/W)^L. */
+double iidEvictionProbability(unsigned ways, unsigned dirtyLines,
+                              unsigned replacementSize);
+
+} // namespace wb::sim
+
+#endif // WB_SIM_EVICTION_PROBE_HH

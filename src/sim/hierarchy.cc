@@ -1,0 +1,309 @@
+#include "sim/hierarchy.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace wb::sim
+{
+
+std::string
+levelName(Level level)
+{
+    switch (level) {
+      case Level::L1:
+        return "L1";
+      case Level::L2:
+        return "L2";
+      case Level::LLC:
+        return "LLC";
+      case Level::Mem:
+        return "Mem";
+    }
+    return "?";
+}
+
+void
+PerfCounters::merge(const PerfCounters &other)
+{
+    loads += other.loads;
+    stores += other.stores;
+    l1Hits += other.l1Hits;
+    l1Misses += other.l1Misses;
+    l2Accesses += other.l2Accesses;
+    l2Hits += other.l2Hits;
+    l2Misses += other.l2Misses;
+    llcAccesses += other.llcAccesses;
+    llcHits += other.llcHits;
+    llcMisses += other.llcMisses;
+    l1DirtyWritebacks += other.l1DirtyWritebacks;
+    flushes += other.flushes;
+    spinLoads += other.spinLoads;
+}
+
+HierarchyParams
+xeonE5_2650Params()
+{
+    HierarchyParams p;
+    p.l1.name = "L1D";
+    p.l1.sizeBytes = 32 * 1024; // 64 sets x 8 ways x 64 B (Table III)
+    p.l1.ways = 8;
+    p.l1.policy = PolicyKind::TreePlru;
+
+    p.l2.name = "L2";
+    p.l2.sizeBytes = 256 * 1024;
+    p.l2.ways = 8;
+    p.l2.policy = PolicyKind::TreePlru;
+
+    p.llc.name = "LLC";
+    p.llc.sizeBytes = 4 * 1024 * 1024; // scaled-down 20 MiB shared LLC
+    p.llc.ways = 16;
+    p.llc.policy = PolicyKind::TreePlru;
+    return p;
+}
+
+Hierarchy::Hierarchy(const HierarchyParams &params, Rng *rng)
+    : params_(params), rng_(rng),
+      l1_(std::make_unique<Cache>(params.l1, rng)),
+      l2_(std::make_unique<Cache>(params.l2, rng)),
+      llc_(std::make_unique<Cache>(params.llc, rng)), counters_(2)
+{
+}
+
+void
+Hierarchy::reset()
+{
+    l1_->reset();
+    l2_->reset();
+    llc_->reset();
+}
+
+void
+Hierarchy::resetCounters()
+{
+    for (auto &c : counters_)
+        c = PerfCounters{};
+}
+
+PerfCounters &
+Hierarchy::counters(ThreadId tid)
+{
+    if (tid >= counters_.size())
+        counters_.resize(tid + 1);
+    return counters_[tid];
+}
+
+PerfCounters
+Hierarchy::totalCounters() const
+{
+    PerfCounters total;
+    for (const auto &c : counters_)
+        total.merge(c);
+    return total;
+}
+
+Cycles
+Hierarchy::noise()
+{
+    if (rng_ == nullptr || params_.lat.noiseSigma <= 0.0)
+        return 0;
+    const double n = rng_->gaussian(0.0, params_.lat.noiseSigma);
+    return n > 0.0 ? static_cast<Cycles>(std::lround(n)) : 0;
+}
+
+void
+Hierarchy::writebackToL2(Addr lineAddr, ThreadId tid)
+{
+    const Addr paddr = lineAddr << lineShift;
+    auto outcome = l2_->fill(paddr, tid, /*asDirty=*/true);
+    if (outcome.filled && outcome.evicted.dirty)
+        writebackToLlc(outcome.evicted.lineAddr, tid);
+}
+
+void
+Hierarchy::writebackToLlc(Addr lineAddr, ThreadId tid)
+{
+    const Addr paddr = lineAddr << lineShift;
+    auto outcome = llc_->fill(paddr, tid, /*asDirty=*/true);
+    // A dirty LLC victim drains to DRAM, which keeps no state.
+    (void)outcome;
+}
+
+AccessResult
+Hierarchy::access(ThreadId tid, Addr paddr, bool isWrite)
+{
+    PerfCounters &ctr = counters(tid);
+    if (isWrite)
+        ++ctr.stores;
+    else
+        ++ctr.loads;
+
+    AccessResult res;
+    const LatencyModel &lat = params_.lat;
+
+    // --- L1 lookup ---
+    if (auto way = l1_->probe(paddr, tid)) {
+        ++ctr.l1Hits;
+        l1_->onHit(paddr, *way, tid, isWrite);
+        res.servedBy = Level::L1;
+        res.l1Hit = true;
+        res.latency = lat.l1Hit + (isWrite ? lat.storeExtra : 0) + noise();
+        if (isWrite && params_.l1.writePolicy == WritePolicy::WriteThrough) {
+            // Forward the store to L2 (write-through traffic).
+            ++ctr.l2Accesses;
+            if (auto w2 = l2_->probe(paddr, tid)) {
+                ++ctr.l2Hits;
+                l2_->onHit(paddr, *w2, tid, /*isWrite=*/true);
+            } else {
+                ++ctr.l2Misses;
+                auto out2 = l2_->fill(paddr, tid, /*asDirty=*/true);
+                if (out2.filled && out2.evicted.dirty)
+                    writebackToLlc(out2.evicted.lineAddr, tid);
+            }
+            res.latency += lat.writeThroughStore;
+        }
+        return res;
+    }
+
+    // --- L1 miss: find the data below ---
+    ++ctr.l1Misses;
+    ++ctr.l2Accesses;
+    Cycles base = 0;
+    if (auto way = l2_->probe(paddr, tid)) {
+        ++ctr.l2Hits;
+        l2_->onHit(paddr, *way, tid, /*isWrite=*/false);
+        res.servedBy = Level::L2;
+        base = lat.l2Hit;
+    } else {
+        ++ctr.l2Misses;
+        ++ctr.llcAccesses;
+        if (auto w3 = llc_->probe(paddr, tid)) {
+            ++ctr.llcHits;
+            llc_->onHit(paddr, *w3, tid, /*isWrite=*/false);
+            res.servedBy = Level::LLC;
+            base = lat.llcHit;
+        } else {
+            ++ctr.llcMisses;
+            res.servedBy = Level::Mem;
+            base = lat.mem;
+            auto out3 = llc_->fill(paddr, tid, /*asDirty=*/false);
+            (void)out3;
+        }
+        // Fill L2 on the way up.
+        auto out2 = l2_->fill(paddr, tid, /*asDirty=*/false);
+        if (out2.filled && out2.evicted.dirty) {
+            writebackToLlc(out2.evicted.lineAddr, tid);
+            base += lat.l2DirtyEvictPenalty;
+        }
+    }
+
+    res.latency = base + (isWrite ? lat.storeExtra : 0);
+
+    // --- L1 allocation decision ---
+    const bool writeThrough =
+        params_.l1.writePolicy == WritePolicy::WriteThrough;
+    bool allocate = true;
+    if (isWrite && params_.l1.allocPolicy == AllocPolicy::NoWriteAllocate)
+        allocate = false;
+    if (!isWrite && params_.randomFillWindow > 0)
+        allocate = false; // random-fill defense: no demand fill
+
+    if (allocate) {
+        const bool asDirty = isWrite && !writeThrough;
+        auto out = l1_->fill(paddr, tid, asDirty);
+        if (out.filled && out.evicted.dirty) {
+            // The fill must wait for the dirty victim's write-back:
+            // this is the latency difference the WB channel measures.
+            res.l1VictimDirty = true;
+            res.latency += lat.l1DirtyEvictPenalty;
+            ++ctr.l1DirtyWritebacks;
+            writebackToL2(out.evicted.lineAddr, tid);
+        }
+    }
+
+    if (isWrite && (writeThrough || !allocate)) {
+        // The store data itself goes to L2.
+        auto out2 = l2_->fill(paddr, tid, /*asDirty=*/true);
+        if (out2.filled && out2.evicted.dirty)
+            writebackToLlc(out2.evicted.lineAddr, tid);
+        res.latency += lat.writeThroughStore;
+    }
+
+    if (params_.prefetchGuardProb > 0.0 && rng_ != nullptr &&
+        rng_->chance(params_.prefetchGuardProb)) {
+        // Prefetch-guard: drop a random clean line into the missed set.
+        const unsigned set = l1_->layout().setIndex(paddr);
+        const Addr tag = 0x800000 + rng_->below(0x10000);
+        injectCleanFill(l1_->layout().compose(set, tag), tid);
+    }
+
+    if (!isWrite && params_.randomFillWindow > 0 && rng_ != nullptr) {
+        // Random-fill defense: fill a random neighbour instead of the
+        // requested line. The neighbour fill is off the critical path.
+        const auto w = static_cast<std::int64_t>(params_.randomFillWindow);
+        const std::int64_t delta = rng_->range(-w, w);
+        const Addr lineAddr = AddressLayout::lineAddr(paddr);
+        const Addr neighbour =
+            static_cast<Addr>(static_cast<std::int64_t>(lineAddr) + delta)
+            << lineShift;
+        auto out = l1_->fill(neighbour, tid, /*asDirty=*/false);
+        if (out.filled && out.evicted.dirty) {
+            ++ctr.l1DirtyWritebacks;
+            writebackToL2(out.evicted.lineAddr, tid);
+        }
+    }
+
+    res.latency += noise();
+
+    // Store-buffer semantics: the issuing thread sees only the store
+    // buffer insertion latency; the miss handling above drains
+    // asynchronously (its state effects are already applied). A
+    // write-through store still pays the forwarding cost: the store
+    // buffer cannot retire it until the next level acknowledges.
+    if (isWrite && lat.storeVisibleLatency > 0) {
+        res.latency = lat.storeVisibleLatency;
+        if (writeThrough)
+            res.latency += lat.writeThroughStore;
+    }
+
+    return res;
+}
+
+Cycles
+Hierarchy::flush(ThreadId tid, Addr paddr)
+{
+    PerfCounters &ctr = counters(tid);
+    ++ctr.flushes;
+    const LatencyModel &lat = params_.lat;
+    bool present = false;
+    bool dirty = false;
+    bool d = false;
+    if (l1_->invalidate(paddr, d)) {
+        present = true;
+        dirty |= d;
+    }
+    if (l2_->invalidate(paddr, d)) {
+        present = true;
+        dirty |= d;
+    }
+    if (llc_->invalidate(paddr, d)) {
+        present = true;
+        dirty |= d;
+    }
+    Cycles cost = lat.flushBase;
+    if (present)
+        cost += lat.flushPresentExtra;
+    if (dirty)
+        cost += lat.flushDirtyExtra;
+    return cost + noise();
+}
+
+void
+Hierarchy::injectCleanFill(Addr paddr, ThreadId tid)
+{
+    auto out = l1_->fill(paddr, tid, /*asDirty=*/false);
+    if (out.filled && out.evicted.dirty)
+        writebackToL2(out.evicted.lineAddr, tid);
+}
+
+} // namespace wb::sim

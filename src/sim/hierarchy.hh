@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Multi-level memory hierarchy with a cycle latency model calibrated to
+ * the paper's Table IV measurements on the Intel Xeon E5-2650:
+ *
+ *   L1D hit                              4-5 cycles
+ *   L2 hit + replacing a clean L1 line  10-12 cycles
+ *   L2 hit + replacing a dirty L1 line  22-23 cycles
+ *
+ * The dirty-victim penalty charged on the L1 fill path is the hardware
+ * vulnerability the WB channel exploits: before the fill can complete,
+ * the victim must be written back to L2.
+ */
+
+#ifndef WB_SIM_HIERARCHY_HH
+#define WB_SIM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/cache.hh"
+
+namespace wb::sim
+{
+
+/** Which level served an access. */
+enum class Level
+{
+    L1,
+    L2,
+    LLC,
+    Mem
+};
+
+/** Human-readable level name. */
+std::string levelName(Level level);
+
+/** Cycle costs of the hierarchy (see file comment for calibration). */
+struct LatencyModel
+{
+    Cycles l1Hit = 4;        //!< L1 load-to-use
+    Cycles l2Hit = 10;       //!< L1 miss served by L2, clean victim
+    Cycles llcHit = 35;      //!< served by LLC
+    Cycles mem = 200;        //!< served by DRAM
+
+    /** Extra cycles when the L1 fill victim is dirty (the WB channel). */
+    Cycles l1DirtyEvictPenalty = 12;
+
+    /** Extra cycles when the L2 fill victim is dirty. */
+    Cycles l2DirtyEvictPenalty = 16;
+
+    /** Store completion cost on top of the lookup (store buffer). */
+    Cycles storeExtra = 0;
+
+    /**
+     * Visible latency of a store as seen by the issuing thread. Stores
+     * retire into the store buffer and drain asynchronously, so the
+     * thread does not wait for the miss handling — but the cache state
+     * change (fill + dirty bit) is applied immediately. 0 makes stores
+     * pay the full access latency (no store buffer).
+     */
+    Cycles storeVisibleLatency = 3;
+
+    /** Extra store cost through a write-through L1. */
+    Cycles writeThroughStore = 6;
+
+    /** Base cost of clflush. */
+    Cycles flushBase = 37;
+
+    /** Additional clflush cost when the line was present... */
+    Cycles flushPresentExtra = 4;
+
+    /** ...and when it was dirty (needs a write-back). */
+    Cycles flushDirtyExtra = 8;
+
+    /**
+     * Sigma of the zero-mean Gaussian measurement noise added per
+     * access (bank conflicts, minor queuing). 0 disables noise.
+     */
+    double noiseSigma = 0.6;
+};
+
+/** Per-thread (and global) demand-access counters, perf-style. */
+struct PerfCounters
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t l1DirtyWritebacks = 0;
+    std::uint64_t flushes = 0;
+
+    /**
+     * L1 loads retired by busy-wait loops (always hits; see
+     * NoiseModel::spinIterCycles). Counted separately so miss rates
+     * can be reported with spin traffic included, as `perf` would.
+     */
+    std::uint64_t spinLoads = 0;
+
+    /** Demand L1 references. */
+    std::uint64_t l1Accesses() const { return loads + stores; }
+
+    /** All L1 loads including spin-loop loads (perf's view). */
+    std::uint64_t l1LoadsWithSpin() const { return loads + spinLoads; }
+
+    /** L1 miss ratio with spin-loop hits included in the denominator. */
+    double
+    l1MissRateWithSpin() const
+    {
+        const auto a = l1Accesses() + spinLoads;
+        return a ? double(l1Misses) / double(a) : 0.0;
+    }
+
+    /** L1 miss ratio in [0,1]. */
+    double
+    l1MissRate() const
+    {
+        const auto a = l1Accesses();
+        return a ? double(l1Misses) / double(a) : 0.0;
+    }
+
+    /** L2 miss ratio in [0,1]. */
+    double
+    l2MissRate() const
+    {
+        return l2Accesses ? double(l2Misses) / double(l2Accesses) : 0.0;
+    }
+
+    /** LLC miss ratio in [0,1]. */
+    double
+    llcMissRate() const
+    {
+        return llcAccesses ? double(llcMisses) / double(llcAccesses) : 0.0;
+    }
+
+    /** Accumulate another counter set into this one. */
+    void merge(const PerfCounters &other);
+};
+
+/** Result of one demand access through the hierarchy. */
+struct AccessResult
+{
+    Level servedBy = Level::L1;
+    bool l1Hit = false;
+    bool l1VictimDirty = false; //!< the access replaced a dirty L1 line
+    Cycles latency = 0;
+};
+
+/** Static configuration of the whole hierarchy. */
+struct HierarchyParams
+{
+    CacheParams l1;
+    CacheParams l2;
+    CacheParams llc;
+    LatencyModel lat;
+
+    /**
+     * Random-fill-cache defense (Liu & Lee): when > 0, demand L1 load
+     * misses do not fill the requested line; instead a random line
+     * within +/- window lines of the request is filled. 0 disables.
+     */
+    unsigned randomFillWindow = 0;
+
+    /**
+     * Prefetch-guard defense (Fang et al.): on each demand L1 miss,
+     * with this probability a hardware prefetcher injects an extra
+     * clean line into the same set (noise injection). The paper argues
+     * clean noisy lines do not disturb the WB channel.
+     */
+    double prefetchGuardProb = 0.0;
+};
+
+/** The Xeon E5-2650 configuration of paper Table III. */
+HierarchyParams xeonE5_2650Params();
+
+/**
+ * Three cache levels plus DRAM. All state mutation and latency
+ * accounting for demand accesses, write-backs, flushes and injected
+ * (prefetch) fills goes through this class.
+ */
+class Hierarchy
+{
+  public:
+    /**
+     * @param params static configuration
+     * @param rng randomness for noise and stochastic policies; may be
+     *        nullptr for a fully deterministic hierarchy without noise
+     */
+    Hierarchy(const HierarchyParams &params, Rng *rng);
+
+    /** Invalidate all levels and zero nothing (counters persist). */
+    void reset();
+
+    /** Zero all perf counters. */
+    void resetCounters();
+
+    /**
+     * One demand access.
+     *
+     * @param tid issuing hardware thread
+     * @param paddr physical byte address
+     * @param isWrite store (true) or load (false)
+     */
+    AccessResult access(ThreadId tid, Addr paddr, bool isWrite);
+
+    /**
+     * clflush: drop the line from every level, writing dirty data back
+     * to memory. @return cycle cost (depends on presence/dirtiness).
+     */
+    Cycles flush(ThreadId tid, Addr paddr);
+
+    /**
+     * Install a clean line into L1 without touching demand counters or
+     * charging latency — models a hardware prefetcher (Prefetch-guard
+     * defense, noisy-line injection).
+     */
+    void injectCleanFill(Addr paddr, ThreadId tid = 0);
+
+    /** L1 data cache (introspection for tests and experiments). */
+    Cache &l1() { return *l1_; }
+    /** L2 cache. */
+    Cache &l2() { return *l2_; }
+    /** Last-level cache. */
+    Cache &llc() { return *llc_; }
+
+    /** Counters for one thread (auto-extends). */
+    PerfCounters &counters(ThreadId tid);
+
+    /** Counters summed over all threads. */
+    PerfCounters totalCounters() const;
+
+    /** The static configuration. */
+    const HierarchyParams &params() const { return params_; }
+
+  private:
+    /** Gaussian measurement noise (>= 0), 0 when rng or sigma absent. */
+    Cycles noise();
+
+    /** Write a dirty L1 victim back into L2 (allocating if needed). */
+    void writebackToL2(Addr lineAddr, ThreadId tid);
+
+    /** Write a dirty L2 victim back into LLC (allocating if needed). */
+    void writebackToLlc(Addr lineAddr, ThreadId tid);
+
+    HierarchyParams params_;
+    Rng *rng_;
+    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<PerfCounters> counters_;
+};
+
+} // namespace wb::sim
+
+#endif // WB_SIM_HIERARCHY_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cache replacement policies.
+ *
+ * One policy instance manages one cache set (per-set state, as in real
+ * L1 designs). The framework covers every policy the paper discusses:
+ *
+ *  - TrueLru      — exact LRU stack (Table II row 1)
+ *  - TreePlru     — tree pseudo-LRU as modeled on gem5 (Table II row 2)
+ *  - BitPlru      — MRU-bit pseudo-LRU variant
+ *  - Nru          — not-recently-used (1-bit age)
+ *  - Srrip        — 2-bit re-reference interval prediction
+ *  - QuadAgeLru   — SRRIP-style stand-in for the undocumented Sandy
+ *                   Bridge L1 policy (Table II row 3); see DESIGN.md
+ *  - Fifo         — insertion order
+ *  - RandomIid    — uniform independent victim (Sec. VI-A formula)
+ *  - LfsrRandom   — LFSR clocked on every set access, as in commercial
+ *                   "pseudo-random" ARM designs; victim choice is
+ *                   correlated with access activity, which biases the
+ *                   eviction probabilities (paper Table V)
+ */
+
+#ifndef WB_SIM_REPLACEMENT_HH
+#define WB_SIM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace wb::sim
+{
+
+/** Enumerates all implemented replacement policies. */
+enum class PolicyKind
+{
+    TrueLru,
+    TreePlru,
+    BitPlru,
+    Nru,
+    Srrip,
+    QuadAgeLru,
+    Fifo,
+    RandomIid,
+    LfsrRandom,
+};
+
+/** Human-readable policy name ("TreePLRU", ...). */
+std::string policyName(PolicyKind kind);
+
+/**
+ * Replacement state for one cache set.
+ *
+ * The owning cache calls onFill()/onHit() to keep the state current and
+ * victim() to pick a way when the set is full. Ways holding locked lines
+ * (PLcache) or outside the requesting thread's partition (NoMo/DAWG) are
+ * excluded via the candidate mask.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Reset to the initial (power-on) state. */
+    virtual void reset() = 0;
+
+    /** Note that @p way was just filled with a new line. */
+    virtual void onFill(unsigned way) = 0;
+
+    /** Note a hit on @p way. */
+    virtual void onHit(unsigned way) = 0;
+
+    /**
+     * Choose a victim among candidate ways.
+     *
+     * @param candidate per-way eligibility mask (true = may be evicted);
+     *        at least one way must be eligible.
+     * @return the victim way index
+     */
+    virtual unsigned victim(const std::vector<bool> &candidate) = 0;
+
+    /** Associativity this instance manages. */
+    unsigned ways() const { return ways_; }
+
+  protected:
+    explicit ReplacementPolicy(unsigned ways) : ways_(ways) {}
+
+    /** Abort unless at least one way is eligible. */
+    static void checkCandidates(const std::vector<bool> &candidate);
+
+    unsigned ways_;
+};
+
+/**
+ * Create a policy instance for one set.
+ *
+ * @param kind which policy
+ * @param ways set associativity (power of two required for TreePlru)
+ * @param rng randomness source; required by RandomIid, used for seeding
+ *        LfsrRandom and tie-breaking in QuadAgeLru; may be nullptr for
+ *        fully deterministic policies
+ */
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, unsigned ways, Rng *rng);
+
+/** All policy kinds, for parameterized tests and benches. */
+const std::vector<PolicyKind> &allPolicies();
+
+} // namespace wb::sim
+
+#endif // WB_SIM_REPLACEMENT_HH

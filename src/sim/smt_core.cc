@@ -1,0 +1,178 @@
+#include "sim/smt_core.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace wb::sim
+{
+
+SmtCore::SmtCore(Hierarchy &hierarchy, const NoiseModel &noise, Rng &rng)
+    : hierarchy_(hierarchy), noise_(noise), rng_(rng)
+{
+}
+
+ThreadId
+SmtCore::addThread(Program *program, AddressSpace space, Cycles startTime)
+{
+    if (program == nullptr)
+        panic("SmtCore::addThread: null program");
+    ThreadCtx ctx;
+    ctx.program = program;
+    ctx.space = space;
+    ctx.time = startTime;
+    threads_.push_back(ctx);
+    return static_cast<ThreadId>(threads_.size() - 1);
+}
+
+Cycles
+SmtCore::quantize(Cycles t) const
+{
+    const Cycles g = noise_.tscGranularity ? noise_.tscGranularity : 1;
+    return (t / g) * g;
+}
+
+Cycles
+SmtCore::run(Cycles horizon)
+{
+    if (threads_.empty())
+        return 0;
+    for (;;) {
+        // Pick the earliest non-halted thread.
+        ThreadId pick = 0;
+        bool found = false;
+        for (ThreadId t = 0; t < threads_.size(); ++t) {
+            if (threads_[t].halted)
+                continue;
+            if (!found || threads_[t].time < threads_[pick].time) {
+                pick = t;
+                found = true;
+            }
+        }
+        if (!found || threads_[pick].time >= horizon)
+            break;
+        step(threads_[pick], pick);
+    }
+    Cycles maxTime = 0;
+    for (const auto &ctx : threads_)
+        maxTime = std::max(maxTime, ctx.time);
+    return maxTime;
+}
+
+Cycles
+SmtCore::threadTime(ThreadId tid) const
+{
+    return threads_.at(tid).time;
+}
+
+bool
+SmtCore::halted(ThreadId tid) const
+{
+    return threads_.at(tid).halted;
+}
+
+void
+SmtCore::step(ThreadCtx &ctx, ThreadId tid)
+{
+    ProcView view(tid, ctx.time, rng_, noise_);
+    auto maybeOp = ctx.program->next(view);
+    if (!maybeOp || maybeOp->kind == MemOp::Kind::Halt) {
+        ctx.halted = true;
+        return;
+    }
+    const MemOp op = *maybeOp;
+    OpResult res;
+
+    switch (op.kind) {
+      case MemOp::Kind::Load:
+      case MemOp::Kind::Store: {
+        const bool isWrite = op.kind == MemOp::Kind::Store;
+        const Addr paddr = ctx.space.translate(op.vaddr);
+        const AccessResult ar = hierarchy_.access(tid, paddr, isWrite);
+        Cycles lat = ar.latency + noise_.opOverhead;
+        if (op.pipelined && ar.l1Hit)
+            lat = noise_.pipelinedHitCost;
+
+        // SMT port contention: if the sibling issued a memory op
+        // within the coincidence window, this op may stall.
+        for (ThreadId o = 0; o < threads_.size(); ++o) {
+            if (o == tid || !threads_[o].everIssuedMem)
+                continue;
+            const Cycles ot = threads_[o].lastMemOpAt;
+            const Cycles d = ot > ctx.time ? ot - ctx.time : ctx.time - ot;
+            if (d <= noise_.portContentionWindow &&
+                rng_.chance(noise_.portContentionProb)) {
+                lat += noise_.portContentionDelay;
+            }
+        }
+        if (noise_.preemptProbPerOp > 0.0 &&
+            rng_.chance(noise_.preemptProbPerOp)) {
+            lat += static_cast<Cycles>(rng_.exponential(noise_.preemptMean));
+        }
+
+        ctx.time += lat;
+        ctx.lastMemOpAt = ctx.time;
+        ctx.everIssuedMem = true;
+        res.latency = lat;
+        res.servedBy = ar.servedBy;
+        res.l1Hit = ar.l1Hit;
+        res.l1VictimDirty = ar.l1VictimDirty;
+        break;
+      }
+      case MemOp::Kind::Flush: {
+        const Addr paddr = ctx.space.translate(op.vaddr);
+        const Cycles lat = hierarchy_.flush(tid, paddr) + noise_.opOverhead;
+        ctx.time += lat;
+        res.latency = lat;
+        break;
+      }
+      case MemOp::Kind::TscRead: {
+        ctx.time += noise_.tscReadCost;
+        res.latency = noise_.tscReadCost;
+        break;
+      }
+      case MemOp::Kind::SpinUntil: {
+        // The spin loop's bookkeeping touches the thread's stack line
+        // once per wait. Normally an L1 hit, but a co-runner thrashing
+        // the L1 turns these into real misses — which is how a benign
+        // co-scheduled workload inflates a spinning process' L1 miss
+        // rate (paper Table VII, "sender & g++").
+        const Addr stackVa = 0xdead0000 + static_cast<Addr>(tid) * 4096;
+        hierarchy_.access(tid, ctx.space.translate(stackVa), false);
+
+        Cycles release = std::max(ctx.time, op.until);
+        double overshoot = 0.0;
+        if (noise_.spinOvershootMean > 0.0)
+            overshoot += rng_.exponential(noise_.spinOvershootMean);
+        if (noise_.preemptProbPerSpin > 0.0 &&
+            rng_.chance(noise_.preemptProbPerSpin)) {
+            overshoot += rng_.exponential(noise_.preemptMean);
+        }
+        release += static_cast<Cycles>(std::llround(overshoot));
+        res.latency = release - ctx.time;
+        if (noise_.spinIterCycles > 0) {
+            // Credit the busy-wait loop's bookkeeping loads (they all
+            // hit L1; see NoiseModel).
+            hierarchy_.counters(tid).spinLoads +=
+                (res.latency / noise_.spinIterCycles) *
+                noise_.spinLoadsPerIter;
+        }
+        ctx.time = release;
+        break;
+      }
+      case MemOp::Kind::Delay: {
+        ctx.time += op.until;
+        res.latency = op.until;
+        break;
+      }
+      case MemOp::Kind::Halt:
+        ctx.halted = true;
+        return;
+    }
+
+    res.tsc = quantize(ctx.time);
+    ProcView after(tid, ctx.time, rng_, noise_);
+    ctx.program->onResult(op, res, after);
+}
+
+} // namespace wb::sim

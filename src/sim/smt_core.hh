@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Deterministic two-hyper-thread core executor.
+ *
+ * Each simulated process implements Program: a state machine that emits
+ * one MemOp at a time. The core executes, in global virtual-time order,
+ * the next op of whichever thread is earliest, against the shared
+ * memory hierarchy. Spin-waits jump a thread's clock forward (plus
+ * overshoot noise). This reproduces the paper's deployment: sender and
+ * receiver as two processes co-resident on one physical core via
+ * sched_setaffinity, sharing the L1D (Sec. III).
+ */
+
+#ifndef WB_SIM_SMT_CORE_HH
+#define WB_SIM_SMT_CORE_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/address.hh"
+#include "sim/hierarchy.hh"
+#include "sim/noise_model.hh"
+
+namespace wb::sim
+{
+
+/** One primitive operation a Program can issue. */
+struct MemOp
+{
+    /** Operation kinds. */
+    enum class Kind
+    {
+        Load,      //!< demand load of vaddr
+        Store,     //!< demand store to vaddr
+        Flush,     //!< clflush vaddr
+        TscRead,   //!< serialized timestamp read (rdtscp)
+        SpinUntil, //!< busy-wait until TSC >= until
+        Delay,     //!< consume `until` cycles without touching memory
+        Halt       //!< finish the program
+    };
+
+    Kind kind = Kind::Halt;
+    Addr vaddr = 0;   //!< target of Load/Store/Flush
+    Cycles until = 0; //!< SpinUntil target / Delay duration
+
+    /**
+     * Pipelined loads model independent (non-pointer-chased) accesses
+     * that retire at L1 throughput rather than L1 latency when they
+     * hit; misses still pay the full latency. Used by tight access
+     * loops (the LRU channel's modulation loop, streaming workloads).
+     */
+    bool pipelined = false;
+
+    /** Convenience constructors. */
+    static MemOp load(Addr va) { return {Kind::Load, va, 0, false}; }
+    static MemOp store(Addr va) { return {Kind::Store, va, 0, false}; }
+    static MemOp flush(Addr va) { return {Kind::Flush, va, 0, false}; }
+    static MemOp tscRead() { return {Kind::TscRead, 0, 0, false}; }
+    static MemOp spinUntil(Cycles t) { return {Kind::SpinUntil, 0, t, false}; }
+    static MemOp delay(Cycles d) { return {Kind::Delay, 0, d, false}; }
+    static MemOp halt() { return {Kind::Halt, 0, 0, false}; }
+
+    /** A load retiring at pipeline throughput on an L1 hit. */
+    static MemOp
+    pipelinedLoad(Addr va)
+    {
+        return {Kind::Load, va, 0, true};
+    }
+};
+
+/** Result of executing one MemOp, delivered to Program::onResult. */
+struct OpResult
+{
+    Cycles latency = 0;         //!< cycles the op consumed
+    Cycles tsc = 0;             //!< quantized TSC after the op
+    Level servedBy = Level::L1; //!< for Load/Store
+    bool l1Hit = false;         //!< for Load/Store
+    bool l1VictimDirty = false; //!< the fill replaced a dirty line
+};
+
+/** Read-only view a Program gets of its execution context. */
+class ProcView
+{
+  public:
+    ProcView(ThreadId tid, Cycles now, Rng &rng, const NoiseModel &noise)
+        : tid_(tid), now_(now), rng_(rng), noise_(noise)
+    {
+    }
+
+    /** This thread's id. */
+    ThreadId tid() const { return tid_; }
+
+    /** This thread's current virtual time. */
+    Cycles now() const { return now_; }
+
+    /** Shared run RNG (deterministic draw order). */
+    Rng &rng() const { return rng_; }
+
+    /** The platform noise model. */
+    const NoiseModel &noise() const { return noise_; }
+
+  private:
+    ThreadId tid_;
+    Cycles now_;
+    Rng &rng_;
+    const NoiseModel &noise_;
+};
+
+/**
+ * A simulated process: emits operations one at a time and receives
+ * their results. Implementations are explicit state machines.
+ */
+class Program
+{
+  public:
+    virtual ~Program() = default;
+
+    /** Emit the next operation; Halt/nullopt terminates the thread. */
+    virtual std::optional<MemOp> next(ProcView &view) = 0;
+
+    /** Receive the result of the op just executed. */
+    virtual void onResult(const MemOp &op, const OpResult &res,
+                          ProcView &view) = 0;
+};
+
+/**
+ * Simple Program running a fixed list of operations (tests, noise
+ * processes, simple workload loops).
+ */
+class TraceProgram : public Program
+{
+  public:
+    /**
+     * @param ops the operation sequence
+     * @param loop restart from the beginning when exhausted
+     */
+    explicit TraceProgram(std::vector<MemOp> ops, bool loop = false)
+        : ops_(std::move(ops)), loop_(loop)
+    {
+    }
+
+    std::optional<MemOp>
+    next(ProcView &) override
+    {
+        if (pos_ >= ops_.size()) {
+            if (!loop_ || ops_.empty())
+                return std::nullopt;
+            pos_ = 0;
+        }
+        return ops_[pos_++];
+    }
+
+    void onResult(const MemOp &, const OpResult &, ProcView &) override {}
+
+  private:
+    std::vector<MemOp> ops_;
+    bool loop_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * The two-hyper-thread core. Owns thread contexts (program pointer,
+ * address space, virtual clock) and executes them in time order.
+ */
+class SmtCore
+{
+  public:
+    /**
+     * @param hierarchy the shared memory hierarchy
+     * @param noise platform noise model
+     * @param rng run RNG (shared with the hierarchy's noise)
+     */
+    SmtCore(Hierarchy &hierarchy, const NoiseModel &noise, Rng &rng);
+
+    /**
+     * Register a thread.
+     * @param program state machine driving the thread (not owned)
+     * @param space the process' address space (copied)
+     * @param startTime initial virtual time (models staggered launch)
+     * @return the assigned thread id
+     */
+    ThreadId addThread(Program *program, AddressSpace space,
+                       Cycles startTime = 0);
+
+    /**
+     * Run until every thread halted or all clocks pass @p horizon.
+     * @return the largest thread time reached
+     */
+    Cycles run(Cycles horizon);
+
+    /** A thread's current virtual time. */
+    Cycles threadTime(ThreadId tid) const;
+
+    /** True when the thread's program has finished. */
+    bool halted(ThreadId tid) const;
+
+    /** The noise model in use. */
+    const NoiseModel &noise() const { return noise_; }
+
+  private:
+    struct ThreadCtx
+    {
+        Program *program = nullptr;
+        AddressSpace space{0};
+        Cycles time = 0;
+        bool halted = false;
+        Cycles lastMemOpAt = 0;
+        bool everIssuedMem = false;
+    };
+
+    /** Execute one op of thread @p tid. */
+    void step(ThreadCtx &ctx, ThreadId tid);
+
+    /** Quantize a cycle count to the TSC granularity. */
+    Cycles quantize(Cycles t) const;
+
+    Hierarchy &hierarchy_;
+    NoiseModel noise_;
+    Rng &rng_;
+    std::vector<ThreadCtx> threads_;
+};
+
+} // namespace wb::sim
+
+#endif // WB_SIM_SMT_CORE_HH

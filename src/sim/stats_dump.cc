@@ -1,0 +1,55 @@
+#include "sim/stats_dump.hh"
+
+#include <iomanip>
+
+namespace wb::sim
+{
+
+namespace
+{
+
+void
+dumpOne(const PerfCounters &c, const std::string &prefix,
+        std::ostream &os)
+{
+    auto line = [&](const char *name, std::uint64_t v) {
+        os << std::left << std::setw(34) << (prefix + name) << v
+           << "\n";
+    };
+    auto rate = [&](const char *name, double v) {
+        os << std::left << std::setw(34) << (prefix + name)
+           << std::fixed << std::setprecision(6) << v << "\n";
+    };
+    line("loads", c.loads);
+    line("stores", c.stores);
+    line("spinLoads", c.spinLoads);
+    line("l1.hits", c.l1Hits);
+    line("l1.misses", c.l1Misses);
+    rate("l1.missRate", c.l1MissRate());
+    rate("l1.missRateWithSpin", c.l1MissRateWithSpin());
+    line("l1.dirtyWritebacks", c.l1DirtyWritebacks);
+    line("l2.accesses", c.l2Accesses);
+    line("l2.hits", c.l2Hits);
+    line("l2.misses", c.l2Misses);
+    rate("l2.missRate", c.l2MissRate());
+    line("llc.accesses", c.llcAccesses);
+    line("llc.hits", c.llcHits);
+    line("llc.misses", c.llcMisses);
+    rate("llc.missRate", c.llcMissRate());
+    line("flushes", c.flushes);
+}
+
+} // namespace
+
+void
+dumpStats(Hierarchy &hierarchy, std::ostream &os, unsigned threads)
+{
+    os << "---------- wbchan stats dump ----------\n";
+    for (ThreadId t = 0; t < threads; ++t)
+        dumpOne(hierarchy.counters(t),
+                "thread" + std::to_string(t) + ".", os);
+    dumpOne(hierarchy.totalCounters(), "total.", os);
+    os << "---------------------------------------\n";
+}
+
+} // namespace wb::sim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * gem5-style statistics dump for a hierarchy: every counter of every
+ * thread plus derived rates, in a stable text format experiments can
+ * diff. Used by examples and available to downstream users who want
+ * a quick profile of what a program pair did to the cache.
+ */
+
+#ifndef WB_SIM_STATS_DUMP_HH
+#define WB_SIM_STATS_DUMP_HH
+
+#include <ostream>
+
+#include "sim/hierarchy.hh"
+
+namespace wb::sim
+{
+
+/**
+ * Dump per-thread and total counters of @p hierarchy to @p os.
+ *
+ * @param hierarchy the hierarchy to report on
+ * @param os output stream
+ * @param threads number of threads to report (those beyond the ones
+ *        ever used print as zeros)
+ */
+void dumpStats(Hierarchy &hierarchy, std::ostream &os,
+               unsigned threads = 2);
+
+} // namespace wb::sim
+
+#endif // WB_SIM_STATS_DUMP_HH

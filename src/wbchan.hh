@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Umbrella header: the whole public wbchan API in one include.
+ *
+ *   #include "wbchan.hh"
+ *
+ * Downstream users who only want the covert channel need
+ * chan/channel.hh; this header pulls in every subsystem (substrate,
+ * channels, baselines, defenses, side channels, perf monitoring and
+ * the hardware port).
+ */
+
+#ifndef WB_WBCHAN_HH
+#define WB_WBCHAN_HH
+
+// Foundations.
+#include "common/bitvec.hh"
+#include "common/edit_distance.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+// Simulated platform.
+#include "sim/address.hh"
+#include "sim/cache.hh"
+#include "sim/eviction_probe.hh"
+#include "sim/hierarchy.hh"
+#include "sim/noise_model.hh"
+#include "sim/replacement.hh"
+#include "sim/smt_core.hh"
+#include "sim/stats_dump.hh"
+
+// The WB channel and its extensions.
+#include "chan/calibration.hh"
+#include "chan/channel.hh"
+#include "chan/fec.hh"
+#include "chan/l2_channel.hh"
+#include "chan/modulation.hh"
+#include "chan/multiset.hh"
+#include "chan/noise_process.hh"
+#include "chan/pointer_chase.hh"
+#include "chan/protocol.hh"
+#include "chan/receiver.hh"
+#include "chan/sender.hh"
+#include "chan/set_mapping.hh"
+
+// Baseline channels.
+#include "baselines/flush_channels.hh"
+#include "baselines/framework.hh"
+#include "baselines/hit_hit_channel.hh"
+#include "baselines/lru_channel.hh"
+#include "baselines/prime_probe.hh"
+
+// Defenses, side channels, perf monitoring.
+#include "defense/defense.hh"
+#include "perfmon/detector.hh"
+#include "perfmon/metrics.hh"
+#include "perfmon/stealth.hh"
+#include "perfmon/workloads.hh"
+#include "sidechan/attack.hh"
+#include "sidechan/victim.hh"
+
+// Real-hardware port.
+#include "hw/channel_hw.hh"
+#include "hw/latency_probe.hh"
+#include "hw/tsc_hw.hh"
+
+#endif // WB_WBCHAN_HH

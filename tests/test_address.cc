@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for address layout and address spaces (sim/address.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/address.hh"
+
+namespace wb::sim
+{
+namespace
+{
+
+TEST(AddressLayout, IndexAndTag)
+{
+    AddressLayout layout(64);
+    EXPECT_EQ(layout.numSets(), 64u);
+    EXPECT_EQ(layout.indexBits(), 6u);
+    // Byte address = tag | index | offset.
+    const Addr a = (Addr(0x5) << 12) | (13u << 6) | 0x2a;
+    EXPECT_EQ(layout.setIndex(a), 13u);
+    EXPECT_EQ(layout.tag(a), 0x5u);
+}
+
+TEST(AddressLayout, LineAddrDropsOffset)
+{
+    EXPECT_EQ(AddressLayout::lineAddr(0x1000), 0x40u);
+    EXPECT_EQ(AddressLayout::lineAddr(0x103f), 0x40u);
+    EXPECT_EQ(AddressLayout::lineAddr(0x1040), 0x41u);
+}
+
+/** compose() must invert (setIndex, tag) for any geometry. */
+class LayoutRoundtrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LayoutRoundtrip, ComposeInvertsDecompose)
+{
+    AddressLayout layout(GetParam());
+    for (unsigned set = 0; set < layout.numSets();
+         set += std::max(1u, layout.numSets() / 16)) {
+        for (Addr tag : {Addr(0), Addr(1), Addr(0x123), Addr(0xffff)}) {
+            const Addr a = layout.compose(set, tag);
+            EXPECT_EQ(layout.setIndex(a), set);
+            EXPECT_EQ(layout.tag(a), tag);
+            EXPECT_EQ(a % lineBytes, 0u); // line aligned
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, LayoutRoundtrip,
+                         ::testing::Values(1u, 2u, 16u, 64u, 512u));
+
+TEST(AddressSpace, PrivateSpacesDisjoint)
+{
+    AddressSpace a(1), b(2);
+    for (Addr va : {Addr(0), Addr(0x1000), Addr(0xdeadbeef)})
+        EXPECT_NE(a.translate(va), b.translate(va));
+}
+
+TEST(AddressSpace, TranslationPreservesLowBits)
+{
+    AddressSpace a(3);
+    const Addr va = 0x12345;
+    // Index/offset bits survive translation (VIPT property).
+    EXPECT_EQ(a.translate(va) & 0xfff, va & 0xfff);
+}
+
+TEST(AddressSpace, SameSpaceIsLinear)
+{
+    AddressSpace a(1);
+    EXPECT_EQ(a.translate(0x2000) - a.translate(0x1000), 0x1000u);
+}
+
+TEST(AddressSpace, SharedSegmentsCollide)
+{
+    AddressSpace a(1), b(2);
+    a.mapShared(0x7f000000, 4096, 0x1000);
+    b.mapShared(0x40000000, 4096, 0x1000); // different va, same phys
+    EXPECT_EQ(a.translate(0x7f000100), b.translate(0x40000100));
+    // Outside the segment, still disjoint.
+    EXPECT_NE(a.translate(0x7f001000), b.translate(0x40001000));
+}
+
+TEST(AddressSpace, SharedDistinctFromPrivate)
+{
+    AddressSpace a(1);
+    a.mapShared(0x7f000000, 4096, 0x1000);
+    EXPECT_NE(a.translate(0x7f000000), a.translate(0x1000));
+}
+
+} // namespace
+} // namespace wb::sim

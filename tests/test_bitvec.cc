@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for bit-sequence helpers (common/bitvec.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+
+namespace wb
+{
+namespace
+{
+
+TEST(BitVec, Preamble)
+{
+    const BitVec p = preamble16();
+    ASSERT_EQ(p.size(), 16u);
+    EXPECT_EQ(toUint(p), 0xA5C3u);
+}
+
+TEST(BitVec, StringRoundtrip)
+{
+    const std::string msg = "WB channel!";
+    EXPECT_EQ(toString(fromString(msg)), msg);
+}
+
+TEST(BitVec, StringPartialByteDropped)
+{
+    BitVec b = fromString("A");
+    b.push_back(true); // 9 bits: trailing partial byte ignored
+    EXPECT_EQ(toString(b), "A");
+}
+
+TEST(BitVec, UintRoundtrip)
+{
+    for (std::uint64_t v : {0ull, 1ull, 0xdeadull, 0xffffull}) {
+        EXPECT_EQ(toUint(fromUint(v, 16)), v & 0xffff);
+    }
+    EXPECT_EQ(fromUint(0b101, 3), fromBitString("101"));
+}
+
+TEST(BitVec, BitStringRoundtrip)
+{
+    const std::string s = "1010011100101";
+    EXPECT_EQ(toBitString(fromBitString(s)), s);
+}
+
+TEST(BitVec, BitStringSkipsJunk)
+{
+    EXPECT_EQ(fromBitString("1 0 x1"), fromBitString("101"));
+}
+
+TEST(BitVec, RandomBitsLengthAndVariety)
+{
+    Rng rng(3);
+    const BitVec b = randomBits(256, rng);
+    ASSERT_EQ(b.size(), 256u);
+    int ones = 0;
+    for (bool bit : b)
+        ones += bit;
+    EXPECT_GT(ones, 80);
+    EXPECT_LT(ones, 176);
+}
+
+TEST(BitVec, RandomFrameLayout)
+{
+    Rng rng(5);
+    const BitVec f = randomFrame(112, rng);
+    ASSERT_EQ(f.size(), 128u);
+    const BitVec head(f.begin(), f.begin() + 16);
+    EXPECT_EQ(head, preamble16());
+}
+
+TEST(Align, ExactMatch)
+{
+    Rng rng(7);
+    BitVec hay = randomBits(40, rng);
+    const BitVec pat = preamble16();
+    hay.insert(hay.begin() + 23, pat.begin(), pat.end());
+    // Search tolerating zero errors: must find offset 23 or an
+    // accidental earlier match; verify the found slice matches.
+    auto off = alignByPattern(hay, pat, 0);
+    ASSERT_TRUE(off.has_value());
+    for (std::size_t i = 0; i < pat.size(); ++i)
+        EXPECT_EQ(hay[*off + i], pat[i]);
+}
+
+TEST(Align, ToleratesErrors)
+{
+    Rng rng(9);
+    BitVec hay(30, false);
+    BitVec pat = preamble16();
+    BitVec corrupted = pat;
+    corrupted[3] = !corrupted[3];
+    corrupted[11] = !corrupted[11];
+    hay.insert(hay.begin() + 7, corrupted.begin(), corrupted.end());
+    EXPECT_FALSE(alignByPattern(hay, pat, 1).has_value());
+    auto off = alignByPattern(hay, pat, 2);
+    ASSERT_TRUE(off.has_value());
+    EXPECT_EQ(*off, 7u);
+}
+
+TEST(Align, NoMatch)
+{
+    const BitVec hay(64, false); // all zeros can't hold 0xA5C3 +-2
+    EXPECT_FALSE(alignByPattern(hay, preamble16(), 2).has_value());
+}
+
+TEST(Align, HaystackTooShort)
+{
+    const BitVec hay(8, true);
+    EXPECT_FALSE(alignByPattern(hay, preamble16(), 16).has_value());
+}
+
+TEST(Align, PrefersBestOffset)
+{
+    // Pattern 1111; haystack has a 1-error match at 0 and an exact
+    // match at 6 — the exact one wins.
+    const BitVec hay = fromBitString("111000111100");
+    auto off = alignByPattern(hay, fromBitString("1111"), 1);
+    ASSERT_TRUE(off.has_value());
+    EXPECT_EQ(*off, 6u);
+}
+
+} // namespace
+} // namespace wb

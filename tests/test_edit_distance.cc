@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit and property tests for the Wagner-Fischer edit distance
+ * (common/edit_distance.hh), the paper's BER metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+#include "common/edit_distance.hh"
+#include "common/rng.hh"
+
+namespace wb
+{
+namespace
+{
+
+BitVec
+bits(const std::string &s)
+{
+    return fromBitString(s);
+}
+
+TEST(EditDistance, IdenticalIsZero)
+{
+    EXPECT_EQ(editDistance(bits("101010"), bits("101010")), 0u);
+    EXPECT_EQ(editDistance({}, {}), 0u);
+}
+
+TEST(EditDistance, EmptyVsNonEmpty)
+{
+    EXPECT_EQ(editDistance({}, bits("1011")), 4u);
+    EXPECT_EQ(editDistance(bits("1011"), {}), 4u); // deletion of all
+}
+
+TEST(EditDistance, SingleSubstitution)
+{
+    EXPECT_EQ(editDistance(bits("1010"), bits("1110")), 1u);
+}
+
+TEST(EditDistance, SingleInsertion)
+{
+    EXPECT_EQ(editDistance(bits("1010"), bits("10110")), 1u);
+}
+
+TEST(EditDistance, SingleDeletion)
+{
+    EXPECT_EQ(editDistance(bits("1010"), bits("110")), 1u);
+}
+
+TEST(EditDistance, ShiftCostsTwo)
+{
+    // A one-position shift inside a fixed-length window costs one
+    // deletion plus one insertion.
+    EXPECT_EQ(editDistance(bits("11001"), bits("10011")), 2u);
+}
+
+TEST(EditDistance, Symmetric)
+{
+    Rng rng(3);
+    for (int i = 0; i < 30; ++i) {
+        const BitVec a = randomBits(20, rng);
+        const BitVec b = randomBits(23, rng);
+        EXPECT_EQ(editDistance(a, b), editDistance(b, a));
+    }
+}
+
+TEST(EditDistance, BoundedByLongerLength)
+{
+    Rng rng(5);
+    for (int i = 0; i < 30; ++i) {
+        const BitVec a = randomBits(15, rng);
+        const BitVec b = randomBits(40, rng);
+        EXPECT_LE(editDistance(a, b), 40u);
+        EXPECT_GE(editDistance(a, b), 25u); // at least the length gap
+    }
+}
+
+TEST(EditBreakdown, SumsToDistance)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        const BitVec a = randomBits(30, rng);
+        const BitVec b = randomBits(28 + (i % 5), rng);
+        const auto br = editBreakdown(a, b);
+        EXPECT_EQ(br.distance, editDistance(a, b));
+        EXPECT_EQ(br.substitutions + br.insertions + br.deletions,
+                  br.distance);
+    }
+}
+
+TEST(EditBreakdown, PureSubstitutions)
+{
+    const auto br = editBreakdown(bits("0000"), bits("1111"));
+    EXPECT_EQ(br.distance, 4u);
+    EXPECT_EQ(br.substitutions, 4u);
+    EXPECT_EQ(br.insertions, 0u);
+    EXPECT_EQ(br.deletions, 0u);
+}
+
+TEST(EditBreakdown, LengthDeltaShowsUp)
+{
+    const auto br = editBreakdown(bits("1111"), bits("111111"));
+    EXPECT_EQ(br.insertions, 2u);
+    EXPECT_EQ(br.deletions, 0u);
+}
+
+TEST(BitErrorRate, Values)
+{
+    EXPECT_DOUBLE_EQ(bitErrorRate(bits("1111"), bits("1111")), 0.0);
+    EXPECT_DOUBLE_EQ(bitErrorRate(bits("1111"), bits("0000")), 1.0);
+    EXPECT_DOUBLE_EQ(bitErrorRate(bits("1010"), bits("1011")), 0.25);
+    EXPECT_DOUBLE_EQ(bitErrorRate({}, bits("1")), 0.0);
+}
+
+/** Property sweep: planting k flips yields distance <= k (and == k
+ * when flips are isolated). */
+class EditDistanceFlips : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EditDistanceFlips, PlantedFlipsBounded)
+{
+    const unsigned k = GetParam();
+    Rng rng(100 + k);
+    BitVec a = randomBits(64, rng);
+    BitVec b = a;
+    // Flip k well-separated positions.
+    for (unsigned i = 0; i < k; ++i)
+        b[i * 5] = !b[i * 5];
+    EXPECT_EQ(editDistance(a, b), k);
+    const auto br = editBreakdown(a, b);
+    EXPECT_EQ(br.substitutions, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flips, EditDistanceFlips,
+                         ::testing::Values(0u, 1u, 2u, 4u, 8u, 12u));
+
+} // namespace
+} // namespace wb

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the Table II / Table V eviction experiments
+ * (sim/eviction_probe.hh): true-LRU and Tree-PLRU sweep guarantees and
+ * the random-replacement eviction-probability formula.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/eviction_probe.hh"
+
+namespace wb::sim
+{
+namespace
+{
+
+TEST(IidFormula, PaperValues)
+{
+    // Sec. VI-A: p ~= 99.1% for W=8, d=3, L=10.
+    EXPECT_NEAR(iidEvictionProbability(8, 3, 10), 0.991, 0.001);
+    // Degenerate cases.
+    EXPECT_DOUBLE_EQ(iidEvictionProbability(8, 8, 1), 1.0);
+    EXPECT_DOUBLE_EQ(iidEvictionProbability(8, 1, 0), 0.0);
+}
+
+TEST(IidFormula, MonotoneInDAndL)
+{
+    for (unsigned d = 1; d < 8; ++d)
+        EXPECT_LT(iidEvictionProbability(8, d, 8),
+                  iidEvictionProbability(8, d + 1, 8));
+    for (unsigned L = 1; L < 16; ++L)
+        EXPECT_LT(iidEvictionProbability(8, 2, L),
+                  iidEvictionProbability(8, 2, L + 1));
+}
+
+TEST(EvictionProbe, TrueLruGuaranteesAtW)
+{
+    // Paper Table II row 1: with true LRU, a replacement set of size
+    // W always evicts the target line.
+    Rng rng(1);
+    EvictionProbeConfig cfg;
+    cfg.policy = PolicyKind::TrueLru;
+    cfg.replacementSize = 8;
+    auto res = runEvictionProbe(cfg, 500, rng);
+    EXPECT_DOUBLE_EQ(res.probTargetEvicted, 1.0);
+}
+
+TEST(EvictionProbe, TrueLruCanFailBelowW)
+{
+    Rng rng(2);
+    EvictionProbeConfig cfg;
+    cfg.policy = PolicyKind::TrueLru;
+    cfg.replacementSize = 7;
+    auto res = runEvictionProbe(cfg, 500, rng);
+    EXPECT_LT(res.probTargetEvicted, 0.01); // line 0 is MRU: survives
+}
+
+TEST(EvictionProbe, TreePlruSweepIsExactAtW)
+{
+    // An idealized Tree-PLRU in a clean environment always turns the
+    // whole set over with exactly W consecutive misses (the victim
+    // pointer alternates subtrees and visits each leaf once). The
+    // paper's gem5 figure of 94.3% at N=8 reflects gem5 run details;
+    // with measurement interference our model lands below 100% too
+    // (CommercialLikeShape below). Full turnover at W is this
+    // implementation's pinned behaviour.
+    Rng rng(3);
+    EvictionProbeConfig cfg;
+    cfg.policy = PolicyKind::TreePlru;
+    cfg.replacementSize = 8;
+    auto at8 = runEvictionProbe(cfg, 2000, rng);
+    EXPECT_DOUBLE_EQ(at8.probTargetEvicted, 1.0);
+
+    // The most recently touched line is the cycle's last victim, so a
+    // 7-line sweep never reaches it.
+    cfg.replacementSize = 7;
+    auto at7 = runEvictionProbe(cfg, 2000, rng);
+    EXPECT_LT(at7.probTargetEvicted, 0.01);
+}
+
+TEST(EvictionProbe, InterferenceLowersTreePlruReliability)
+{
+    // With bounded measurement interference (extraneous same-set
+    // traffic), Tree-PLRU turnover at N=8 drops below certainty and
+    // recovers as N grows — the Table II "needs N=10" effect.
+    Rng rng(4);
+    EvictionProbeConfig cfg;
+    cfg.policy = PolicyKind::TreePlru;
+    cfg.interferenceProb = 0.4;
+    cfg.interferenceMax = 3;
+
+    cfg.replacementSize = 8;
+    auto at8 = runEvictionProbe(cfg, 3000, rng);
+    cfg.replacementSize = 10;
+    auto at10 = runEvictionProbe(cfg, 3000, rng);
+    cfg.replacementSize = 12;
+    auto at12 = runEvictionProbe(cfg, 3000, rng);
+
+    EXPECT_LT(at8.probTargetEvicted, 0.97);
+    EXPECT_GT(at10.probTargetEvicted, at8.probTargetEvicted);
+    EXPECT_GE(at12.probTargetEvicted, 0.99);
+}
+
+TEST(EvictionProbe, CommercialLikeShape)
+{
+    // Paper Table II row 3 (Intel Xeon E5-2650: 68.8 / 81.7 / 100 at
+    // N=8/9/10): the noisy-PLRU stand-in reproduces the sub-certain
+    // band at N=8..9 and the monotone rise; it saturates more slowly
+    // than the real part (documented in EXPERIMENTS.md).
+    Rng rng(5);
+    EvictionProbeConfig cfg;
+    cfg.policy = PolicyKind::QuadAgeLru;
+
+    cfg.replacementSize = 8;
+    auto at8 = runEvictionProbe(cfg, 3000, rng);
+    cfg.replacementSize = 9;
+    auto at9 = runEvictionProbe(cfg, 3000, rng);
+    cfg.replacementSize = 12;
+    auto at12 = runEvictionProbe(cfg, 3000, rng);
+
+    EXPECT_GT(at8.probTargetEvicted, 0.50);
+    EXPECT_LT(at8.probTargetEvicted, 0.78);
+    EXPECT_GT(at9.probTargetEvicted, at8.probTargetEvicted);
+    EXPECT_GT(at12.probTargetEvicted, 0.82);
+}
+
+TEST(EvictionProbe, DirtyLinesTracked)
+{
+    Rng rng(5);
+    EvictionProbeConfig cfg;
+    cfg.policy = PolicyKind::TrueLru;
+    cfg.dirtyLines = 3;
+    cfg.replacementSize = 8;
+    auto res = runEvictionProbe(cfg, 200, rng);
+    // True LRU with L = W replaces everything.
+    EXPECT_DOUBLE_EQ(res.probAnyDirtyEvicted, 1.0);
+    EXPECT_DOUBLE_EQ(res.probAllDirtyEvicted, 1.0);
+}
+
+/** Table V property: the IID simulation matches the formula. */
+class RandomEviction
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(RandomEviction, IidSimulationMatchesFormula)
+{
+    const auto [d, L] = GetParam();
+    Rng rng(100 + d * 16 + L);
+    EvictionProbeConfig cfg;
+    cfg.policy = PolicyKind::RandomIid;
+    cfg.dirtyLines = d;
+    cfg.replacementSize = L;
+    auto res = runEvictionProbe(cfg, 4000, rng);
+    const double expected = iidEvictionProbability(8, d, L);
+    EXPECT_NEAR(res.probAnyDirtyEvicted, expected, 0.035);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableV, RandomEviction,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(8u, 9u, 10u, 11u, 12u, 13u)));
+
+TEST(EvictionProbe, LfsrIsBiasedButUsable)
+{
+    // The LFSR pseudo-random policy is correlated with the access
+    // stream; it still evicts dirty lines with high probability at
+    // the paper's recommended d=3, L=12 operating point.
+    Rng rng(6);
+    EvictionProbeConfig cfg;
+    cfg.policy = PolicyKind::LfsrRandom;
+    cfg.dirtyLines = 3;
+    cfg.replacementSize = 12;
+    auto res = runEvictionProbe(cfg, 2000, rng);
+    EXPECT_GT(res.probAnyDirtyEvicted, 0.85);
+}
+
+TEST(EvictionProbe, RejectsBadConfig)
+{
+    Rng rng(7);
+    EvictionProbeConfig cfg;
+    cfg.dirtyLines = 0;
+    EXPECT_EXIT((void)runEvictionProbe(cfg, 1, rng),
+                ::testing::ExitedWithCode(1), "dirtyLines");
+}
+
+} // namespace
+} // namespace wb::sim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the remaining small pieces: table rendering, logging
+ * helpers and the noise process program.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chan/noise_process.hh"
+#include "chan/set_mapping.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "sim/smt_core.hh"
+
+namespace wb
+{
+namespace
+{
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("Demo");
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22222"});
+    t.note("a note");
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22222"), std::string::npos);
+    EXPECT_NE(out.find("* a note"), std::string::npos);
+    // Columns align: "value" and "1" start at the same offset.
+    const auto headerLine = out.find("name");
+    const auto valueCol = out.find("value") - headerLine;
+    const auto alphaLine = out.find("alpha");
+    EXPECT_EQ(out.find('1', alphaLine) - alphaLine, valueCol);
+}
+
+TEST(Table, NumAndPct)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.943, 1), "94.3%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, RowsWiderThanHeader)
+{
+    Table t;
+    t.header({"a"});
+    t.row({"x", "extra"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("extra"), std::string::npos);
+}
+
+TEST(Banner, Prints)
+{
+    std::ostringstream os;
+    banner(os, "Phase 1");
+    EXPECT_EQ(os.str(), "\n== Phase 1 ==\n");
+}
+
+TEST(Log, FatalExits)
+{
+    EXPECT_EXIT(fatal("boom"), ::testing::ExitedWithCode(1), "boom");
+    EXPECT_EXIT(fatalf("x=", 42), ::testing::ExitedWithCode(1), "x=42");
+}
+
+TEST(Log, PanicAborts)
+{
+    EXPECT_DEATH(panic("bad invariant"), "bad invariant");
+}
+
+TEST(NoiseProcess, PacedBursts)
+{
+    Rng rng(3);
+    auto hp = sim::xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    sim::Hierarchy h(hp, &rng);
+    sim::SmtCore core(h, sim::NoiseModel::quiet(), rng);
+    auto lines = chan::linesForSet(h.l1().layout(), 13, 4, 0x300);
+    chan::NoiseProcessConfig cfg;
+    cfg.period = 10000;
+    cfg.burstLines = 2;
+    chan::NoiseProcess noise(lines, cfg);
+    core.addThread(&noise, sim::AddressSpace(9));
+    core.run(100'000);
+    // ~10 periods x 2 lines.
+    EXPECT_GE(noise.accesses(), 16u);
+    EXPECT_LE(noise.accesses(), 24u);
+}
+
+TEST(NoiseProcess, StoreFractionZeroNeverDirties)
+{
+    Rng rng(3);
+    auto hp = sim::xeonE5_2650Params();
+    sim::Hierarchy h(hp, &rng);
+    sim::SmtCore core(h, sim::NoiseModel::quiet(), rng);
+    auto lines = chan::linesForSet(h.l1().layout(), 13, 4, 0x300);
+    chan::NoiseProcessConfig cfg;
+    cfg.period = 5000;
+    cfg.burstLines = 4;
+    cfg.storeFraction = 0.0;
+    chan::NoiseProcess noise(lines, cfg);
+    core.addThread(&noise, sim::AddressSpace(9));
+    core.run(100'000);
+    EXPECT_EQ(h.l1().dirtyCountInSet(13), 0u);
+}
+
+TEST(NoiseProcess, StoreFractionOneDirties)
+{
+    Rng rng(3);
+    auto hp = sim::xeonE5_2650Params();
+    sim::Hierarchy h(hp, &rng);
+    sim::SmtCore core(h, sim::NoiseModel::quiet(), rng);
+    auto lines = chan::linesForSet(h.l1().layout(), 13, 2, 0x300);
+    chan::NoiseProcessConfig cfg;
+    cfg.period = 5000;
+    cfg.burstLines = 2;
+    cfg.storeFraction = 1.0;
+    chan::NoiseProcess noise(lines, cfg);
+    core.addThread(&noise, sim::AddressSpace(9));
+    core.run(50'000);
+    EXPECT_GE(h.l1().dirtyCountInSet(13), 1u);
+}
+
+} // namespace
+} // namespace wb

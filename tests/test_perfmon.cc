@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for perf metrics, benign workloads and the stealth experiments
+ * (paper Sec. VII, Tables VI and VII).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfmon/metrics.hh"
+#include "perfmon/stealth.hh"
+#include "perfmon/workloads.hh"
+#include "sim/smt_core.hh"
+
+namespace wb::perfmon
+{
+namespace
+{
+
+TEST(Metrics, LoadFootprintMath)
+{
+    sim::PerfCounters c;
+    c.loads = 1000;
+    c.stores = 200;
+    c.spinLoads = 800;
+    c.l2Accesses = 50;
+    c.llcAccesses = 5;
+    // 2.2e9 cycles at 2.2 GHz = 1 second.
+    auto fp = loadFootprint(c, 2'200'000'000ull, 2.2);
+    EXPECT_DOUBLE_EQ(fp.l1PerSec, 2000.0);
+    EXPECT_DOUBLE_EQ(fp.l2PerSec, 50.0);
+    EXPECT_DOUBLE_EQ(fp.llcPerSec, 5.0);
+    EXPECT_DOUBLE_EQ(fp.totalPerSec, 2055.0);
+}
+
+TEST(Metrics, ZeroElapsedIsZero)
+{
+    sim::PerfCounters c;
+    c.loads = 10;
+    auto fp = loadFootprint(c, 0, 2.2);
+    EXPECT_DOUBLE_EQ(fp.totalPerSec, 0.0);
+}
+
+TEST(Metrics, MissProfile)
+{
+    sim::PerfCounters c;
+    c.loads = 100;
+    c.spinLoads = 100;
+    c.l1Misses = 10;
+    c.l2Accesses = 10;
+    c.l2Misses = 5;
+    c.llcAccesses = 5;
+    c.llcMisses = 1;
+    auto mp = missProfile(c);
+    EXPECT_DOUBLE_EQ(mp.l1d, 0.05);
+    EXPECT_DOUBLE_EQ(mp.l2, 0.5);
+    EXPECT_DOUBLE_EQ(mp.llc, 0.2);
+}
+
+TEST(Workloads, CompilerIssuesMixedOps)
+{
+    Rng rng(3);
+    auto hp = sim::xeonE5_2650Params();
+    sim::Hierarchy h(hp, &rng);
+    sim::SmtCore core(h, sim::NoiseModel::quiet(), rng);
+    CompilerWorkload w;
+    auto tid = core.addThread(&w, sim::AddressSpace(5));
+    core.run(300'000);
+    const auto &c = h.counters(tid);
+    EXPECT_GT(c.loads, 1000u);
+    EXPECT_GT(c.stores, 100u);
+    EXPECT_GT(c.l1Misses, 100u); // working set exceeds L1
+}
+
+TEST(Workloads, StreamingMostlyMissesL1)
+{
+    Rng rng(3);
+    auto hp = sim::xeonE5_2650Params();
+    sim::Hierarchy h(hp, &rng);
+    sim::SmtCore core(h, sim::NoiseModel::quiet(), rng);
+    StreamingWorkload w(16384); // 1 MiB: far beyond L1/L2
+    auto tid = core.addThread(&w, sim::AddressSpace(5));
+    core.run(500'000);
+    const auto &c = h.counters(tid);
+    EXPECT_GT(c.l1MissRate(), 0.9);
+}
+
+TEST(TableVI, WbSenderQuieterThanLru)
+{
+    auto cmp = compareSenderFootprints(11000, 6, 3);
+    // Paper Table VI: WB total ~= 59.8% of the LRU channel's. The
+    // simulation should land in a generous band around it.
+    EXPECT_GT(cmp.ratio, 0.40);
+    EXPECT_LT(cmp.ratio, 0.80);
+    // Absolute order of magnitude: a few 1e8 loads/s (Table VI).
+    EXPECT_GT(cmp.wb.l1PerSec, 1e8);
+    EXPECT_LT(cmp.wb.l1PerSec, 1e9);
+}
+
+TEST(TableVII, L1MissRateOrdering)
+{
+    // Paper Table VII ordering: sender-only << WB channel < benign
+    // co-runner (that is why perf-counter detection fails).
+    const auto wb =
+        senderMissProfile(CoRunner::WbReceiver, false, 11000, 640, 3);
+    const auto gpp =
+        senderMissProfile(CoRunner::Compiler, false, 11000, 640, 3);
+    const auto alone =
+        senderMissProfile(CoRunner::None, false, 11000, 640, 3);
+    EXPECT_LT(alone.l1d, wb.l1d / 5.0);
+    EXPECT_GT(gpp.l1d, wb.l1d);
+    // Magnitudes: all far below 1%.
+    EXPECT_LT(wb.l1d, 0.002);
+    EXPECT_LT(gpp.l1d, 0.01);
+}
+
+TEST(TableVII, MultiBitSenderMissesMore)
+{
+    const auto bin =
+        senderMissProfile(CoRunner::WbReceiver, false, 11000, 640, 3);
+    const auto multi =
+        senderMissProfile(CoRunner::WbReceiver, true, 11000, 640, 3);
+    // Multi-bit modulates up to 8 lines per symbol: more L1 misses.
+    EXPECT_GT(multi.l1d, bin.l1d * 2);
+}
+
+TEST(TableVII, WbSenderL2MissRateLow)
+{
+    // The sender's lines bounce L1<->L2, so its L2 accesses hit.
+    const auto wb =
+        senderMissProfile(CoRunner::WbReceiver, false, 11000, 640, 3);
+    EXPECT_LT(wb.l2, 0.10);
+}
+
+} // namespace
+} // namespace wb::perfmon

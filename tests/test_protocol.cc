@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for framing and decoding (chan/protocol.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chan/protocol.hh"
+#include "common/rng.hh"
+
+namespace wb::chan
+{
+namespace
+{
+
+TEST(Protocol, RateKbpsMatchesPaper)
+{
+    ProtocolConfig cfg;
+    cfg.encoding = Encoding::binary(1);
+    cfg.ts = 1600;
+    EXPECT_NEAR(cfg.rateKbps(), 1375.0, 0.5); // paper Sec. V
+    cfg.ts = 800;
+    EXPECT_NEAR(cfg.rateKbps(), 2750.0, 0.5);
+    cfg.ts = 5500;
+    EXPECT_NEAR(cfg.rateKbps(), 400.0, 0.5);
+    cfg.encoding = Encoding::paperTwoBit();
+    cfg.ts = 1000;
+    EXPECT_NEAR(cfg.rateKbps(), 4400.0, 0.5); // multi-bit headline
+    cfg.ts = 4000;
+    EXPECT_NEAR(cfg.rateKbps(), 1100.0, 0.5); // paper Fig. 7
+}
+
+TEST(Protocol, SymbolsPerFrame)
+{
+    ProtocolConfig cfg;
+    cfg.frameBits = 128;
+    cfg.encoding = Encoding::binary(1);
+    EXPECT_EQ(cfg.symbolsPerFrame(), 128u);
+    cfg.encoding = Encoding::paperTwoBit();
+    EXPECT_EQ(cfg.symbolsPerFrame(), 64u);
+}
+
+TEST(Protocol, FrameToLevels)
+{
+    const Encoding enc = Encoding::paperTwoBit();
+    const auto levels = frameToLevels(fromBitString("00011011"), enc);
+    ASSERT_EQ(levels.size(), 4u);
+    EXPECT_EQ(levels[0], 0u);
+    EXPECT_EQ(levels[1], 3u);
+    EXPECT_EQ(levels[2], 5u);
+    EXPECT_EQ(levels[3], 8u);
+}
+
+TEST(Protocol, ClassifyAllAndSymbolsToBits)
+{
+    Classifier cls({100.0, 200.0});
+    const std::vector<double> lats{90, 210, 120, 180};
+    const auto symbols = classifyAll(lats, cls);
+    const BitVec bits = symbolsToBits(symbols, Encoding::binary(1));
+    EXPECT_EQ(toBitString(bits), "0101");
+}
+
+/** Helper: encode a frame stream into a perfect latency sequence. */
+std::vector<double>
+perfectLatencies(const BitVec &frame, unsigned frames, double c0,
+                 double c1, unsigned leadingZeros = 0)
+{
+    std::vector<double> lats(leadingZeros, c0);
+    for (unsigned f = 0; f < frames; ++f)
+        for (bool b : frame)
+            lats.push_back(b ? c1 : c0);
+    return lats;
+}
+
+TEST(Protocol, PerfectStreamDecodesToZeroBer)
+{
+    Rng rng(3);
+    const BitVec frame = randomFrame(112, rng);
+    const Classifier cls({100.0, 200.0});
+    const auto lats = perfectLatencies(frame, 5, 100, 200, 17);
+    auto dec = decodeTransmission(lats, cls, Encoding::binary(1), frame,
+                                  5);
+    EXPECT_TRUE(dec.aligned);
+    EXPECT_EQ(dec.framesScored, 5u);
+    EXPECT_DOUBLE_EQ(dec.ber, 0.0);
+}
+
+TEST(Protocol, FlippedBitsCountAsSubstitutions)
+{
+    Rng rng(5);
+    const BitVec frame = randomFrame(112, rng);
+    const Classifier cls({100.0, 200.0});
+    auto lats = perfectLatencies(frame, 4, 100, 200);
+    // Corrupt 6 samples placed strictly inside payload regions
+    // (offsets 40 and 80 of frames 1..3; frames are 128 samples).
+    const std::size_t flips[6] = {128 + 40, 128 + 80, 256 + 40,
+                                  256 + 80, 384 + 40, 384 + 80};
+    for (std::size_t idx : flips) {
+        auto &v = lats[idx];
+        v = (v > 150.0) ? 100.0 : 200.0;
+    }
+    auto dec = decodeTransmission(lats, cls, Encoding::binary(1), frame,
+                                  4);
+    EXPECT_TRUE(dec.aligned);
+    EXPECT_NEAR(dec.ber, 6.0 / (4 * 112), 1e-9);
+    EXPECT_EQ(dec.breakdown.substitutions, 6u);
+}
+
+TEST(Protocol, LostSampleIsAbsorbedByRelock)
+{
+    Rng rng(7);
+    const BitVec frame = randomFrame(112, rng);
+    const Classifier cls({100.0, 200.0});
+    auto lats = perfectLatencies(frame, 6, 100, 200);
+    // Drop one sample inside frame 2 (a slot slip).
+    lats.erase(lats.begin() + 300);
+    auto dec = decodeTransmission(lats, cls, Encoding::binary(1), frame,
+                                  6);
+    EXPECT_TRUE(dec.aligned);
+    // One frame damaged (~2 edits), later frames re-lock cleanly.
+    EXPECT_LT(dec.ber, 0.01);
+    EXPECT_GE(dec.framesScored, 5u);
+}
+
+TEST(Protocol, BigSlipIsAbsorbed)
+{
+    Rng rng(9);
+    const BitVec frame = randomFrame(112, rng);
+    const Classifier cls({100.0, 200.0});
+    auto lats = perfectLatencies(frame, 8, 100, 200);
+    // A preemption: 12 samples lost mid-stream.
+    lats.erase(lats.begin() + 500, lats.begin() + 512);
+    auto dec = decodeTransmission(lats, cls, Encoding::binary(1), frame,
+                                  8);
+    EXPECT_TRUE(dec.aligned);
+    EXPECT_LT(dec.ber, 0.05);
+}
+
+TEST(Protocol, GarbageNeverAligns)
+{
+    const Classifier cls({100.0, 200.0});
+    const std::vector<double> lats(1000, 100.0); // all zero bits
+    Rng rng(11);
+    BitVec frame = randomFrame(112, rng);
+    auto dec = decodeTransmission(lats, cls, Encoding::binary(1), frame,
+                                  5);
+    EXPECT_FALSE(dec.aligned);
+    EXPECT_DOUBLE_EQ(dec.ber, 1.0);
+}
+
+TEST(Protocol, MultiBitDecodes)
+{
+    Rng rng(13);
+    const Encoding enc = Encoding::paperTwoBit();
+    BitVec frame = randomFrame(240, rng); // 256 bits = 128 symbols
+    Classifier cls({100.0, 133.0, 155.0, 188.0});
+    std::vector<double> lats;
+    const auto levels = frameToLevels(frame, enc);
+    for (unsigned f = 0; f < 3; ++f) {
+        for (unsigned lvl : levels) {
+            const double c = lvl == 0 ? 100.0
+                : lvl == 3           ? 133.0
+                : lvl == 5           ? 155.0
+                                     : 188.0;
+            lats.push_back(c);
+        }
+    }
+    auto dec = decodeTransmission(lats, cls, enc, frame, 3);
+    EXPECT_TRUE(dec.aligned);
+    EXPECT_DOUBLE_EQ(dec.ber, 0.0);
+    EXPECT_EQ(dec.framesScored, 3u);
+}
+
+TEST(Protocol, FrameToLevelsRejectsRaggedFrame)
+{
+    const Encoding enc = Encoding::paperTwoBit();
+    EXPECT_EXIT((void)frameToLevels(fromBitString("001"), enc),
+                ::testing::ExitedWithCode(1), "not divisible");
+}
+
+} // namespace
+} // namespace wb::chan

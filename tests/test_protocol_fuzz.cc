@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Protocol fuzzing: perfect latency streams are corrupted with
+ * controlled rates of flips, insertions and deletions; the decoder's
+ * reported BER must track the injected corruption (within slack for
+ * alignment effects) and never crash, for any corruption mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chan/protocol.hh"
+#include "common/rng.hh"
+
+namespace wb::chan
+{
+namespace
+{
+
+struct FuzzSpec
+{
+    double flipProb;
+    double insertProb;
+    double deleteProb;
+    std::uint64_t seed;
+};
+
+class ProtocolFuzz : public ::testing::TestWithParam<FuzzSpec>
+{
+};
+
+TEST_P(ProtocolFuzz, BerTracksInjectedCorruption)
+{
+    const FuzzSpec spec = GetParam();
+    Rng rng(spec.seed);
+    const unsigned frames = 12;
+    const BitVec frame = randomFrame(112, rng);
+    const Classifier cls({100.0, 200.0});
+
+    // Perfect stream with a random lead-in.
+    std::vector<double> lats(rng.below(40), 100.0);
+    for (unsigned f = 0; f < frames; ++f)
+        for (bool b : frame)
+            lats.push_back(b ? 200.0 : 100.0);
+
+    // Corrupt.
+    std::vector<double> fuzzed;
+    double injected = 0;
+    for (double v : lats) {
+        if (rng.chance(spec.deleteProb)) {
+            injected += 1;
+            continue; // lost sample
+        }
+        if (rng.chance(spec.insertProb)) {
+            fuzzed.push_back(rng.chance(0.5) ? 100.0 : 200.0);
+            injected += 1;
+        }
+        if (rng.chance(spec.flipProb)) {
+            fuzzed.push_back(v > 150 ? 100.0 : 200.0);
+            injected += 1;
+        } else {
+            fuzzed.push_back(v);
+        }
+    }
+
+    auto dec = decodeTransmission(fuzzed, cls, Encoding::binary(1),
+                                  frame, frames);
+    const double injectedRate = injected / double(lats.size());
+
+    if (injectedRate < 0.02) {
+        // Light corruption: decoder must stay aligned and close.
+        EXPECT_TRUE(dec.aligned);
+        EXPECT_LE(dec.ber, injectedRate * 3 + 0.02);
+    }
+    // Universal invariants.
+    EXPECT_GE(dec.ber, 0.0);
+    EXPECT_LE(dec.ber, 1.0);
+    EXPECT_LE(dec.framesScored, frames);
+    EXPECT_EQ(dec.breakdown.substitutions + dec.breakdown.insertions +
+                  dec.breakdown.deletions,
+              dec.breakdown.distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, ProtocolFuzz,
+    ::testing::Values(FuzzSpec{0.0, 0.0, 0.0, 1},
+                      FuzzSpec{0.005, 0.0, 0.0, 2},
+                      FuzzSpec{0.0, 0.005, 0.0, 3},
+                      FuzzSpec{0.0, 0.0, 0.005, 4},
+                      FuzzSpec{0.01, 0.002, 0.002, 5},
+                      FuzzSpec{0.05, 0.01, 0.01, 6},
+                      FuzzSpec{0.15, 0.03, 0.03, 7},
+                      FuzzSpec{0.4, 0.1, 0.1, 8},
+                      FuzzSpec{0.0, 0.2, 0.0, 9},
+                      FuzzSpec{0.0, 0.0, 0.2, 10}));
+
+TEST(ProtocolFuzz, SurvivesPathologicalStreams)
+{
+    const Classifier cls({100.0, 200.0});
+    Rng rng(11);
+    const BitVec frame = randomFrame(112, rng);
+    // All-high, all-low, alternating, tiny, giant-constant streams.
+    std::vector<std::vector<double>> streams = {
+        std::vector<double>(500, 200.0),
+        std::vector<double>(500, 100.0),
+        {},
+        {150.0},
+        std::vector<double>(5000, 149.9),
+    };
+    std::vector<double> alt;
+    for (int i = 0; i < 600; ++i)
+        alt.push_back(i % 2 ? 200.0 : 100.0);
+    streams.push_back(alt);
+    for (const auto &s : streams) {
+        auto dec = decodeTransmission(s, cls, Encoding::binary(1),
+                                      frame, 4);
+        EXPECT_GE(dec.ber, 0.0);
+        EXPECT_LE(dec.ber, 1.0);
+    }
+}
+
+} // namespace
+} // namespace wb::chan

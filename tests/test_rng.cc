@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG (common/rng.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace wb
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= (v == -3);
+        sawHi |= (v == 3);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(19);
+    double sum = 0, sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(23);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(29);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double e = rng.exponential(100.0);
+        ASSERT_GE(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(31);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto orig = v;
+    rng.shuffle(v);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, ShuffleActuallyShuffles)
+{
+    Rng rng(37);
+    std::vector<int> v(64);
+    for (int i = 0; i < 64; ++i)
+        v[i] = i;
+    const auto orig = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, orig); // P(identity) = 1/64! ~ 0
+}
+
+TEST(Rng, SplitIndependence)
+{
+    Rng root(41);
+    Rng a = root.split();
+    Rng b = root.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, FlipBalance)
+{
+    Rng rng(43);
+    int heads = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (rng.flip())
+            ++heads;
+    EXPECT_NEAR(heads / 20000.0, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace wb

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the SMT-core executor (sim/smt_core.hh): op
+ * execution, virtual-time interleaving, spin semantics, TSC
+ * quantization and noise accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/smt_core.hh"
+
+namespace wb::sim
+{
+namespace
+{
+
+HierarchyParams
+quietParams()
+{
+    HierarchyParams p = xeonE5_2650Params();
+    p.lat.noiseSigma = 0.0;
+    p.l1.policy = PolicyKind::TrueLru;
+    return p;
+}
+
+/** Program recording every result it sees. */
+class Recorder : public Program
+{
+  public:
+    explicit Recorder(std::vector<MemOp> ops) : ops_(std::move(ops)) {}
+
+    std::optional<MemOp>
+    next(ProcView &) override
+    {
+        if (pos_ >= ops_.size())
+            return std::nullopt;
+        return ops_[pos_++];
+    }
+
+    void
+    onResult(const MemOp &op, const OpResult &res, ProcView &view) override
+    {
+        results.push_back(res);
+        kinds.push_back(op.kind);
+        times.push_back(view.now());
+    }
+
+    std::vector<OpResult> results;
+    std::vector<MemOp::Kind> kinds;
+    std::vector<Cycles> times;
+
+  private:
+    std::vector<MemOp> ops_;
+    std::size_t pos_ = 0;
+};
+
+TEST(SmtCore, ExecutesTraceToCompletion)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    SmtCore core(h, NoiseModel::quiet(), rng);
+    Recorder prog({MemOp::load(0x1000), MemOp::load(0x1000),
+                   MemOp::store(0x1000), MemOp::halt()});
+    auto tid = core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    EXPECT_TRUE(core.halted(tid));
+    ASSERT_EQ(prog.results.size(), 3u);
+    EXPECT_FALSE(prog.results[0].l1Hit); // cold
+    EXPECT_TRUE(prog.results[1].l1Hit);
+}
+
+TEST(SmtCore, QuietTimingIsExact)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    SmtCore core(h, NoiseModel::quiet(), rng);
+    Recorder prog({MemOp::delay(100), MemOp::delay(23)});
+    auto tid = core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    EXPECT_EQ(core.threadTime(tid), 123u);
+}
+
+TEST(SmtCore, SpinUntilJumpsForward)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    SmtCore core(h, NoiseModel::quiet(), rng);
+    Recorder prog({MemOp::spinUntil(5000), MemOp::spinUntil(100)});
+    auto tid = core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    // Second spin target already passed: time unchanged.
+    EXPECT_EQ(core.threadTime(tid), 5000u);
+    EXPECT_EQ(prog.results[0].tsc, 5000u);
+}
+
+TEST(SmtCore, StartTimeStaggersThreads)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    SmtCore core(h, NoiseModel::quiet(), rng);
+    Recorder a({MemOp::delay(10)});
+    Recorder b({MemOp::delay(10)});
+    core.addThread(&a, AddressSpace(1), 0);
+    auto tb = core.addThread(&b, AddressSpace(2), 777);
+    core.run(1'000'000);
+    EXPECT_EQ(core.threadTime(tb), 787u);
+}
+
+TEST(SmtCore, InterleavesByVirtualTime)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    SmtCore core(h, NoiseModel::quiet(), rng);
+    // Thread A stores to a line at t~0; thread B (starting later)
+    // must observe the line already cached (L1 hit as the second
+    // access in global time order).
+    Recorder a({MemOp::store(0x40)});
+    Recorder b({MemOp::load(0x40)});
+    core.addThread(&a, AddressSpace(1), 0);
+    core.addThread(&b, AddressSpace(1), 1000); // same address space
+    core.run(1'000'000);
+    ASSERT_EQ(b.results.size(), 1u);
+    EXPECT_TRUE(b.results[0].l1Hit);
+}
+
+TEST(SmtCore, HorizonStopsRunaways)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    SmtCore core(h, NoiseModel::quiet(), rng);
+    TraceProgram spin({MemOp::delay(10)}, /*loop=*/true);
+    auto tid = core.addThread(&spin, AddressSpace(1));
+    const Cycles end = core.run(5000);
+    EXPECT_FALSE(core.halted(tid));
+    EXPECT_GE(end, 5000u);
+    EXPECT_LT(end, 5100u);
+}
+
+TEST(SmtCore, TscGranularityQuantizes)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    NoiseModel nm = NoiseModel::quiet();
+    nm.tscGranularity = 64;
+    SmtCore core(h, nm, rng);
+    Recorder prog({MemOp::delay(100), MemOp::tscRead()});
+    core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    ASSERT_EQ(prog.results.size(), 2u);
+    EXPECT_EQ(prog.results[1].tsc % 64, 0u);
+    EXPECT_EQ(prog.results[1].tsc, 64u); // 100 cycles -> quantum 1
+}
+
+TEST(SmtCore, TscReadCost)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    NoiseModel nm = NoiseModel::quiet();
+    nm.tscReadCost = 30;
+    SmtCore core(h, nm, rng);
+    Recorder prog({MemOp::tscRead(), MemOp::tscRead()});
+    auto tid = core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    EXPECT_EQ(core.threadTime(tid), 60u);
+}
+
+TEST(SmtCore, SpinLoadsCredited)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    NoiseModel nm = NoiseModel::quiet();
+    nm.spinIterCycles = 7;
+    nm.spinLoadsPerIter = 1;
+    SmtCore core(h, nm, rng);
+    Recorder prog({MemOp::spinUntil(7000)});
+    auto tid = core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    EXPECT_EQ(h.counters(tid).spinLoads, 1000u);
+}
+
+TEST(SmtCore, SpinIssuesStackLoad)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    SmtCore core(h, NoiseModel::quiet(), rng);
+    Recorder prog({MemOp::spinUntil(1000)});
+    auto tid = core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    // The spin's stack-line bookkeeping load is a real demand load.
+    EXPECT_EQ(h.counters(tid).loads, 1u);
+}
+
+TEST(SmtCore, PipelinedLoadCheaperOnHit)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    NoiseModel nm = NoiseModel::quiet();
+    nm.pipelinedHitCost = 3;
+    SmtCore core(h, nm, rng);
+    Recorder prog({MemOp::load(0x1000), MemOp::load(0x1000),
+                   MemOp::pipelinedLoad(0x1000)});
+    core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    ASSERT_EQ(prog.results.size(), 3u);
+    EXPECT_GT(prog.results[1].latency, prog.results[2].latency);
+    EXPECT_EQ(prog.results[2].latency, 3u);
+}
+
+TEST(SmtCore, PipelinedLoadFullCostOnMiss)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    NoiseModel nm = NoiseModel::quiet();
+    SmtCore core(h, nm, rng);
+    Recorder prog({MemOp::pipelinedLoad(0x9000)});
+    core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    EXPECT_GE(prog.results[0].latency, 200u); // DRAM, not hidden
+}
+
+TEST(SmtCore, FlushOpWorks)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    SmtCore core(h, NoiseModel::quiet(), rng);
+    Recorder prog({MemOp::load(0x2000), MemOp::flush(0x2000),
+                   MemOp::load(0x2000)});
+    core.addThread(&prog, AddressSpace(1));
+    core.run(1'000'000);
+    ASSERT_EQ(prog.results.size(), 3u);
+    EXPECT_FALSE(prog.results[2].l1Hit); // flushed
+}
+
+TEST(SmtCore, SpinOvershootAccumulates)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    NoiseModel nm = NoiseModel::quiet();
+    nm.spinOvershootMean = 20.0;
+    SmtCore core(h, nm, rng);
+    std::vector<MemOp> ops;
+    for (int i = 1; i <= 50; ++i)
+        ops.push_back(MemOp::spinUntil(static_cast<Cycles>(i) * 1000));
+    Recorder prog(ops);
+    auto tid = core.addThread(&prog, AddressSpace(1));
+    core.run(10'000'000);
+    // Each spin overshoots by an exponential; time ends past the last
+    // target but not wildly so.
+    EXPECT_GT(core.threadTime(tid), 50'000u);
+    EXPECT_LT(core.threadTime(tid), 60'000u);
+}
+
+TEST(SmtCore, TraceProgramLoops)
+{
+    Rng rng(1);
+    Hierarchy h(quietParams(), &rng);
+    SmtCore core(h, NoiseModel::quiet(), rng);
+    TraceProgram prog({MemOp::delay(100)}, /*loop=*/true);
+    auto tid = core.addThread(&prog, AddressSpace(1));
+    core.run(1000);
+    EXPECT_FALSE(core.halted(tid));
+    EXPECT_GE(core.threadTime(tid), 1000u);
+}
+
+} // namespace
+} // namespace wb::sim

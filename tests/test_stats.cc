@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for statistics containers (common/stats.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace wb
+{
+namespace
+{
+
+TEST(OnlineStats, Empty)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined)
+{
+    Rng rng(5);
+    OnlineStats a, b, all;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    OnlineStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Samples, PercentileBasics)
+{
+    Samples s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.median(), 50.5, 0.01);
+    EXPECT_NEAR(s.percentile(25), 25.75, 0.01);
+}
+
+TEST(Samples, MedianOddCount)
+{
+    Samples s;
+    for (double x : {5.0, 1.0, 3.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Samples, EmptyIsZero)
+{
+    Samples s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.median(), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.cdfAt(10.0), 0.0);
+}
+
+TEST(Samples, CdfMonotone)
+{
+    Samples s;
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        s.add(rng.gaussian(50.0, 10.0));
+    double prev = 0.0;
+    for (double x = 0; x <= 100; x += 5) {
+        const double c = s.cdfAt(x);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(s.cdfAt(1e9), 1.0);
+}
+
+TEST(Samples, CdfAtExactPoints)
+{
+    Samples s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.cdfAt(0.5), 0.0);
+    EXPECT_NEAR(s.cdfAt(1.0), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(s.cdfAt(2.5), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.cdfAt(3.0), 1.0);
+}
+
+TEST(Samples, CdfGridShape)
+{
+    Samples s;
+    for (int i = 0; i < 100; ++i)
+        s.add(static_cast<double>(i));
+    auto grid = s.cdfGrid(0, 99, 50);
+    ASSERT_EQ(grid.size(), 50u);
+    EXPECT_DOUBLE_EQ(grid.front().first, 0.0);
+    EXPECT_NEAR(grid.back().first, 99.0, 1e-9);
+    // The last grid x may sit epsilon below the max sample.
+    EXPECT_GE(grid.back().second, 0.99);
+}
+
+TEST(Samples, AddAllAndStddev)
+{
+    Samples s;
+    s.addAll({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev() * s.stddev(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(Histogram, BinningAndClamp)
+{
+    Histogram h(0.0, 10.0, 5); // bins [0,10) ... [40,50)
+    h.add(5.0);
+    h.add(15.0);
+    h.add(15.5);
+    h.add(-100.0); // clamps to first
+    h.add(1e9);    // clamps to last
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 5.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 45.0);
+}
+
+TEST(Histogram, AsciiRenders)
+{
+    Histogram h(0.0, 1.0, 3);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(2.5);
+    const std::string art = h.ascii(10);
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Rate, Basics)
+{
+    Rate r;
+    EXPECT_EQ(r.value(), 0.0);
+    r.record(true);
+    r.record(false);
+    r.record(true);
+    r.record(true);
+    EXPECT_DOUBLE_EQ(r.value(), 0.75);
+    EXPECT_DOUBLE_EQ(r.percent(), 75.0);
+    EXPECT_EQ(r.hits, 3u);
+    EXPECT_EQ(r.total, 4u);
+}
+
+} // namespace
+} // namespace wb
