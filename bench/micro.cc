@@ -1,145 +1,466 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the library's hot paths: the
- * cache/hierarchy access machinery, pointer-chase measurement, SMT
- * stepping, edit-distance scoring and a full channel slot. These keep
- * the simulator fast enough for the 90-frame sweeps the paper-scale
- * experiments need.
+ * bench_micro — self-contained microbenchmark harness for the
+ * simulator hot paths, with machine-readable output.
+ *
+ * Measures accesses/second for the cache-layer workloads the channel
+ * experiments are built from, on both the production flat
+ * structure-of-arrays Cache and the seed-layout RefCache (so the
+ * refactor speedup is measured within one binary), plus two end-to-end
+ * hierarchy workloads:
+ *
+ *   probe-hit        resident-line probeBatch sweeps (receiver decode)
+ *   fill-evict       eviction sweeps with dirty fills (sender encode)
+ *   partitioned      fill-evict under NoMo-style way partitioning
+ *   plcache-locked   fill-evict with half the set PLcache-locked
+ *   hierarchy-access sequential demand loads through L1/L2/LLC
+ *   hierarchy-dirty-evict  store stream exercising the WB-channel path
+ *   pointer-chase    replacement-set traversal measurement (receiver)
+ *   smt-step         two-thread SMT core stepping (ops = cycles)
+ *   channel-frame    one 128-bit frame end to end (ops = bits)
+ *   calibration      offline threshold calibration (ops = measurements)
+ *   edit-distance    128-bit Wagner-Fischer frame scoring
+ *
+ * Results are written as JSON (default BENCH_micro.json): one record
+ * per workload with {"name", "impl", "ops_per_sec", "config"}, plus a
+ * "speedup_vs_reference" summary. See docs/PERF.md for the schema.
+ *
+ * Usage: bench_micro [--quick] [--out FILE]
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
 
 #include "chan/calibration.hh"
 #include "chan/channel.hh"
 #include "chan/set_mapping.hh"
 #include "common/edit_distance.hh"
+#include "common/rng.hh"
+#include "sim/cache.hh"
 #include "sim/hierarchy.hh"
+#include "sim/ref_cache.hh"
 #include "sim/smt_core.hh"
 
 using namespace wb;
+using namespace wb::sim;
 
 namespace
 {
 
-void
-BM_CacheAccess(benchmark::State &state)
+/** One measured workload result. */
+struct BenchResult
 {
-    Rng rng(1);
-    sim::HierarchyParams hp = sim::xeonE5_2650Params();
-    hp.lat.noiseSigma = 0.0;
-    sim::Hierarchy h(hp, &rng);
-    Addr a = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(h.access(0, a, false));
-        a = (a + 64) & 0xffff;
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CacheAccess);
+    std::string name;
+    std::string impl; //!< "flat", "reference" or "hierarchy"
+    double opsPerSec = 0.0;
+    std::uint64_t ops = 0;
+    double elapsedSec = 0.0;
+    std::string configJson; //!< preformatted {"k":v,...} object
+};
 
-void
-BM_DirtyEvictionPath(benchmark::State &state)
+double
+now()
 {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Run @p body (which performs @p opsPerCall simulated accesses per
+ * invocation) until @p budgetSec of wall time is spent, after one
+ * untimed warm-up call. Returns ops/second.
+ */
+template <typename Body>
+BenchResult
+measure(const std::string &name, const std::string &impl,
+        std::string configJson, double budgetSec, std::uint64_t opsPerCall,
+        Body &&body)
+{
+    body(); // warm-up: populate sets, fault in the arrays
+    BenchResult res;
+    res.name = name;
+    res.impl = impl;
+    res.configJson = std::move(configJson);
+    const double start = now();
+    double elapsed = 0.0;
+    std::uint64_t calls = 0;
+    do {
+        body();
+        ++calls;
+        elapsed = now() - start;
+    } while (elapsed < budgetSec);
+    res.ops = calls * opsPerCall;
+    res.elapsedSec = elapsed;
+    res.opsPerSec = static_cast<double>(res.ops) / elapsed;
+    return res;
+}
+
+/** Geometry shared by the cache-layer workloads (a 32 KiB L1). */
+CacheParams
+l1Params()
+{
+    CacheParams p;
+    p.name = "bench-L1";
+    p.sizeBytes = 32 * 1024;
+    p.ways = 8;
+    p.policy = PolicyKind::TreePlru;
+    return p;
+}
+
+std::string
+cacheConfigJson(const CacheParams &p, const char *extra = nullptr)
+{
+    std::ostringstream os;
+    os << "{\"ways\":" << p.ways << ",\"sets\":" << p.numSets()
+       << ",\"policy\":\"" << policyName(p.policy) << "\"";
+    if (extra != nullptr)
+        os << "," << extra;
+    os << "}";
+    return os.str();
+}
+
+/** Addresses of @p tagsPerSet distinct lines in every set. */
+std::vector<Addr>
+sweepAddrs(const AddressLayout &layout, unsigned tagsPerSet)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(std::size_t(layout.numSets()) * tagsPerSet);
+    for (unsigned set = 0; set < layout.numSets(); ++set)
+        for (unsigned t = 0; t < tagsPerSet; ++t)
+            addrs.push_back(layout.compose(set, 1 + t));
+    return addrs;
+}
+
+/** Drive one pass of fills over @p addrs on either cache model. */
+template <typename CacheT>
+void
+fillPass(CacheT &cache, const std::vector<Addr> &addrs, ThreadId tid,
+         bool asDirty)
+{
+    if constexpr (std::is_same_v<CacheT, Cache>) {
+        cache.fillBatch(addrs, tid, asDirty);
+    } else {
+        for (Addr a : addrs)
+            cache.fill(a, tid, asDirty);
+    }
+}
+
+/** Drive one pass of probes over @p addrs on either cache model. */
+template <typename CacheT>
+std::uint64_t
+probePass(CacheT &cache, const std::vector<Addr> &addrs, ThreadId tid)
+{
+    if constexpr (std::is_same_v<CacheT, Cache>) {
+        return cache.probeBatch(addrs, tid).hits;
+    } else {
+        std::uint64_t hits = 0;
+        for (Addr a : addrs)
+            hits += cache.probe(a, tid).has_value() ? 1 : 0;
+        return hits;
+    }
+}
+
+/** probe-hit: every set full, probes always hit (receiver steady state). */
+template <typename CacheT>
+BenchResult
+benchProbeHit(const std::string &impl, double budgetSec)
+{
+    const CacheParams p = l1Params();
     Rng rng(1);
-    sim::HierarchyParams hp = sim::xeonE5_2650Params();
-    sim::Hierarchy h(hp, &rng);
+    CacheT cache(p, &rng);
+    const auto addrs = sweepAddrs(cache.layout(), p.ways);
+    fillPass(cache, addrs, 0, false); // make every probe a hit
+    std::uint64_t sink = 0;
+    auto res = measure("probe-hit", impl, cacheConfigJson(p), budgetSec,
+                       addrs.size(),
+                       [&]() { sink += probePass(cache, addrs, 0); });
+    if (sink == ~std::uint64_t(0))
+        std::cerr << ""; // defeat dead-code elimination of the probes
+    return res;
+}
+
+/** fill-evict: 2W distinct lines per set, dirty fills, every op evicts. */
+template <typename CacheT>
+BenchResult
+benchFillEvict(const std::string &impl, double budgetSec)
+{
+    const CacheParams p = l1Params();
+    Rng rng(2);
+    CacheT cache(p, &rng);
+    const auto addrs = sweepAddrs(cache.layout(), 2 * p.ways);
+    return measure("fill-evict", impl,
+                   cacheConfigJson(p, "\"asDirty\":true"), budgetSec,
+                   addrs.size(),
+                   [&]() { fillPass(cache, addrs, 0, true); });
+}
+
+/** partitioned: the fill-evict sweep under NoMo-style way masks. */
+template <typename CacheT>
+BenchResult
+benchPartitioned(const std::string &impl, double budgetSec)
+{
+    CacheParams p = l1Params();
+    p.fillMaskPerThread = {wayMaskRange(0, 4), wayMaskRange(4, 8)};
+    Rng rng(3);
+    CacheT cache(p, &rng);
+    const auto addrs = sweepAddrs(cache.layout(), 2 * p.ways);
+    ThreadId tid = 0;
+    return measure(
+        "partitioned", impl,
+        cacheConfigJson(p, "\"fillMasks\":[\"0x0f\",\"0xf0\"]"),
+        budgetSec, addrs.size(), [&]() {
+            fillPass(cache, addrs, tid, true);
+            tid ^= 1u;
+        });
+}
+
+/** plcache-locked: half of every set locked, fills dodge the locks. */
+template <typename CacheT>
+BenchResult
+benchPlcacheLocked(const std::string &impl, double budgetSec)
+{
+    const CacheParams p = l1Params();
+    Rng rng(4);
+    CacheT cache(p, &rng);
+    const auto &layout = cache.layout();
+    // Pin half of each set: fill then lock W/2 protected lines.
+    for (unsigned set = 0; set < layout.numSets(); ++set) {
+        for (unsigned t = 0; t < p.ways / 2; ++t) {
+            const Addr a = layout.compose(set, 0x900 + t);
+            cache.fill(a, 0, /*asDirty=*/true);
+            cache.lock(a);
+        }
+    }
+    const auto addrs = sweepAddrs(layout, 2 * p.ways);
+    return measure("plcache-locked", impl,
+                   cacheConfigJson(p, "\"lockedWaysPerSet\":4"),
+                   budgetSec, addrs.size(),
+                   [&]() { fillPass(cache, addrs, 1, false); });
+}
+
+/** hierarchy-access: sequential demand loads (old BM_CacheAccess). */
+BenchResult
+benchHierarchyAccess(double budgetSec)
+{
+    Rng rng(5);
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    Hierarchy h(hp, &rng);
+    Addr a = 0;
+    const std::uint64_t opsPerCall = 1024;
+    return measure("hierarchy-access", "hierarchy",
+                   "{\"platform\":\"xeonE5_2650\",\"noise\":0}",
+                   budgetSec, opsPerCall, [&]() {
+                       for (std::uint64_t i = 0; i < opsPerCall; ++i) {
+                           (void)h.access(0, a, false);
+                           a = (a + 64) & 0xffff;
+                       }
+                   });
+}
+
+/** hierarchy-dirty-evict: store stream on one set (WB-channel path). */
+BenchResult
+benchHierarchyDirtyEvict(double budgetSec)
+{
+    Rng rng(6);
+    HierarchyParams hp = xeonE5_2650Params();
+    Hierarchy h(hp, &rng);
     const auto &layout = h.l1().layout();
     Addr tag = 1;
-    for (auto _ : state) {
-        // Store (dirty) then force an eviction next lap.
-        benchmark::DoNotOptimize(
-            h.access(0, layout.compose(9, tag), true));
-        tag = tag % 64 + 1;
-    }
-    state.SetItemsProcessed(state.iterations());
+    const std::uint64_t opsPerCall = 1024;
+    return measure("hierarchy-dirty-evict", "hierarchy",
+                   "{\"platform\":\"xeonE5_2650\",\"set\":9}",
+                   budgetSec, opsPerCall, [&]() {
+                       for (std::uint64_t i = 0; i < opsPerCall; ++i) {
+                           (void)h.access(0, layout.compose(9, tag),
+                                          true);
+                           tag = tag % 64 + 1;
+                       }
+                   });
 }
-BENCHMARK(BM_DirtyEvictionPath);
 
-void
-BM_PointerChaseMeasurement(benchmark::State &state)
+/** edit-distance: one 128-bit Wagner-Fischer scoring per call. */
+BenchResult
+benchEditDistance(double budgetSec)
 {
-    Rng rng(1);
-    sim::HierarchyParams hp = sim::xeonE5_2650Params();
-    sim::Hierarchy h(hp, &rng);
-    sim::NoiseModel noise;
-    sim::AddressSpace space(2);
-    auto lines = chan::linesForSet(h.l1().layout(), 13,
-                                   unsigned(state.range(0)), 0x100);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            chan::measureChaseOffline(h, 1, space, lines, noise));
-    }
-    state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_PointerChaseMeasurement)->Arg(10)->Arg(16);
-
-void
-BM_SmtCoreStep(benchmark::State &state)
-{
-    Rng rng(1);
-    sim::HierarchyParams hp = sim::xeonE5_2650Params();
-    sim::Hierarchy h(hp, &rng);
-    sim::SmtCore core(h, sim::NoiseModel(), rng);
-    sim::TraceProgram a({sim::MemOp::load(0x1000),
-                         sim::MemOp::store(0x2000)},
-                        true);
-    sim::TraceProgram b({sim::MemOp::load(0x3000)}, true);
-    core.addThread(&a, sim::AddressSpace(1));
-    core.addThread(&b, sim::AddressSpace(2));
-    Cycles horizon = 10000;
-    for (auto _ : state) {
-        core.run(horizon);
-        horizon += 10000;
-    }
-}
-BENCHMARK(BM_SmtCoreStep);
-
-void
-BM_EditDistance128(benchmark::State &state)
-{
-    Rng rng(7);
+    Rng rng(9);
     const BitVec a = randomBits(128, rng);
     BitVec b = a;
     b[17] = !b[17];
     b.erase(b.begin() + 63);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(editDistance(a, b));
-    state.SetItemsProcessed(state.iterations());
+    std::size_t sink = 0;
+    auto res = measure("edit-distance", "scalar",
+                       "{\"bits\":128,\"unit\":\"scorings\"}", budgetSec,
+                       1, [&]() { sink += editDistance(a, b); });
+    if (sink == ~std::size_t(0))
+        std::cerr << "";
+    return res;
 }
-BENCHMARK(BM_EditDistance128);
+
+/** pointer-chase: one replacement-set traversal measurement per call. */
+BenchResult
+benchPointerChase(double budgetSec)
+{
+    Rng rng(7);
+    HierarchyParams hp = xeonE5_2650Params();
+    Hierarchy h(hp, &rng);
+    NoiseModel noise;
+    AddressSpace space(2);
+    const unsigned lines = 16;
+    const auto order =
+        chan::linesForSet(h.l1().layout(), 13, lines, 0x100);
+    double sink = 0.0;
+    auto res = measure("pointer-chase", "hierarchy",
+                       "{\"platform\":\"xeonE5_2650\",\"lines\":16}",
+                       budgetSec, lines, [&]() {
+                           sink += chan::measureChaseOffline(
+                               h, 1, space, order, noise);
+                       });
+    if (sink < 0.0)
+        std::cerr << "";
+    return res;
+}
+
+/** smt-step: two looping trace threads; ops are simulated cycles. */
+BenchResult
+benchSmtStep(double budgetSec)
+{
+    Rng rng(8);
+    HierarchyParams hp = xeonE5_2650Params();
+    Hierarchy h(hp, &rng);
+    SmtCore core(h, NoiseModel(), rng);
+    TraceProgram a({MemOp::load(0x1000), MemOp::store(0x2000)}, true);
+    TraceProgram b({MemOp::load(0x3000)}, true);
+    core.addThread(&a, AddressSpace(1));
+    core.addThread(&b, AddressSpace(2));
+    const Cycles step = 10000;
+    Cycles horizon = step;
+    return measure("smt-step", "hierarchy",
+                   "{\"threads\":2,\"unit\":\"cycles\"}", budgetSec,
+                   step, [&]() {
+                       core.run(horizon);
+                       horizon += step;
+                   });
+}
+
+/** channel-frame: one 128-bit frame end to end; ops are payload bits. */
+BenchResult
+benchChannelFrame(double budgetSec)
+{
+    chan::ChannelConfig cfg;
+    cfg.protocol.frames = 1;
+    cfg.calibration.measurements = 20;
+    cfg.seed = 1;
+    return measure("channel-frame", "hierarchy",
+                   "{\"frames\":1,\"ts\":5500,\"unit\":\"bits\"}",
+                   budgetSec, cfg.protocol.frameBits,
+                   [&]() { (void)chan::runChannel(cfg); });
+}
+
+/** calibration: one offline calibrate() per call; ops = measurements. */
+BenchResult
+benchCalibration(double budgetSec)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    NoiseModel noise;
+    chan::CalibrationConfig cfg;
+    cfg.measurements = 50;
+    return measure("calibration", "hierarchy",
+                   "{\"measurements\":50,\"unit\":\"measurements\"}",
+                   budgetSec, cfg.measurements, [&]() {
+                       Rng rng(3);
+                       (void)chan::calibrate(hp, noise, cfg, rng);
+                   });
+}
 
 void
-BM_FullChannelFrame(benchmark::State &state)
+writeJson(const std::vector<BenchResult> &results,
+          const std::string &path, bool quick)
 {
-    // One 128-bit frame end to end (calibration excluded via a small
-    // budget): the unit of every Fig. 5-7 experiment.
-    for (auto _ : state) {
-        chan::ChannelConfig cfg;
-        cfg.protocol.ts = cfg.protocol.tr = Cycles(state.range(0));
-        cfg.protocol.frames = 1;
-        cfg.calibration.measurements = 20;
-        cfg.seed = 1;
-        benchmark::DoNotOptimize(chan::runChannel(cfg));
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "bench_micro: cannot write " << path << "\n";
+        std::exit(1);
     }
-    state.SetItemsProcessed(state.iterations() * 128);
-}
-BENCHMARK(BM_FullChannelFrame)->Arg(800)->Arg(5500);
-
-void
-BM_Calibration(benchmark::State &state)
-{
-    sim::HierarchyParams hp = sim::xeonE5_2650Params();
-    sim::NoiseModel noise;
-    for (auto _ : state) {
-        Rng rng(3);
-        chan::CalibrationConfig cfg;
-        cfg.measurements = unsigned(state.range(0));
-        benchmark::DoNotOptimize(
-            chan::calibrate(hp, noise, cfg, rng));
+    out << "{\n  \"bench\": \"micro\",\n  \"quick\": "
+        << (quick ? "true" : "false") << ",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        out << "    {\"name\": \"" << r.name << "\", \"impl\": \""
+            << r.impl << "\", \"ops_per_sec\": " << std::fixed
+            << r.opsPerSec << ", \"ops\": " << r.ops
+            << ", \"elapsed_sec\": " << r.elapsedSec
+            << ", \"config\": " << r.configJson << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
     }
+    out << "  ],\n  \"speedup_vs_reference\": {\n";
+    bool first = true;
+    for (const auto &r : results) {
+        if (r.impl != "flat")
+            continue;
+        for (const auto &ref : results) {
+            if (ref.impl == "reference" && ref.name == r.name &&
+                ref.opsPerSec > 0.0) {
+                out << (first ? "" : ",\n") << "    \"" << r.name
+                    << "\": " << std::setprecision(2)
+                    << r.opsPerSec / ref.opsPerSec;
+                first = false;
+            }
+        }
+    }
+    out << "\n  }\n}\n";
 }
-BENCHMARK(BM_Calibration)->Arg(50)->Arg(200);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string outPath = "BENCH_micro.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else {
+            std::cerr << "usage: bench_micro [--quick] [--out FILE]\n";
+            return 2;
+        }
+    }
+    const double budget = quick ? 0.05 : 0.4;
+
+    std::vector<BenchResult> results;
+    results.push_back(benchProbeHit<Cache>("flat", budget));
+    results.push_back(benchProbeHit<RefCache>("reference", budget));
+    results.push_back(benchFillEvict<Cache>("flat", budget));
+    results.push_back(benchFillEvict<RefCache>("reference", budget));
+    results.push_back(benchPartitioned<Cache>("flat", budget));
+    results.push_back(benchPartitioned<RefCache>("reference", budget));
+    results.push_back(benchPlcacheLocked<Cache>("flat", budget));
+    results.push_back(benchPlcacheLocked<RefCache>("reference", budget));
+    results.push_back(benchHierarchyAccess(budget));
+    results.push_back(benchHierarchyDirtyEvict(budget));
+    results.push_back(benchPointerChase(budget));
+    results.push_back(benchSmtStep(budget));
+    results.push_back(benchChannelFrame(budget));
+    results.push_back(benchCalibration(budget));
+    results.push_back(benchEditDistance(budget));
+
+    for (const auto &r : results) {
+        std::cout << r.name << " [" << r.impl << "]: " << std::fixed
+                  << std::setprecision(0) << r.opsPerSec
+                  << " ops/s\n";
+    }
+    writeJson(results, outPath, quick);
+    std::cout << "wrote " << outPath << "\n";
+    return 0;
+}

@@ -35,13 +35,11 @@ measureChaseOffline(sim::Hierarchy &hierarchy, ThreadId tid,
                     const std::vector<Addr> &order,
                     const sim::NoiseModel &noise)
 {
-    double total = 0.0;
-    for (Addr va : order) {
-        const auto res = hierarchy.access(tid, space.translate(va),
-                                          /*isWrite=*/false);
-        total += static_cast<double>(res.latency + noise.opOverhead);
-    }
-    return total + static_cast<double>(noise.tscReadCost);
+    const auto batch =
+        hierarchy.accessBatch(tid, space, order, /*isWrite=*/false);
+    return static_cast<double>(batch.totalLatency +
+                               noise.opOverhead * batch.accesses +
+                               noise.tscReadCost);
 }
 
 Calibration
@@ -73,12 +71,10 @@ calibrate(const sim::HierarchyParams &hp, const sim::NoiseModel &noise,
 
     // Warm both replacement sets into L2.
     for (int sweep = 0; sweep < 2; ++sweep) {
-        for (Addr va : sets.replacementA)
-            hierarchy.access(receiverTid, receiverSpace.translate(va),
-                             false);
-        for (Addr va : sets.replacementB)
-            hierarchy.access(receiverTid, receiverSpace.translate(va),
-                             false);
+        hierarchy.accessBatch(receiverTid, receiverSpace,
+                              sets.replacementA, false);
+        hierarchy.accessBatch(receiverTid, receiverSpace,
+                              sets.replacementB, false);
     }
 
     std::vector<unsigned> mix = cfg.levelsMix;
@@ -96,11 +92,9 @@ calibrate(const sim::HierarchyParams &hp, const sim::NoiseModel &noise,
     for (std::size_t m = 0; m < total; ++m) {
         const unsigned d = mix[rng.below(mix.size())];
         // Sender phase: dirty d lines (Algorithm 1 encode).
-        for (unsigned i = 0; i < d; ++i) {
-            hierarchy.access(senderTid,
-                             senderSpace.translate(sets.senderLines[i]),
-                             /*isWrite=*/true);
-        }
+        hierarchy.accessBatch(senderTid, senderSpace,
+                              sets.senderLines.data(), d,
+                              /*isWrite=*/true);
         // Receiver phase: timed traversal (Algorithm 2 decode).
         PointerChase &chase = useA ? chaseA : chaseB;
         chase.reshuffle(rng);

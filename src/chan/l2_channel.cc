@@ -140,10 +140,10 @@ calibrateL2(const L2ChannelConfig &cfg, Rng &rng)
 
     // Warm both replacement sets (first pass pulls them from DRAM).
     for (int sweep = 0; sweep < 3; ++sweep) {
-        for (Addr va : sets.replacementA)
-            hierarchy.access(1, receiverSpace.translate(va), false);
-        for (Addr va : sets.replacementB)
-            hierarchy.access(1, receiverSpace.translate(va), false);
+        hierarchy.accessBatch(1, receiverSpace, sets.replacementA,
+                              false);
+        hierarchy.accessBatch(1, receiverSpace, sets.replacementB,
+                              false);
     }
 
     Samples s0, s1;
@@ -155,8 +155,9 @@ calibrateL2(const L2ChannelConfig &cfg, Rng &rng)
                 hierarchy.access(0,
                                  senderSpace.translate(sets.senderLines[i]),
                                  true);
-                for (Addr p : sets.pushers)
-                    hierarchy.access(0, senderSpace.translate(p), false);
+                // Push the dirty line out of L1 into L2.
+                hierarchy.accessBatch(0, senderSpace, sets.pushers,
+                                      false);
             }
         }
         PointerChase &chase = useA ? chaseA : chaseB;

@@ -36,16 +36,6 @@ kindName(DefenseKind kind)
     return "?";
 }
 
-/** Way mask with bits [lo, hi) set. */
-std::uint32_t
-wayRange(unsigned lo, unsigned hi)
-{
-    std::uint32_t m = 0;
-    for (unsigned w = lo; w < hi; ++w)
-        m |= (1u << w);
-    return m;
-}
-
 } // namespace
 
 std::string
@@ -80,10 +70,10 @@ applyDefense(const chan::ChannelConfig &base, const DefenseSpec &spec)
         // the rest stay shared. Thread 0 is the sender.
         const unsigned r = std::min(spec.param ? spec.param : 2,
                                     ways / 2);
-        const std::uint32_t shared = wayRange(2 * r, ways);
+        const std::uint32_t shared = sim::wayMaskRange(2 * r, ways);
         cfg.platform.l1.fillMaskPerThread = {
-            wayRange(0, r) | shared,      // sender
-            wayRange(r, 2 * r) | shared,  // receiver
+            sim::wayMaskRange(0, r) | shared,      // sender
+            sim::wayMaskRange(r, 2 * r) | shared,  // receiver
         };
         break;
       }
@@ -91,8 +81,8 @@ applyDefense(const chan::ChannelConfig &base, const DefenseSpec &spec)
         // Full isolation: split the ways in half, isolate probes too.
         const unsigned half = ways / 2;
         cfg.platform.l1.fillMaskPerThread = {
-            wayRange(0, half),
-            wayRange(half, ways),
+            sim::wayMaskRange(0, half),
+            sim::wayMaskRange(half, ways),
         };
         cfg.platform.l1.probeIsolated = true;
         break;

@@ -1,5 +1,6 @@
 #include "sidechan/attack.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "chan/calibration.hh"
@@ -49,9 +50,10 @@ struct AttackerCtx
     void
     dirtyPrime(unsigned d)
     {
-        for (unsigned i = 0; i < d && i < dirtyLines.size(); ++i)
-            hierarchy.access(attackerTid, space.translate(dirtyLines[i]),
-                             /*isWrite=*/true);
+        const std::size_t n =
+            std::min<std::size_t>(d, dirtyLines.size());
+        hierarchy.accessBatch(attackerTid, space, dirtyLines.data(), n,
+                              /*isWrite=*/true);
     }
 };
 

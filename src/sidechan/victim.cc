@@ -24,13 +24,9 @@ Victim::run(bool secret)
 {
     const std::vector<Addr> &lines = secret ? linesM_ : linesN_;
     const bool isWrite = secret && kind_ == GadgetKind::StoreBranch;
-    Cycles total = 0;
-    for (Addr va : lines) {
-        const auto res =
-            hierarchy_.access(tid, space_.translate(va), isWrite);
-        total += res.latency + noise_.opOverhead;
-    }
-    return total;
+    const auto batch =
+        hierarchy_.accessBatch(tid, space_, lines, isWrite);
+    return batch.totalLatency + noise_.opOverhead * batch.accesses;
 }
 
 } // namespace wb::sidechan

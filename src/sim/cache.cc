@@ -1,42 +1,58 @@
 #include "sim/cache.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/log.hh"
 
 namespace wb::sim
 {
 
-Cache::Cache(const CacheParams &params, Rng *rng)
-    : params_(params), layout_(params.numSets())
+namespace
 {
-    if (params_.ways == 0)
-        fatalf(params_.name, ": zero ways");
-    if (params_.sizeBytes % (params_.ways * lineBytes) != 0)
-        fatalf(params_.name, ": size not divisible by way size");
-    const unsigned sets = params_.numSets();
-    sets_.assign(sets, std::vector<Line>(params_.ways));
-    policies_.reserve(sets);
-    for (unsigned s = 0; s < sets; ++s)
-        policies_.push_back(makePolicy(params_.policy, params_.ways, rng));
+
+// Runs before any member initializer: numSets() divides by ways, and
+// PolicyTable's own ways check would lose the cache name.
+const CacheParams &
+validated(const CacheParams &params)
+{
+    if (params.ways == 0)
+        fatalf(params.name, ": zero ways");
+    if (params.ways > 32)
+        fatalf(params.name, ": more than 32 ways unsupported");
+    if (params.sizeBytes % (params.ways * lineBytes) != 0)
+        fatalf(params.name, ": size not divisible by way size");
+    return params;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params, Rng *rng)
+    : params_(validated(params)), layout_(params.numSets()),
+      policy_(params.policy, params.numSets(), params.ways, rng)
+{
+    const std::size_t lines =
+        std::size_t(params_.numSets()) * params_.ways;
+    lineAddr_.assign(lines, 0);
+    flags_.assign(lines, 0);
+    filledBy_.assign(lines, 0);
+    validMask_.assign(params_.numSets(), 0);
+    lockedMask_.assign(params_.numSets(), 0);
+    allMask_ = wayMaskAll(params_.ways);
+    fillMask_.reserve(params_.fillMaskPerThread.size());
+    for (std::uint32_t m : params_.fillMaskPerThread)
+        fillMask_.push_back(m & allMask_);
 }
 
 void
 Cache::reset()
 {
-    for (auto &set : sets_)
-        for (auto &line : set)
-            line = Line{};
-    for (auto &policy : policies_)
-        policy->reset();
-}
-
-bool
-Cache::allowedWay(ThreadId tid, unsigned way) const
-{
-    if (params_.fillMaskPerThread.empty())
-        return true;
-    if (tid >= params_.fillMaskPerThread.size())
-        return true;
-    return (params_.fillMaskPerThread[tid] >> way) & 1u;
+    std::fill(lineAddr_.begin(), lineAddr_.end(), 0);
+    std::fill(flags_.begin(), flags_.end(), 0);
+    std::fill(filledBy_.begin(), filledBy_.end(), 0);
+    std::fill(validMask_.begin(), validMask_.end(), 0);
+    std::fill(lockedMask_.begin(), lockedMask_.end(), 0);
+    policy_.reset();
 }
 
 std::optional<unsigned>
@@ -44,10 +60,11 @@ Cache::probe(Addr paddr, ThreadId tid) const
 {
     const Addr la = AddressLayout::lineAddr(paddr);
     const unsigned set = layout_.setIndex(paddr);
-    const auto &lines = sets_[set];
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        if (lines[w].valid && lines[w].lineAddr == la) {
-            if (params_.probeIsolated && !allowedWay(tid, w))
+    const Addr *stripe = &lineAddr_[std::size_t(set) * params_.ways];
+    for (std::uint32_t m = validMask_[set]; m != 0; m &= m - 1) {
+        const unsigned w = lowestWay(m);
+        if (stripe[w] == la) {
+            if (params_.probeIsolated && !((fillMaskFor(tid) >> w) & 1u))
                 return std::nullopt;
             return w;
         }
@@ -59,154 +76,248 @@ void
 Cache::onHit(Addr paddr, unsigned way, ThreadId, bool isWrite)
 {
     const unsigned set = layout_.setIndex(paddr);
-    Line &line = sets_[set][way];
-    if (!line.valid || line.lineAddr != AddressLayout::lineAddr(paddr))
+    const std::size_t idx = std::size_t(set) * params_.ways + way;
+    if ((flags_[idx] & FlagValid) == 0 ||
+        lineAddr_[idx] != AddressLayout::lineAddr(paddr))
         panicf(params_.name, ": onHit way does not hold the line");
     if (isWrite && params_.writePolicy == WritePolicy::WriteBack) {
-        line.dirty = true;
-        if (params_.lockOnWrite)
-            line.locked = true;
-    }
-    policies_[set]->onHit(way);
-}
-
-std::vector<bool>
-Cache::fillCandidates(unsigned set, ThreadId tid) const
-{
-    std::vector<bool> mask(params_.ways, false);
-    const auto &lines = sets_[set];
-    bool any = false;
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        if (!lines[w].locked && allowedWay(tid, w)) {
-            mask[w] = true;
-            any = true;
+        flags_[idx] |= FlagDirty;
+        if (params_.lockOnWrite) {
+            flags_[idx] |= FlagLocked;
+            lockedMask_[set] |= 1u << way;
         }
     }
-    if (!any)
-        mask.clear(); // signals "no fill possible"
-    return mask;
+    policy_.onHit(set, way);
 }
 
 FillOutcome
-Cache::fill(Addr paddr, ThreadId tid, bool asDirty)
+Cache::fillLine(Addr la, unsigned set, ThreadId tid,
+                std::uint32_t fillMask, bool dirtyFill,
+                std::uint8_t newFlags)
 {
-    const Addr la = AddressLayout::lineAddr(paddr);
-    const unsigned set = layout_.setIndex(paddr);
-    auto &lines = sets_[set];
+    const std::size_t base = std::size_t(set) * params_.ways;
 
     // A fill of a resident line degenerates to a (write) hit. This
     // happens when a write-back from the level above finds the line
     // still cached here.
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        if (lines[w].valid && lines[w].lineAddr == la) {
-            if (asDirty && params_.writePolicy == WritePolicy::WriteBack)
-                lines[w].dirty = true;
-            policies_[set]->onHit(w);
-            return {true, w, {}};
+    for (std::uint32_t m = validMask_[set]; m != 0; m &= m - 1) {
+        const unsigned w = lowestWay(m);
+        if (lineAddr_[base + w] != la)
+            continue;
+        if (dirtyFill) {
+            flags_[base + w] |= FlagDirty;
+            if (params_.lockOnWrite) {
+                // A write-back arrival dirties the line, so PLcache
+                // locks it — same rule as onHit() on a store.
+                flags_[base + w] |= FlagLocked;
+                lockedMask_[set] |= 1u << w;
+            }
         }
+        policy_.onHit(set, w);
+        FillOutcome hitOut;
+        hitOut.filled = true;
+        hitOut.residentHit = true;
+        hitOut.way = w;
+        return hitOut;
     }
 
-    auto candidates = fillCandidates(set, tid);
-    if (candidates.empty())
+    // Candidate ways: inside the thread's partition and not locked.
+    const std::uint32_t candidates = fillMask & ~lockedMask_[set];
+    if (candidates == 0)
         return {}; // everything locked / partition empty: bypass
 
     FillOutcome out;
     out.filled = true;
 
-    // Prefer an invalid candidate way.
-    unsigned way = params_.ways;
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        if (candidates[w] && !lines[w].valid) {
-            way = w;
-            break;
-        }
-    }
-    if (way == params_.ways) {
-        // Mask out invalid ways is unnecessary here (none are invalid
-        // among candidates); ask the policy for a victim.
-        std::vector<bool> eligible = candidates;
-        for (unsigned w = 0; w < params_.ways; ++w)
-            if (eligible[w] && !lines[w].valid)
-                eligible[w] = false;
-        way = policies_[set]->victim(eligible);
-        if (way >= params_.ways || !candidates[way])
+    // Prefer an invalid candidate way; otherwise every candidate is
+    // valid, so ask the policy for a victim among them.
+    unsigned way;
+    const std::uint32_t invalid = candidates & ~validMask_[set];
+    if (invalid != 0) {
+        way = lowestWay(invalid);
+    } else {
+        way = policy_.victim(set, candidates);
+        if (way >= params_.ways || !((candidates >> way) & 1u))
             panicf(params_.name, ": policy chose ineligible way ", way);
-        out.evicted.any = lines[way].valid;
-        out.evicted.dirty = lines[way].valid && lines[way].dirty;
-        out.evicted.lineAddr = lines[way].lineAddr;
+        const std::size_t idx = base + way;
+        out.evicted.any = true;
+        out.evicted.dirty = (flags_[idx] & FlagDirty) != 0;
+        out.evicted.lineAddr = lineAddr_[idx];
     }
 
-    lines[way] = Line{};
-    lines[way].valid = true;
-    lines[way].lineAddr = la;
-    lines[way].filledBy = tid;
-    lines[way].dirty =
-        asDirty && params_.writePolicy == WritePolicy::WriteBack;
-    lines[way].locked = lines[way].dirty && params_.lockOnWrite;
-    policies_[set]->onFill(way);
+    const std::size_t idx = base + way;
+    lineAddr_[idx] = la;
+    filledBy_[idx] = tid;
+    flags_[idx] = newFlags;
+    validMask_[set] |= 1u << way;
+    if ((newFlags & FlagLocked) != 0)
+        lockedMask_[set] |= 1u << way;
+    else
+        lockedMask_[set] &= ~(1u << way);
+    policy_.onFill(set, way);
     out.way = way;
     return out;
+}
+
+FillOutcome
+Cache::fill(Addr paddr, ThreadId tid, bool asDirty)
+{
+    const bool dirtyFill =
+        asDirty && params_.writePolicy == WritePolicy::WriteBack;
+    const bool lockFill = dirtyFill && params_.lockOnWrite;
+    const std::uint8_t newFlags =
+        FlagValid | (dirtyFill ? FlagDirty : 0) |
+        (lockFill ? FlagLocked : 0);
+    return fillLine(AddressLayout::lineAddr(paddr),
+                    layout_.setIndex(paddr), tid, fillMaskFor(tid),
+                    dirtyFill, newFlags);
+}
+
+BatchStats
+Cache::probeBatch(const Addr *addrs, std::size_t n, ThreadId tid,
+                  std::uint8_t *hitWay) const
+{
+    // Per-traversal invariants hoisted out of the per-address loop.
+    const unsigned ways = params_.ways;
+    const std::uint32_t isolationMask =
+        params_.probeIsolated ? fillMaskFor(tid) : allMask_;
+    BatchStats stats;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr la = AddressLayout::lineAddr(addrs[i]);
+        const unsigned set = layout_.setIndex(addrs[i]);
+        const Addr *stripe = &lineAddr_[std::size_t(set) * ways];
+        unsigned way = 0xff;
+        for (std::uint32_t m = validMask_[set]; m != 0; m &= m - 1) {
+            const unsigned w = lowestWay(m);
+            if (stripe[w] == la) {
+                if ((isolationMask >> w) & 1u)
+                    way = w;
+                break;
+            }
+        }
+        if (way != 0xff)
+            ++stats.hits;
+        else
+            ++stats.misses;
+        if (hitWay != nullptr)
+            hitWay[i] = static_cast<std::uint8_t>(way);
+    }
+    return stats;
+}
+
+BatchStats
+Cache::fillBatch(const Addr *addrs, std::size_t n, ThreadId tid,
+                 bool asDirty, std::vector<Evicted> *evictedOut)
+{
+    // One fillLine() per address — the same body fill() uses, so the
+    // two paths cannot drift — with the traversal-invariant
+    // configuration hoisted out of the loop.
+    const bool dirtyFill =
+        asDirty && params_.writePolicy == WritePolicy::WriteBack;
+    const bool lockFill = dirtyFill && params_.lockOnWrite;
+    const std::uint32_t fillMask = fillMaskFor(tid);
+    const std::uint8_t newFlags =
+        FlagValid | (dirtyFill ? FlagDirty : 0) |
+        (lockFill ? FlagLocked : 0);
+    BatchStats stats;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const FillOutcome out =
+            fillLine(AddressLayout::lineAddr(addrs[i]),
+                     layout_.setIndex(addrs[i]), tid, fillMask,
+                     dirtyFill, newFlags);
+        if (out.residentHit) {
+            ++stats.hits;
+            continue;
+        }
+        ++stats.misses;
+        if (!out.filled) {
+            ++stats.bypassed;
+            continue;
+        }
+        ++stats.fills;
+        if (out.evicted.any) {
+            ++stats.evictions;
+            stats.dirtyEvictions += out.evicted.dirty ? 1 : 0;
+            if (evictedOut != nullptr)
+                evictedOut->push_back(out.evicted);
+        }
+    }
+    return stats;
 }
 
 bool
 Cache::invalidate(Addr paddr, bool &wasDirty)
 {
-    Line *line = find(paddr);
     wasDirty = false;
-    if (line == nullptr)
+    const std::size_t idx = findIndex(paddr);
+    if (idx == npos)
         return false;
-    wasDirty = line->dirty;
-    *line = Line{};
+    wasDirty = (flags_[idx] & FlagDirty) != 0;
+    const unsigned set = static_cast<unsigned>(idx / params_.ways);
+    const unsigned way = static_cast<unsigned>(idx % params_.ways);
+    lineAddr_[idx] = 0;
+    flags_[idx] = 0;
+    filledBy_[idx] = 0;
+    validMask_[set] &= ~(1u << way);
+    lockedMask_[set] &= ~(1u << way);
     return true;
 }
 
 bool
 Cache::lock(Addr paddr)
 {
-    Line *line = find(paddr);
-    if (line == nullptr)
+    const std::size_t idx = findIndex(paddr);
+    if (idx == npos)
         return false;
-    line->locked = true;
+    flags_[idx] |= FlagLocked;
+    lockedMask_[idx / params_.ways] |=
+        1u << static_cast<unsigned>(idx % params_.ways);
     return true;
 }
 
 bool
 Cache::unlock(Addr paddr)
 {
-    Line *line = find(paddr);
-    if (line == nullptr)
+    const std::size_t idx = findIndex(paddr);
+    if (idx == npos)
         return false;
-    line->locked = false;
+    flags_[idx] &= ~FlagLocked;
+    lockedMask_[idx / params_.ways] &=
+        ~(1u << static_cast<unsigned>(idx % params_.ways));
     return true;
 }
 
 void
 Cache::unlockAll()
 {
-    for (auto &set : sets_)
-        for (auto &line : set)
-            line.locked = false;
+    for (auto &f : flags_)
+        f &= ~FlagLocked;
+    std::fill(lockedMask_.begin(), lockedMask_.end(), 0);
 }
 
 bool
 Cache::contains(Addr paddr) const
 {
-    return find(paddr) != nullptr;
+    return findIndex(paddr) != npos;
 }
 
 bool
 Cache::isDirty(Addr paddr) const
 {
-    const Line *line = find(paddr);
-    return line != nullptr && line->dirty;
+    const std::size_t idx = findIndex(paddr);
+    return idx != npos && (flags_[idx] & FlagDirty) != 0;
 }
 
 unsigned
 Cache::dirtyCountInSet(unsigned set) const
 {
+    if (set >= validMask_.size())
+        fatalf(params_.name, ": set ", set, " out of range");
     unsigned n = 0;
-    for (const auto &line : sets_.at(set))
-        if (line.valid && line.dirty)
+    const std::size_t base = std::size_t(set) * params_.ways;
+    for (std::uint32_t m = validMask_[set]; m != 0; m &= m - 1)
+        if (flags_[base + lowestWay(m)] & FlagDirty)
             ++n;
     return n;
 }
@@ -214,34 +325,41 @@ Cache::dirtyCountInSet(unsigned set) const
 unsigned
 Cache::validCountInSet(unsigned set) const
 {
-    unsigned n = 0;
-    for (const auto &line : sets_.at(set))
-        if (line.valid)
-            ++n;
-    return n;
+    if (set >= validMask_.size())
+        fatalf(params_.name, ": set ", set, " out of range");
+    return static_cast<unsigned>(std::popcount(validMask_[set]));
 }
 
 std::vector<Line>
 Cache::setContents(unsigned set) const
 {
-    return sets_.at(set);
+    if (set >= validMask_.size())
+        fatalf(params_.name, ": set ", set, " out of range");
+    std::vector<Line> lines(params_.ways);
+    const std::size_t base = std::size_t(set) * params_.ways;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        const std::uint8_t f = flags_[base + w];
+        lines[w].valid = (f & FlagValid) != 0;
+        lines[w].dirty = (f & FlagDirty) != 0;
+        lines[w].locked = (f & FlagLocked) != 0;
+        lines[w].lineAddr = lineAddr_[base + w];
+        lines[w].filledBy = filledBy_[base + w];
+    }
+    return lines;
 }
 
-Line *
-Cache::find(Addr paddr)
+std::size_t
+Cache::findIndex(Addr paddr) const
 {
     const Addr la = AddressLayout::lineAddr(paddr);
-    auto &lines = sets_[layout_.setIndex(paddr)];
-    for (auto &line : lines)
-        if (line.valid && line.lineAddr == la)
-            return &line;
-    return nullptr;
-}
-
-const Line *
-Cache::find(Addr paddr) const
-{
-    return const_cast<Cache *>(this)->find(paddr);
+    const unsigned set = layout_.setIndex(paddr);
+    const std::size_t base = std::size_t(set) * params_.ways;
+    for (std::uint32_t m = validMask_[set]; m != 0; m &= m - 1) {
+        const unsigned w = lowestWay(m);
+        if (lineAddr_[base + w] == la)
+            return base + w;
+    }
+    return npos;
 }
 
 } // namespace wb::sim

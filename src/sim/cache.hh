@@ -4,13 +4,20 @@
  * write-back/write-through and allocate/no-allocate policies, per-line
  * dirty bits and lock bits (PLcache), and per-thread way partitioning
  * (NoMo/DAWG). This is the structure of paper Fig. 1.
+ *
+ * Storage is structure-of-arrays for speed: line addresses, packed
+ * per-line flag bytes and filling-thread ids live in flat arrays
+ * indexed by set * ways + way, and each set additionally keeps 32-bit
+ * valid/locked way bitmasks so victim-candidate selection is three
+ * bitwise ops instead of a per-way scan. Replacement state is held
+ * inline for all sets in one flat PolicyTable (no per-set heap objects
+ * or virtual dispatch on the hot path). See docs/PERF.md.
  */
 
 #ifndef WB_SIM_CACHE_HH
 #define WB_SIM_CACHE_HH
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,7 +49,7 @@ struct CacheParams
 {
     std::string name = "L1D";          //!< label used in stats/logs
     std::size_t sizeBytes = 32 * 1024; //!< total capacity
-    unsigned ways = 8;                 //!< associativity
+    unsigned ways = 8;                 //!< associativity (at most 32)
     PolicyKind policy = PolicyKind::TreePlru; //!< replacement policy
     WritePolicy writePolicy = WritePolicy::WriteBack;
     AllocPolicy allocPolicy = AllocPolicy::WriteAllocate;
@@ -96,8 +103,20 @@ struct Evicted
 struct FillOutcome
 {
     bool filled = false; //!< false when locking/partitioning blocked it
+    bool residentHit = false; //!< the line was already resident
     unsigned way = 0;
     Evicted evicted;
+};
+
+/** Aggregate outcome of a probeBatch()/fillBatch() call. */
+struct BatchStats
+{
+    std::uint64_t hits = 0;     //!< lookups that found the line resident
+    std::uint64_t misses = 0;   //!< lookups that did not
+    std::uint64_t fills = 0;    //!< lines actually installed
+    std::uint64_t bypassed = 0; //!< fills blocked by locks/partitioning
+    std::uint64_t evictions = 0;      //!< valid lines pushed out
+    std::uint64_t dirtyEvictions = 0; //!< ...of which dirty
 };
 
 /**
@@ -136,13 +155,54 @@ class Cache
     void onHit(Addr paddr, unsigned way, ThreadId tid, bool isWrite);
 
     /**
-     * Install @p paddr, evicting a victim if the set is full.
+     * Install @p paddr, evicting a victim if the set is full. A fill of
+     * a resident line degenerates to a (write) hit.
      *
      * @param asDirty install already dirty (write-allocate store, or a
      *        write-back arriving from the level above)
      * @return fill outcome including the evicted line, if any
      */
     FillOutcome fill(Addr paddr, ThreadId tid, bool asDirty);
+
+    /**
+     * Look up a whole address list in one call (an eviction-set
+     * traversal). Read-only: replacement state is not touched.
+     *
+     * @param hitWay optional out-array of @p n entries; entry i becomes
+     *        the hit way for addrs[i], or 0xff on miss.
+     */
+    BatchStats probeBatch(const Addr *addrs, std::size_t n, ThreadId tid,
+                          std::uint8_t *hitWay = nullptr) const;
+
+    /** Convenience overload over a vector. */
+    BatchStats
+    probeBatch(const std::vector<Addr> &addrs, ThreadId tid,
+               std::uint8_t *hitWay = nullptr) const
+    {
+        return probeBatch(addrs.data(), addrs.size(), tid, hitWay);
+    }
+
+    /**
+     * Drive a whole traversal of fills in one call: each address is
+     * installed via the fill() path (resident lines degenerate to
+     * hits). This is the idiom every channel sender/receiver sweep and
+     * eviction-set prime uses.
+     *
+     * @param evictedOut optional sink receiving every evicted valid
+     *        line, in eviction order (for write-back propagation)
+     */
+    BatchStats fillBatch(const Addr *addrs, std::size_t n, ThreadId tid,
+                         bool asDirty,
+                         std::vector<Evicted> *evictedOut = nullptr);
+
+    /** Convenience overload over a vector. */
+    BatchStats
+    fillBatch(const std::vector<Addr> &addrs, ThreadId tid, bool asDirty,
+              std::vector<Evicted> *evictedOut = nullptr)
+    {
+        return fillBatch(addrs.data(), addrs.size(), tid, asDirty,
+                         evictedOut);
+    }
 
     /**
      * Drop @p paddr if present.
@@ -179,19 +239,58 @@ class Cache
     unsigned numSets() const { return layout_.numSets(); }
 
   private:
-    /** Candidate mask for victim selection for @p tid in @p set. */
-    std::vector<bool> fillCandidates(unsigned set, ThreadId tid) const;
+    /** Packed per-line flag bits (flags_ entries). */
+    enum LineFlag : std::uint8_t
+    {
+        FlagValid = 1,
+        FlagDirty = 2,
+        FlagLocked = 4,
+    };
 
-    /** True when @p tid may fill @p way. */
-    bool allowedWay(ThreadId tid, unsigned way) const;
+    /** Cached fill mask (bit w set = thread may fill way w). */
+    std::uint32_t
+    fillMaskFor(ThreadId tid) const
+    {
+        return tid < fillMask_.size() ? fillMask_[tid] : allMask_;
+    }
 
-    Line *find(Addr paddr);
-    const Line *find(Addr paddr) const;
+    /** Flat index of the resident line for @p paddr, or npos. */
+    std::size_t findIndex(Addr paddr) const;
+
+    /**
+     * The shared per-line fill semantics behind fill() and
+     * fillBatch(): resident-hit degeneration, candidate masking,
+     * victim selection and line install. Callers precompute the
+     * per-traversal invariants (@p fillMask, @p dirtyFill and the
+     * composed @p newFlags). Force-inlined: with two call sites the
+     * compiler otherwise outlines it, costing ~8% on the fill-evict
+     * benchmark.
+     */
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((always_inline))
+#endif
+    FillOutcome fillLine(Addr la, unsigned set, ThreadId tid,
+                         std::uint32_t fillMask, bool dirtyFill,
+                         std::uint8_t newFlags);
+
+    static constexpr std::size_t npos = ~std::size_t(0);
 
     CacheParams params_;
     AddressLayout layout_;
-    std::vector<std::vector<Line>> sets_;
-    std::vector<std::unique_ptr<ReplacementPolicy>> policies_;
+
+    // Structure-of-arrays line storage, indexed by set * ways + way.
+    std::vector<Addr> lineAddr_;
+    std::vector<std::uint8_t> flags_;
+    std::vector<ThreadId> filledBy_;
+
+    // Per-set way bitmasks (bit w = way w valid / locked).
+    std::vector<std::uint32_t> validMask_;
+    std::vector<std::uint32_t> lockedMask_;
+
+    std::vector<std::uint32_t> fillMask_; //!< cached per-thread masks
+    std::uint32_t allMask_ = 0;           //!< bits [0, ways)
+
+    PolicyTable policy_;
 };
 
 } // namespace wb::sim

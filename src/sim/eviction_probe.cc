@@ -44,63 +44,67 @@ runEvictionProbe(const EvictionProbeConfig &cfg, unsigned trials, Rng &rng)
     std::uint64_t anyDirtyEvicted = 0;
     std::uint64_t allDirtyEvicted = 0;
 
+    // The dirty-write and replacement sweeps traverse fixed address
+    // lists; build them once and drive each trial's sweeps as batches.
+    // (A fill of a resident line degenerates to a hit, so fillBatch is
+    // exactly the probe-hit-else-fill idiom of the paper's loops.)
+    std::vector<Addr> dirtyAddrs;
+    for (unsigned i = 0; i < cfg.dirtyLines; ++i)
+        dirtyAddrs.push_back(lineAt(i));
+    std::vector<Addr> replAddrs;
+    for (unsigned i = 0; i < cfg.replacementSize; ++i)
+        replAddrs.push_back(lineAt(replBase + i));
+    const bool interference =
+        cfg.interferenceMax > 0 && cfg.interferenceProb > 0.0;
+
     for (unsigned t = 0; t < trials; ++t) {
         cache.reset();
 
-        // Random prior history over a pool slightly larger than the set.
+        // Random prior history over a pool slightly larger than the
+        // set. Per-access (not batched): each address depends on an
+        // Rng draw interleaved with the stochastic policies' draws.
         const unsigned poolSize = cfg.ways + 4;
         for (unsigned i = 0; i < cfg.warmupAccesses; ++i) {
             const auto pick =
                 static_cast<unsigned>(rng.below(poolSize));
-            const Addr a = lineAt(warmBase + pick);
-            if (auto way = cache.probe(a, 0))
-                cache.onHit(a, *way, 0, /*isWrite=*/false);
-            else
-                cache.fill(a, 0, /*asDirty=*/false);
+            cache.fill(lineAt(warmBase + pick), 0, /*asDirty=*/false);
         }
 
         // Write the d dirty lines (line 0 first), sweeping dirtyLoops
         // times as the paper does to ensure residence.
         for (unsigned loop = 0; loop < std::max(1u, cfg.dirtyLoops);
-             ++loop) {
-            for (unsigned i = 0; i < cfg.dirtyLines; ++i) {
-                const Addr a = lineAt(i);
-                if (auto way = cache.probe(a, 0))
-                    cache.onHit(a, *way, 0, /*isWrite=*/true);
-                else
-                    cache.fill(a, 0, /*asDirty=*/true);
-            }
-        }
+             ++loop)
+            cache.fillBatch(dirtyAddrs, 0, /*asDirty=*/true);
 
         // Sweep the replacement set, with optional interference.
-        unsigned interferenceLeft = cfg.interferenceMax;
-        for (unsigned i = 0; i < cfg.replacementSize; ++i) {
-            if (interferenceLeft > 0 && cfg.interferenceProb > 0.0 &&
-                rng.chance(cfg.interferenceProb)) {
-                // Touch a random resident line (hit) to disturb the
-                // replacement state, as concurrent core activity does.
-                // The measured dirty lines themselves are excluded:
-                // interference is extraneous traffic, not reuse of the
-                // victim's data.
-                auto lines = cache.setContents(0);
-                std::vector<Addr> resident;
-                for (const auto &l : lines) {
-                    if (l.valid && !l.dirty)
-                        resident.push_back(l.lineAddr << lineShift);
+        if (!interference) {
+            cache.fillBatch(replAddrs, 0, /*asDirty=*/false);
+        } else {
+            unsigned interferenceLeft = cfg.interferenceMax;
+            for (unsigned i = 0; i < cfg.replacementSize; ++i) {
+                if (interferenceLeft > 0 &&
+                    rng.chance(cfg.interferenceProb)) {
+                    // Touch a random resident line (hit) to disturb the
+                    // replacement state, as concurrent core activity
+                    // does. The measured dirty lines themselves are
+                    // excluded: interference is extraneous traffic, not
+                    // reuse of the victim's data.
+                    auto lines = cache.setContents(0);
+                    std::vector<Addr> resident;
+                    for (const auto &l : lines) {
+                        if (l.valid && !l.dirty)
+                            resident.push_back(l.lineAddr << lineShift);
+                    }
+                    if (!resident.empty()) {
+                        const Addr a =
+                            resident[rng.below(resident.size())];
+                        if (auto way = cache.probe(a, 0))
+                            cache.onHit(a, *way, 0, /*isWrite=*/false);
+                        --interferenceLeft;
+                    }
                 }
-                if (!resident.empty()) {
-                    const Addr a =
-                        resident[rng.below(resident.size())];
-                    if (auto way = cache.probe(a, 0))
-                        cache.onHit(a, *way, 0, /*isWrite=*/false);
-                    --interferenceLeft;
-                }
+                cache.fill(lineAt(replBase + i), 0, /*asDirty=*/false);
             }
-            const Addr a = lineAt(replBase + i);
-            if (auto way = cache.probe(a, 0))
-                cache.onHit(a, *way, 0, /*isWrite=*/false);
-            else
-                cache.fill(a, 0, /*asDirty=*/false);
         }
 
         // Inspect.

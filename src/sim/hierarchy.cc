@@ -269,6 +269,39 @@ Hierarchy::access(ThreadId tid, Addr paddr, bool isWrite)
     return res;
 }
 
+template <typename AddrAt>
+BatchAccessResult
+Hierarchy::accessBatchImpl(ThreadId tid, std::size_t n, bool isWrite,
+                           AddrAt addrAt)
+{
+    BatchAccessResult batch;
+    batch.accesses = n;
+    for (std::size_t i = 0; i < n; ++i) {
+        const AccessResult res = access(tid, addrAt(i), isWrite);
+        batch.l1Hits += res.l1Hit ? 1 : 0;
+        batch.l1DirtyEvictions += res.l1VictimDirty ? 1 : 0;
+        batch.totalLatency += res.latency;
+    }
+    return batch;
+}
+
+BatchAccessResult
+Hierarchy::accessBatch(ThreadId tid, const Addr *paddrs, std::size_t n,
+                       bool isWrite)
+{
+    return accessBatchImpl(tid, n, isWrite,
+                           [&](std::size_t i) { return paddrs[i]; });
+}
+
+BatchAccessResult
+Hierarchy::accessBatch(ThreadId tid, const AddressSpace &space,
+                       const Addr *vaddrs, std::size_t n, bool isWrite)
+{
+    return accessBatchImpl(tid, n, isWrite, [&](std::size_t i) {
+        return space.translate(vaddrs[i]);
+    });
+}
+
 Cycles
 Hierarchy::flush(ThreadId tid, Addr paddr)
 {

@@ -156,6 +156,15 @@ struct AccessResult
     Cycles latency = 0;
 };
 
+/** Aggregate result of Hierarchy::accessBatch(). */
+struct BatchAccessResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1DirtyEvictions = 0; //!< accesses with dirty L1 victim
+    Cycles totalLatency = 0;            //!< sum of per-access latencies
+};
+
 /** Static configuration of the whole hierarchy. */
 struct HierarchyParams
 {
@@ -214,6 +223,40 @@ class Hierarchy
     AccessResult access(ThreadId tid, Addr paddr, bool isWrite);
 
     /**
+     * Drive a whole address list through access() in one call — the
+     * idiom of every offline eviction-set sweep (warm-ups, pointer
+     * chases, prime loops). Aggregates instead of returning per-access
+     * results.
+     */
+    BatchAccessResult accessBatch(ThreadId tid, const Addr *paddrs,
+                                  std::size_t n, bool isWrite);
+
+    /** Convenience overload over a vector of physical addresses. */
+    BatchAccessResult
+    accessBatch(ThreadId tid, const std::vector<Addr> &paddrs,
+                bool isWrite)
+    {
+        return accessBatch(tid, paddrs.data(), paddrs.size(), isWrite);
+    }
+
+    /**
+     * accessBatch() over virtual addresses: translates each one
+     * through @p space on the fly (no scratch vector needed).
+     */
+    BatchAccessResult accessBatch(ThreadId tid, const AddressSpace &space,
+                                  const Addr *vaddrs, std::size_t n,
+                                  bool isWrite);
+
+    /** Convenience overload over a vector of virtual addresses. */
+    BatchAccessResult
+    accessBatch(ThreadId tid, const AddressSpace &space,
+                const std::vector<Addr> &vaddrs, bool isWrite)
+    {
+        return accessBatch(tid, space, vaddrs.data(), vaddrs.size(),
+                           isWrite);
+    }
+
+    /**
      * clflush: drop the line from every level, writing dirty data back
      * to memory. @return cycle cost (depends on presence/dirtiness).
      */
@@ -245,6 +288,14 @@ class Hierarchy
   private:
     /** Gaussian measurement noise (>= 0), 0 when rng or sigma absent. */
     Cycles noise();
+
+    /**
+     * Shared aggregation loop behind both accessBatch() overloads;
+     * @p addrAt maps an element index to its physical address.
+     */
+    template <typename AddrAt>
+    BatchAccessResult accessBatchImpl(ThreadId tid, std::size_t n,
+                                      bool isWrite, AddrAt addrAt);
 
     /** Write a dirty L1 victim back into L2 (allocating if needed). */
     void writebackToL2(Addr lineAddr, ThreadId tid);

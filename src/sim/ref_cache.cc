@@ -1,0 +1,253 @@
+#include "sim/ref_cache.hh"
+
+#include "common/log.hh"
+
+namespace wb::sim
+{
+
+RefCache::RefCache(const CacheParams &params, Rng *rng)
+    : params_(params), layout_(params.numSets())
+{
+    if (params_.ways == 0)
+        fatalf(params_.name, ": zero ways");
+    if (params_.ways > 32)
+        fatalf(params_.name, ": more than 32 ways unsupported");
+    if (params_.sizeBytes % (params_.ways * lineBytes) != 0)
+        fatalf(params_.name, ": size not divisible by way size");
+    const unsigned sets = params_.numSets();
+    sets_.assign(sets, std::vector<Line>(params_.ways));
+    policies_.reserve(sets);
+    for (unsigned s = 0; s < sets; ++s)
+        policies_.push_back(makePolicy(params_.policy, params_.ways, rng));
+}
+
+void
+RefCache::reset()
+{
+    for (auto &set : sets_)
+        for (auto &line : set)
+            line = Line{};
+    for (auto &policy : policies_)
+        policy->reset();
+}
+
+bool
+RefCache::allowedWay(ThreadId tid, unsigned way) const
+{
+    if (params_.fillMaskPerThread.empty())
+        return true;
+    if (tid >= params_.fillMaskPerThread.size())
+        return true;
+    return (params_.fillMaskPerThread[tid] >> way) & 1u;
+}
+
+std::optional<unsigned>
+RefCache::probe(Addr paddr, ThreadId tid) const
+{
+    const Addr la = AddressLayout::lineAddr(paddr);
+    const unsigned set = layout_.setIndex(paddr);
+    const auto &lines = sets_[set];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (lines[w].valid && lines[w].lineAddr == la) {
+            if (params_.probeIsolated && !allowedWay(tid, w))
+                return std::nullopt;
+            return w;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+RefCache::onHit(Addr paddr, unsigned way, ThreadId, bool isWrite)
+{
+    const unsigned set = layout_.setIndex(paddr);
+    Line &line = sets_[set][way];
+    if (!line.valid || line.lineAddr != AddressLayout::lineAddr(paddr))
+        panicf(params_.name, ": onHit way does not hold the line");
+    if (isWrite && params_.writePolicy == WritePolicy::WriteBack) {
+        line.dirty = true;
+        if (params_.lockOnWrite)
+            line.locked = true;
+    }
+    policies_[set]->onHit(way);
+}
+
+std::vector<bool>
+RefCache::fillCandidates(unsigned set, ThreadId tid) const
+{
+    std::vector<bool> mask(params_.ways, false);
+    const auto &lines = sets_[set];
+    bool any = false;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!lines[w].locked && allowedWay(tid, w)) {
+            mask[w] = true;
+            any = true;
+        }
+    }
+    if (!any)
+        mask.clear(); // signals "no fill possible"
+    return mask;
+}
+
+FillOutcome
+RefCache::fill(Addr paddr, ThreadId tid, bool asDirty)
+{
+    const Addr la = AddressLayout::lineAddr(paddr);
+    const unsigned set = layout_.setIndex(paddr);
+    auto &lines = sets_[set];
+
+    // A fill of a resident line degenerates to a (write) hit.
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (lines[w].valid && lines[w].lineAddr == la) {
+            if (asDirty && params_.writePolicy == WritePolicy::WriteBack) {
+                lines[w].dirty = true;
+                if (params_.lockOnWrite)
+                    lines[w].locked = true;
+            }
+            policies_[set]->onHit(w);
+            FillOutcome hitOut;
+            hitOut.filled = true;
+            hitOut.residentHit = true;
+            hitOut.way = w;
+            return hitOut;
+        }
+    }
+
+    auto candidates = fillCandidates(set, tid);
+    if (candidates.empty())
+        return {}; // everything locked / partition empty: bypass
+
+    FillOutcome out;
+    out.filled = true;
+
+    // Prefer an invalid candidate way.
+    unsigned way = params_.ways;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (candidates[w] && !lines[w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == params_.ways) {
+        // No invalid way among the candidates; ask the policy.
+        std::uint32_t eligible = 0;
+        for (unsigned w = 0; w < params_.ways; ++w)
+            if (candidates[w])
+                eligible |= 1u << w;
+        way = policies_[set]->victim(eligible);
+        if (way >= params_.ways || !candidates[way])
+            panicf(params_.name, ": policy chose ineligible way ", way);
+        out.evicted.any = lines[way].valid;
+        out.evicted.dirty = lines[way].valid && lines[way].dirty;
+        out.evicted.lineAddr = lines[way].lineAddr;
+    }
+
+    lines[way] = Line{};
+    lines[way].valid = true;
+    lines[way].lineAddr = la;
+    lines[way].filledBy = tid;
+    lines[way].dirty =
+        asDirty && params_.writePolicy == WritePolicy::WriteBack;
+    lines[way].locked = lines[way].dirty && params_.lockOnWrite;
+    policies_[set]->onFill(way);
+    out.way = way;
+    return out;
+}
+
+bool
+RefCache::invalidate(Addr paddr, bool &wasDirty)
+{
+    Line *line = find(paddr);
+    wasDirty = false;
+    if (line == nullptr)
+        return false;
+    wasDirty = line->dirty;
+    *line = Line{};
+    return true;
+}
+
+bool
+RefCache::lock(Addr paddr)
+{
+    Line *line = find(paddr);
+    if (line == nullptr)
+        return false;
+    line->locked = true;
+    return true;
+}
+
+bool
+RefCache::unlock(Addr paddr)
+{
+    Line *line = find(paddr);
+    if (line == nullptr)
+        return false;
+    line->locked = false;
+    return true;
+}
+
+void
+RefCache::unlockAll()
+{
+    for (auto &set : sets_)
+        for (auto &line : set)
+            line.locked = false;
+}
+
+bool
+RefCache::contains(Addr paddr) const
+{
+    return find(paddr) != nullptr;
+}
+
+bool
+RefCache::isDirty(Addr paddr) const
+{
+    const Line *line = find(paddr);
+    return line != nullptr && line->dirty;
+}
+
+unsigned
+RefCache::dirtyCountInSet(unsigned set) const
+{
+    unsigned n = 0;
+    for (const auto &line : sets_.at(set))
+        if (line.valid && line.dirty)
+            ++n;
+    return n;
+}
+
+unsigned
+RefCache::validCountInSet(unsigned set) const
+{
+    unsigned n = 0;
+    for (const auto &line : sets_.at(set))
+        if (line.valid)
+            ++n;
+    return n;
+}
+
+std::vector<Line>
+RefCache::setContents(unsigned set) const
+{
+    return sets_.at(set);
+}
+
+Line *
+RefCache::find(Addr paddr)
+{
+    const Addr la = AddressLayout::lineAddr(paddr);
+    auto &lines = sets_[layout_.setIndex(paddr)];
+    for (auto &line : lines)
+        if (line.valid && line.lineAddr == la)
+            return &line;
+    return nullptr;
+}
+
+const Line *
+RefCache::find(Addr paddr) const
+{
+    return const_cast<RefCache *>(this)->find(paddr);
+}
+
+} // namespace wb::sim

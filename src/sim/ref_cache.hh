@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reference cache model with the pre-refactor (seed) storage layout:
+ * nested std::vector<std::vector<Line>> line storage, one heap-allocated
+ * virtual ReplacementPolicy per set, and per-fill candidate scans.
+ *
+ * This is NOT a production path. It exists for two purposes only:
+ *
+ *  - tests/test_cache_equivalence.cc replays randomized operation
+ *    streams through this model and the flat Cache and asserts
+ *    bit-identical hit/miss/evict/dirty behavior;
+ *  - bench_micro benchmarks it alongside the flat Cache so the
+ *    refactor speedup is measured within one binary (BENCH_micro.json
+ *    "*-reference" workloads).
+ *
+ * Semantics match Cache exactly, including the resident-line
+ * PLcache-lock fix (see Cache::fill); only the storage layout and
+ * dispatch differ.
+ */
+
+#ifndef WB_SIM_REF_CACHE_HH
+#define WB_SIM_REF_CACHE_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/address.hh"
+#include "sim/cache.hh"
+#include "sim/replacement.hh"
+
+namespace wb::sim
+{
+
+/** Seed-layout cache level; see file comment. */
+class RefCache
+{
+  public:
+    RefCache(const CacheParams &params, Rng *rng);
+
+    void reset();
+    const CacheParams &params() const { return params_; }
+    const AddressLayout &layout() const { return layout_; }
+
+    std::optional<unsigned> probe(Addr paddr, ThreadId tid) const;
+    void onHit(Addr paddr, unsigned way, ThreadId tid, bool isWrite);
+    FillOutcome fill(Addr paddr, ThreadId tid, bool asDirty);
+    bool invalidate(Addr paddr, bool &wasDirty);
+    bool lock(Addr paddr);
+    bool unlock(Addr paddr);
+    void unlockAll();
+    bool contains(Addr paddr) const;
+    bool isDirty(Addr paddr) const;
+    unsigned dirtyCountInSet(unsigned set) const;
+    unsigned validCountInSet(unsigned set) const;
+    std::vector<Line> setContents(unsigned set) const;
+    unsigned numSets() const { return layout_.numSets(); }
+
+  private:
+    /** Candidate mask for victim selection for @p tid in @p set. */
+    std::vector<bool> fillCandidates(unsigned set, ThreadId tid) const;
+
+    /** True when @p tid may fill @p way. */
+    bool allowedWay(ThreadId tid, unsigned way) const;
+
+    Line *find(Addr paddr);
+    const Line *find(Addr paddr) const;
+
+    CacheParams params_;
+    AddressLayout layout_;
+    std::vector<std::vector<Line>> sets_;
+    std::vector<std::unique_ptr<ReplacementPolicy>> policies_;
+};
+
+} // namespace wb::sim
+
+#endif // WB_SIM_REF_CACHE_HH

@@ -1,23 +1,173 @@
 #include "sim/replacement.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.hh"
 
 namespace wb::sim
 {
 
-void
-ReplacementPolicy::checkCandidates(const std::vector<bool> &candidate)
+namespace
 {
-    for (bool c : candidate)
-        if (c)
-            return;
-    panic("ReplacementPolicy::victim: no eligible way");
+
+using detail::lfsrResetState;
+using detail::lfsrStep;
+using detail::quadAgePerturbProb;
+using detail::srripMax;
+
+} // namespace
+
+// ====================================================== PolicyTable
+
+PolicyTable::PolicyTable(PolicyKind kind, unsigned sets, unsigned ways,
+                         Rng *rng)
+    : kind_(kind), sets_(sets), ways_(ways),
+      nodes_(ways > 1 ? ways - 1 : 1), rng_(rng)
+{
+    if (ways_ == 0 || ways_ > 32)
+        panicf("PolicyTable: ways ", ways_, " outside [1, 32]");
+    if ((kind_ == PolicyKind::TreePlru || kind_ == PolicyKind::QuadAgeLru)
+        && (ways_ & (ways_ - 1)) != 0) {
+        panicf(policyName(kind_), " requires power-of-two ways, got ",
+               ways_);
+    }
+    if (kind_ == PolicyKind::RandomIid && rng_ == nullptr)
+        panic("RandomIid requires an Rng");
+
+    setWord_.assign(sets_, 0);
+    switch (kind_) {
+      case PolicyKind::TrueLru:
+      case PolicyKind::Fifo:
+        lineWord_.assign(std::size_t(sets_) * ways_, 0);
+        break;
+      case PolicyKind::Srrip:
+        lineWord_.assign(std::size_t(sets_) * ways_, srripMax);
+        break;
+      case PolicyKind::LfsrRandom:
+        // Seed each set's LFSR exactly as the per-set reference does:
+        // one draw per set, in set order.
+        for (unsigned s = 0; s < sets_; ++s) {
+            setWord_[s] = rng_ != nullptr ? rng_->below(0x7fff) + 1
+                                          : lfsrResetState;
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+void
+PolicyTable::reset()
+{
+    switch (kind_) {
+      case PolicyKind::Srrip:
+        std::fill(setWord_.begin(), setWord_.end(), 0);
+        std::fill(lineWord_.begin(), lineWord_.end(), srripMax);
+        break;
+      case PolicyKind::LfsrRandom:
+        std::fill(setWord_.begin(), setWord_.end(), lfsrResetState);
+        break;
+      default:
+        std::fill(setWord_.begin(), setWord_.end(), 0);
+        std::fill(lineWord_.begin(), lineWord_.end(), 0);
+        break;
+    }
+}
+
+unsigned
+PolicyTable::bestAgreement(std::uint64_t bits,
+                           std::uint32_t eligibleMask) const
+{
+    // Pick the eligible way whose root-to-leaf path agrees most with
+    // the current tree bits (fewest flips needed to point at it).
+    unsigned best = 0;
+    int bestScore = -1;
+    for (std::uint32_t m = eligibleMask; m != 0; m &= m - 1) {
+        const unsigned w = lowestWay(m);
+        int score = 0;
+        unsigned node = nodes_ + w;
+        while (node != 0) {
+            const unsigned parent = (node - 1) / 2;
+            const bool towardRight = (node == 2 * parent + 2);
+            const bool bit = (bits >> parent) & 1;
+            if (bit == towardRight)
+                ++score;
+            node = parent;
+        }
+        if (score > bestScore) {
+            bestScore = score;
+            best = w;
+        }
+    }
+    return best;
+}
+
+unsigned
+PolicyTable::victimSlow(unsigned set, std::uint32_t eligibleMask)
+{
+    // Cold remainder of victim(): the zero-mask panic, the tree
+    // policies' ineligible-leaf fallbacks, SRRIP's aging search and
+    // the stochastic policies' draw loops.
+    if (eligibleMask == 0)
+        panic("PolicyTable::victim: no eligible way");
+
+    switch (kind_) {
+      case PolicyKind::TreePlru:
+        return bestAgreement(setWord_[set], eligibleMask);
+      case PolicyKind::QuadAgeLru:
+        return lowestWay(eligibleMask);
+      case PolicyKind::Srrip: {
+        std::uint64_t *rrpv = &lineWord_[std::size_t(set) * ways_];
+        for (;;) {
+            for (std::uint32_t m = eligibleMask; m != 0; m &= m - 1) {
+                const unsigned w = lowestWay(m);
+                if (rrpv[w] >= srripMax)
+                    return w;
+            }
+            for (unsigned w = 0; w < ways_; ++w)
+                if (rrpv[w] < srripMax)
+                    ++rrpv[w];
+        }
+      }
+      case PolicyKind::RandomIid:
+        for (;;) {
+            const auto w = static_cast<unsigned>(rng_->below(ways_));
+            if ((eligibleMask >> w) & 1)
+                return w;
+        }
+      case PolicyKind::LfsrRandom:
+        for (;;) {
+            const auto w =
+                static_cast<unsigned>(setWord_[set] % ways_);
+            setWord_[set] = lfsrStep(setWord_[set]);
+            if ((eligibleMask >> w) & 1)
+                return w;
+        }
+      default:
+        break;
+    }
+    panic("PolicyTable::victimSlow: unexpected kind");
+}
+
+// ======================================== virtual reference policies
+
+void
+ReplacementPolicy::checkCandidates(std::uint32_t eligibleMask)
+{
+    if (eligibleMask == 0)
+        panic("ReplacementPolicy::victim: no eligible way");
 }
 
 namespace
 {
+
+/** True when bit @p way of @p mask is set. */
+inline bool
+hasWay(std::uint32_t mask, unsigned way)
+{
+    return ((mask >> way) & 1u) != 0;
+}
 
 /** Exact LRU via a monotonically increasing recency stamp per way. */
 class TrueLru : public ReplacementPolicy
@@ -39,13 +189,13 @@ class TrueLru : public ReplacementPolicy
     void onHit(unsigned way) override { touch(way); }
 
     unsigned
-    victim(const std::vector<bool> &candidate) override
+    victim(std::uint32_t eligibleMask) override
     {
-        checkCandidates(candidate);
+        checkCandidates(eligibleMask);
         unsigned best = 0;
         std::uint64_t bestStamp = ~std::uint64_t(0);
         for (unsigned w = 0; w < ways_; ++w) {
-            if (candidate[w] && stamp_[w] < bestStamp) {
+            if (hasWay(eligibleMask, w) && stamp_[w] < bestStamp) {
                 bestStamp = stamp_[w];
                 best = w;
             }
@@ -85,9 +235,9 @@ class TreePlru : public ReplacementPolicy
     void onHit(unsigned way) override { touch(way); }
 
     unsigned
-    victim(const std::vector<bool> &candidate) override
+    victim(std::uint32_t eligibleMask) override
     {
-        checkCandidates(candidate);
+        checkCandidates(eligibleMask);
         // Walk the tree toward the PLRU leaf. If that leaf is not an
         // eligible candidate (locked/partitioned), fall back to the
         // eligible way whose path disagrees least with the tree bits.
@@ -96,13 +246,13 @@ class TreePlru : public ReplacementPolicy
             node = 2 * node + 1 + (bits_[node] ? 1 : 0);
         }
         unsigned leaf = node - static_cast<unsigned>(bits_.size());
-        if (candidate[leaf])
+        if (hasWay(eligibleMask, leaf))
             return leaf;
 
         unsigned best = 0;
         int bestScore = -1;
         for (unsigned w = 0; w < ways_; ++w) {
-            if (!candidate[w])
+            if (!hasWay(eligibleMask, w))
                 continue;
             const int score = agreement(w);
             if (score > bestScore) {
@@ -165,14 +315,14 @@ class BitPlru : public ReplacementPolicy
     void onHit(unsigned way) override { touch(way); }
 
     unsigned
-    victim(const std::vector<bool> &candidate) override
+    victim(std::uint32_t eligibleMask) override
     {
-        checkCandidates(candidate);
+        checkCandidates(eligibleMask);
         for (unsigned w = 0; w < ways_; ++w)
-            if (candidate[w] && !mru_[w])
+            if (hasWay(eligibleMask, w) && !mru_[w])
                 return w;
         for (unsigned w = 0; w < ways_; ++w)
-            if (candidate[w])
+            if (hasWay(eligibleMask, w))
                 return w;
         return 0; // unreachable; checkCandidates guarantees a candidate
     }
@@ -211,12 +361,12 @@ class Nru : public ReplacementPolicy
     void onHit(unsigned way) override { recent_[way] = true; }
 
     unsigned
-    victim(const std::vector<bool> &candidate) override
+    victim(std::uint32_t eligibleMask) override
     {
-        checkCandidates(candidate);
+        checkCandidates(eligibleMask);
         for (;;) {
             for (unsigned w = 0; w < ways_; ++w)
-                if (candidate[w] && !recent_[w])
+                if (hasWay(eligibleMask, w) && !recent_[w])
                     return w;
             // Aging pass: clear all reference bits and rescan.
             std::fill(recent_.begin(), recent_.end(), false);
@@ -251,14 +401,14 @@ class Srrip : public ReplacementPolicy
     void onHit(unsigned way) override { rrpv_[way] = 0; }
 
     unsigned
-    victim(const std::vector<bool> &candidate) override
+    victim(std::uint32_t eligibleMask) override
     {
-        checkCandidates(candidate);
+        checkCandidates(eligibleMask);
         for (;;) {
             // Textbook SRRIP: evict the lowest-index eligible way at
             // the maximum RRPV; age everyone when none qualifies.
             for (unsigned w = 0; w < ways_; ++w)
-                if (candidate[w] && rrpv_[w] >= rrpvMax_)
+                if (hasWay(eligibleMask, w) && rrpv_[w] >= rrpvMax_)
                     return w;
             for (unsigned w = 0; w < ways_; ++w)
                 if (rrpv_[w] < rrpvMax_)
@@ -313,23 +463,23 @@ class QuadAgeLru : public ReplacementPolicy
     void onHit(unsigned way) override { touch(way); }
 
     unsigned
-    victim(const std::vector<bool> &candidate) override
+    victim(std::uint32_t eligibleMask) override
     {
-        checkCandidates(candidate);
+        checkCandidates(eligibleMask);
         unsigned node = 0;
         while (node < bits_.size())
             node = 2 * node + 1 + (bits_[node] ? 1 : 0);
         const unsigned leaf = node - static_cast<unsigned>(bits_.size());
-        if (candidate[leaf])
+        if (hasWay(eligibleMask, leaf))
             return leaf;
         for (unsigned w = 0; w < ways_; ++w)
-            if (candidate[w])
+            if (hasWay(eligibleMask, w))
                 return w;
         return 0; // unreachable; checkCandidates guarantees one
     }
 
     /** Fraction of fills whose tree update is perturbed (calibrated). */
-    static constexpr double perturbProb = 0.55;
+    static constexpr double perturbProb = quadAgePerturbProb;
 
   private:
     void
@@ -367,13 +517,13 @@ class Fifo : public ReplacementPolicy
     void onHit(unsigned) override {}
 
     unsigned
-    victim(const std::vector<bool> &candidate) override
+    victim(std::uint32_t eligibleMask) override
     {
-        checkCandidates(candidate);
+        checkCandidates(eligibleMask);
         unsigned best = 0;
         std::uint64_t bestOrder = ~std::uint64_t(0);
         for (unsigned w = 0; w < ways_; ++w) {
-            if (candidate[w] && order_[w] < bestOrder) {
+            if (hasWay(eligibleMask, w) && order_[w] < bestOrder) {
                 bestOrder = order_[w];
                 best = w;
             }
@@ -401,12 +551,12 @@ class RandomIid : public ReplacementPolicy
     void onHit(unsigned) override {}
 
     unsigned
-    victim(const std::vector<bool> &candidate) override
+    victim(std::uint32_t eligibleMask) override
     {
-        checkCandidates(candidate);
+        checkCandidates(eligibleMask);
         for (;;) {
             auto w = static_cast<unsigned>(rng_->below(ways_));
-            if (candidate[w])
+            if (hasWay(eligibleMask, w))
                 return w;
         }
     }
@@ -438,13 +588,13 @@ class LfsrRandom : public ReplacementPolicy
     void onHit(unsigned) override { step(); }
 
     unsigned
-    victim(const std::vector<bool> &candidate) override
+    victim(std::uint32_t eligibleMask) override
     {
-        checkCandidates(candidate);
+        checkCandidates(eligibleMask);
         for (;;) {
             const auto w = static_cast<unsigned>(state_ % ways_);
             step();
-            if (candidate[w])
+            if (hasWay(eligibleMask, w))
                 return w;
         }
     }
@@ -453,12 +603,7 @@ class LfsrRandom : public ReplacementPolicy
     void
     step()
     {
-        // x^15 + x^14 + 1 (maximal length).
-        const std::uint16_t bit =
-            static_cast<std::uint16_t>(((state_ >> 0) ^ (state_ >> 1)) & 1u);
-        state_ = static_cast<std::uint16_t>((state_ >> 1) | (bit << 14));
-        if (state_ == 0)
-            state_ = 0x2aau;
+        state_ = static_cast<std::uint16_t>(lfsrStep(state_));
     }
 
     std::uint16_t state_;

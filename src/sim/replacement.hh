@@ -2,8 +2,28 @@
  * @file
  * Cache replacement policies.
  *
- * One policy instance manages one cache set (per-set state, as in real
- * L1 designs). The framework covers every policy the paper discusses:
+ * Two implementations of the same per-set replacement semantics live
+ * here:
+ *
+ *  - PolicyTable — the production hot path. One flat, devirtualized
+ *    table holds the replacement state of *all* sets of a cache level
+ *    inline (no per-set heap objects, no virtual dispatch): one 64-bit
+ *    word per set (tree-PLRU bits / MRU bits / NRU bits / LFSR state /
+ *    stamp clock, interpreted per PolicyKind) plus, for stamp- and
+ *    RRPV-based policies, one 64-bit word per line.
+ *
+ *  - ReplacementPolicy — the original virtual per-set interface, kept
+ *    as a thin single-set adapter for unit tests and as an independent
+ *    reference implementation for the cache equivalence suite. The two
+ *    implementations are RNG-draw compatible: fed the same operation
+ *    sequence and identically seeded Rngs they produce bit-identical
+ *    victim sequences.
+ *
+ * Eligibility is communicated as a 32-bit way bitmask everywhere: bit w
+ * set means way w may be evicted (not locked, inside the requesting
+ * thread's partition). Associativity is limited to 32 ways.
+ *
+ * The framework covers every policy the paper discusses:
  *
  *  - TrueLru      — exact LRU stack (Table II row 1)
  *  - TreePlru     — tree pseudo-LRU as modeled on gem5 (Table II row 2)
@@ -23,6 +43,7 @@
 #ifndef WB_SIM_REPLACEMENT_HH
 #define WB_SIM_REPLACEMENT_HH
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -50,13 +71,142 @@ enum class PolicyKind
 /** Human-readable policy name ("TreePLRU", ...). */
 std::string policyName(PolicyKind kind);
 
+/** Way mask with bits [0, ways) set. @pre ways <= 32. */
+constexpr std::uint32_t
+wayMaskAll(unsigned ways)
+{
+    return ways >= 32 ? ~std::uint32_t(0)
+                      : ((std::uint32_t(1) << ways) - 1);
+}
+
+/** Way mask with bits [lo, hi) set. */
+constexpr std::uint32_t
+wayMaskRange(unsigned lo, unsigned hi)
+{
+    return wayMaskAll(hi) & ~wayMaskAll(lo);
+}
+
+/** Lowest set way of a non-zero way mask. */
+inline unsigned
+lowestWay(std::uint32_t mask)
+{
+    return static_cast<unsigned>(std::countr_zero(mask));
+}
+
+namespace detail
+{
+
+/** Initial LFSR state after reset (and when no Rng seeds it). */
+constexpr std::uint64_t lfsrResetState = 0x2aau;
+
+/** One step of the x^15 + x^14 + 1 maximal-length Fibonacci LFSR. */
+inline std::uint64_t
+lfsrStep(std::uint64_t s)
+{
+    const std::uint64_t bit = ((s >> 0) ^ (s >> 1)) & 1u;
+    s = (s >> 1) | (bit << 14);
+    return s == 0 ? lfsrResetState : s;
+}
+
+constexpr unsigned srripBits = 2;
+constexpr std::uint64_t srripMax = (1u << srripBits) - 1;
+
+/** Fraction of QuadAgeLru fills whose tree update is perturbed. */
+constexpr double quadAgePerturbProb = 0.55;
+
+} // namespace detail
+
 /**
- * Replacement state for one cache set.
+ * Flat replacement state for every set of one cache level.
  *
  * The owning cache calls onFill()/onHit() to keep the state current and
- * victim() to pick a way when the set is full. Ways holding locked lines
- * (PLcache) or outside the requesting thread's partition (NoMo/DAWG) are
- * excluded via the candidate mask.
+ * victim() to pick a way when the set is full. Ways holding locked
+ * lines (PLcache) or outside the requesting thread's partition
+ * (NoMo/DAWG) are excluded via the eligibility bitmask.
+ */
+class PolicyTable
+{
+  public:
+    /**
+     * @param kind which policy governs every set
+     * @param sets number of sets
+     * @param ways set associativity (power of two required by the tree
+     *        policies; at most 32)
+     * @param rng randomness source; required by RandomIid, used for
+     *        seeding LfsrRandom and perturbing QuadAgeLru; may be
+     *        nullptr for fully deterministic policies
+     */
+    PolicyTable(PolicyKind kind, unsigned sets, unsigned ways, Rng *rng);
+
+    /** Reset every set to the initial (power-on) state. */
+    void reset();
+
+    /** Note that @p way of @p set was just filled with a new line. */
+    void onFill(unsigned set, unsigned way);
+
+    /** Note a hit on @p way of @p set. */
+    void onHit(unsigned set, unsigned way);
+
+    /**
+     * Choose a victim among eligible ways of @p set.
+     *
+     * @param eligibleMask per-way eligibility (bit w set = way w may be
+     *        evicted); must be non-zero.
+     * @return the victim way index
+     */
+    unsigned victim(unsigned set, std::uint32_t eligibleMask);
+
+    /** The policy governing every set. */
+    PolicyKind kind() const { return kind_; }
+
+    /** Associativity this table manages. */
+    unsigned ways() const { return ways_; }
+
+    /** Number of sets this table manages. */
+    unsigned sets() const { return sets_; }
+
+  private:
+    /** Promote @p way to most-recently-used (tree/MRU-bit policies). */
+    void touch(unsigned set, unsigned way);
+
+    /** BitPlru: set @p way's MRU bit, restarting a saturated set. */
+    void touchBitPlru(unsigned set, unsigned way);
+
+    /** TreePlru fallback when the PLRU leaf is ineligible (cold). */
+    unsigned bestAgreement(std::uint64_t bits,
+                           std::uint32_t eligibleMask) const;
+
+    /** Uncommon victim cases kept out of line (SRRIP aging, random). */
+    unsigned victimSlow(unsigned set, std::uint32_t eligibleMask);
+
+    PolicyKind kind_;
+    unsigned sets_;
+    unsigned ways_;
+    unsigned nodes_; //!< tree node count for the PLRU policies
+    Rng *rng_;
+
+    /**
+     * One word per set: tree bits (TreePlru/QuadAgeLru), MRU bits
+     * (BitPlru), reference bits (Nru), LFSR state (LfsrRandom), or the
+     * recency/insertion clock (TrueLru/Fifo).
+     */
+    std::vector<std::uint64_t> setWord_;
+
+    /**
+     * One word per line (set * ways + way), allocated only when the
+     * policy needs per-line state: recency stamps (TrueLru), insertion
+     * stamps (Fifo), or RRPV counters (Srrip).
+     */
+    std::vector<std::uint64_t> lineWord_;
+};
+
+/**
+ * Replacement state for one cache set behind a virtual interface.
+ *
+ * This is not on the simulator hot path (Cache uses PolicyTable); it
+ * exists as a convenient handle for unit tests and as the independent
+ * reference implementation the equivalence suite cross-checks the flat
+ * table against.
  */
 class ReplacementPolicy
 {
@@ -73,13 +223,13 @@ class ReplacementPolicy
     virtual void onHit(unsigned way) = 0;
 
     /**
-     * Choose a victim among candidate ways.
+     * Choose a victim among eligible ways.
      *
-     * @param candidate per-way eligibility mask (true = may be evicted);
-     *        at least one way must be eligible.
+     * @param eligibleMask per-way eligibility (bit w set = way w may be
+     *        evicted); must be non-zero.
      * @return the victim way index
      */
-    virtual unsigned victim(const std::vector<bool> &candidate) = 0;
+    virtual unsigned victim(std::uint32_t eligibleMask) = 0;
 
     /** Associativity this instance manages. */
     unsigned ways() const { return ways_; }
@@ -88,7 +238,7 @@ class ReplacementPolicy
     explicit ReplacementPolicy(unsigned ways) : ways_(ways) {}
 
     /** Abort unless at least one way is eligible. */
-    static void checkCandidates(const std::vector<bool> &candidate);
+    static void checkCandidates(std::uint32_t eligibleMask);
 
     unsigned ways_;
 };
@@ -99,7 +249,7 @@ class ReplacementPolicy
  * @param kind which policy
  * @param ways set associativity (power of two required for TreePlru)
  * @param rng randomness source; required by RandomIid, used for seeding
- *        LfsrRandom and tie-breaking in QuadAgeLru; may be nullptr for
+ *        LfsrRandom and perturbing QuadAgeLru; may be nullptr for
  *        fully deterministic policies
  */
 std::unique_ptr<ReplacementPolicy>
@@ -107,6 +257,160 @@ makePolicy(PolicyKind kind, unsigned ways, Rng *rng);
 
 /** All policy kinds, for parameterized tests and benches. */
 const std::vector<PolicyKind> &allPolicies();
+
+// ------------------------------------------------------------------
+// PolicyTable hot-path definitions. Kept in the header so the owning
+// cache's per-access calls inline (the whole point of devirtualizing).
+
+inline void
+PolicyTable::touch(unsigned set, unsigned way)
+{
+    std::uint64_t bits = setWord_[set];
+    unsigned node = nodes_ + way;
+    while (node != 0) {
+        const unsigned parent = (node - 1) / 2;
+        // Point the parent at the sibling subtree.
+        if (node == 2 * parent + 1)
+            bits |= std::uint64_t(1) << parent;
+        else
+            bits &= ~(std::uint64_t(1) << parent);
+        node = parent;
+    }
+    setWord_[set] = bits;
+}
+
+inline void
+PolicyTable::touchBitPlru(unsigned set, unsigned way)
+{
+    std::uint64_t mru = setWord_[set] | (std::uint64_t(1) << way);
+    if (mru == wayMaskAll(ways_))
+        mru = std::uint64_t(1) << way;
+    setWord_[set] = mru;
+}
+
+inline void
+PolicyTable::onFill(unsigned set, unsigned way)
+{
+    switch (kind_) {
+      case PolicyKind::TrueLru:
+      case PolicyKind::Fifo:
+        lineWord_[std::size_t(set) * ways_ + way] = ++setWord_[set];
+        break;
+      case PolicyKind::TreePlru:
+        touch(set, way);
+        break;
+      case PolicyKind::BitPlru:
+        touchBitPlru(set, way);
+        break;
+      case PolicyKind::Nru:
+        setWord_[set] |= std::uint64_t(1) << way;
+        break;
+      case PolicyKind::Srrip:
+        lineWord_[std::size_t(set) * ways_ + way] = detail::srripMax - 1;
+        break;
+      case PolicyKind::QuadAgeLru:
+        touch(set, way);
+        if (rng_ != nullptr && rng_->chance(detail::quadAgePerturbProb)) {
+            const auto node = rng_->below(nodes_);
+            setWord_[set] ^= std::uint64_t(1) << node;
+        }
+        break;
+      case PolicyKind::RandomIid:
+        break;
+      case PolicyKind::LfsrRandom:
+        setWord_[set] = detail::lfsrStep(setWord_[set]);
+        break;
+    }
+}
+
+inline void
+PolicyTable::onHit(unsigned set, unsigned way)
+{
+    switch (kind_) {
+      case PolicyKind::TrueLru:
+        lineWord_[std::size_t(set) * ways_ + way] = ++setWord_[set];
+        break;
+      case PolicyKind::TreePlru:
+      case PolicyKind::QuadAgeLru:
+        touch(set, way);
+        break;
+      case PolicyKind::BitPlru:
+        touchBitPlru(set, way);
+        break;
+      case PolicyKind::Nru:
+        setWord_[set] |= std::uint64_t(1) << way;
+        break;
+      case PolicyKind::Srrip:
+        lineWord_[std::size_t(set) * ways_ + way] = 0;
+        break;
+      case PolicyKind::Fifo:
+      case PolicyKind::RandomIid:
+        break;
+      case PolicyKind::LfsrRandom:
+        setWord_[set] = detail::lfsrStep(setWord_[set]);
+        break;
+    }
+}
+
+inline unsigned
+PolicyTable::victim(unsigned set, std::uint32_t eligibleMask)
+{
+    eligibleMask &= wayMaskAll(ways_);
+    switch (kind_) {
+      case PolicyKind::TrueLru:
+      case PolicyKind::Fifo: {
+        if (eligibleMask == 0)
+            break;
+        const std::uint64_t *stamp =
+            &lineWord_[std::size_t(set) * ways_];
+        unsigned best = 0;
+        std::uint64_t bestStamp = ~std::uint64_t(0);
+        for (std::uint32_t m = eligibleMask; m != 0; m &= m - 1) {
+            const unsigned w = lowestWay(m);
+            if (stamp[w] < bestStamp) {
+                bestStamp = stamp[w];
+                best = w;
+            }
+        }
+        return best;
+      }
+      case PolicyKind::TreePlru:
+      case PolicyKind::QuadAgeLru: {
+        if (eligibleMask == 0)
+            break;
+        const std::uint64_t bits = setWord_[set];
+        unsigned node = 0;
+        while (node < nodes_)
+            node = 2 * node + 1 +
+                   static_cast<unsigned>((bits >> node) & 1);
+        const unsigned leaf = node - nodes_;
+        if ((eligibleMask >> leaf) & 1)
+            return leaf;
+        break; // ineligible PLRU leaf: out-of-line fallback
+      }
+      case PolicyKind::BitPlru: {
+        if (eligibleMask == 0)
+            break;
+        const auto mru = static_cast<std::uint32_t>(setWord_[set]);
+        const std::uint32_t notMru = eligibleMask & ~mru;
+        return lowestWay(notMru != 0 ? notMru : eligibleMask);
+      }
+      case PolicyKind::Nru: {
+        if (eligibleMask == 0)
+            break;
+        const auto recent = static_cast<std::uint32_t>(setWord_[set]);
+        const std::uint32_t old = eligibleMask & ~recent;
+        if (old != 0)
+            return lowestWay(old);
+        // Aging pass: clear all reference bits; every way qualifies.
+        setWord_[set] = 0;
+        return lowestWay(eligibleMask);
+      }
+      default:
+        break; // stateful-search and stochastic policies
+    }
+    return victimSlow(set, eligibleMask);
+}
 
 } // namespace wb::sim
 

@@ -94,15 +94,20 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
             lat = noise_.pipelinedHitCost;
 
         // SMT port contention: if the sibling issued a memory op
-        // within the coincidence window, this op may stall.
-        for (ThreadId o = 0; o < threads_.size(); ++o) {
-            if (o == tid || !threads_[o].everIssuedMem)
-                continue;
-            const Cycles ot = threads_[o].lastMemOpAt;
-            const Cycles d = ot > ctx.time ? ot - ctx.time : ctx.time - ot;
-            if (d <= noise_.portContentionWindow &&
-                rng_.chance(noise_.portContentionProb)) {
-                lat += noise_.portContentionDelay;
+        // within the coincidence window, this op may stall. Skipped
+        // entirely when contention is disabled (quiet noise models) so
+        // the per-op sibling scan stays off the hot path.
+        if (noise_.portContentionProb > 0.0) {
+            for (ThreadId o = 0; o < threads_.size(); ++o) {
+                if (o == tid || !threads_[o].everIssuedMem)
+                    continue;
+                const Cycles ot = threads_[o].lastMemOpAt;
+                const Cycles d =
+                    ot > ctx.time ? ot - ctx.time : ctx.time - ot;
+                if (d <= noise_.portContentionWindow &&
+                    rng_.chance(noise_.portContentionProb)) {
+                    lat += noise_.portContentionDelay;
+                }
             }
         }
         if (noise_.preemptProbPerOp > 0.0 &&

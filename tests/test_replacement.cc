@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit and property tests for the replacement policies
- * (sim/replacement.hh).
+ * (sim/replacement.hh): the virtual single-set reference classes, the
+ * flat PolicyTable hot path, and their bit-exact agreement.
  */
 
 #include <gtest/gtest.h>
@@ -16,10 +17,14 @@ namespace wb::sim
 namespace
 {
 
-std::vector<bool>
-allWays(unsigned n)
+TEST(WayMask, Helpers)
 {
-    return std::vector<bool>(n, true);
+    EXPECT_EQ(wayMaskAll(0), 0u);
+    EXPECT_EQ(wayMaskAll(4), 0xfu);
+    EXPECT_EQ(wayMaskAll(32), 0xffffffffu);
+    EXPECT_EQ(wayMaskRange(2, 5), 0b11100u);
+    EXPECT_EQ(wayMaskRange(0, 8), 0xffu);
+    EXPECT_EQ(wayMaskRange(3, 3), 0u);
 }
 
 TEST(TrueLru, EvictsOldest)
@@ -28,10 +33,10 @@ TEST(TrueLru, EvictsOldest)
     for (unsigned w = 0; w < 4; ++w)
         p->onFill(w);
     // Way 0 is oldest.
-    EXPECT_EQ(p->victim(allWays(4)), 0u);
+    EXPECT_EQ(p->victim(wayMaskAll(4)), 0u);
     p->onHit(0);
     // Now way 1 is oldest.
-    EXPECT_EQ(p->victim(allWays(4)), 1u);
+    EXPECT_EQ(p->victim(wayMaskAll(4)), 1u);
 }
 
 TEST(TrueLru, FullTurnoverInWaysFills)
@@ -43,7 +48,7 @@ TEST(TrueLru, FullTurnoverInWaysFills)
         p->onFill(w);
     std::set<unsigned> victims;
     for (unsigned i = 0; i < 8; ++i) {
-        const unsigned v = p->victim(allWays(8));
+        const unsigned v = p->victim(wayMaskAll(8));
         victims.insert(v);
         p->onFill(v);
     }
@@ -55,8 +60,7 @@ TEST(TrueLru, RespectsCandidateMask)
     auto p = makePolicy(PolicyKind::TrueLru, 4, nullptr);
     for (unsigned w = 0; w < 4; ++w)
         p->onFill(w);
-    std::vector<bool> mask{false, false, true, true};
-    EXPECT_EQ(p->victim(mask), 2u); // oldest among eligible
+    EXPECT_EQ(p->victim(0b1100u), 2u); // oldest among eligible
 }
 
 TEST(TreePlru, PointsAwayFromRecentlyTouched)
@@ -65,7 +69,7 @@ TEST(TreePlru, PointsAwayFromRecentlyTouched)
     for (unsigned w = 0; w < 8; ++w)
         p->onFill(w);
     // Way 7 was last touched; the victim must not be 7.
-    EXPECT_NE(p->victim(allWays(8)), 7u);
+    EXPECT_NE(p->victim(wayMaskAll(8)), 7u);
 }
 
 TEST(TreePlru, VictimChangesAfterTouch)
@@ -73,9 +77,9 @@ TEST(TreePlru, VictimChangesAfterTouch)
     auto p = makePolicy(PolicyKind::TreePlru, 8, nullptr);
     for (unsigned w = 0; w < 8; ++w)
         p->onFill(w);
-    const unsigned v1 = p->victim(allWays(8));
+    const unsigned v1 = p->victim(wayMaskAll(8));
     p->onHit(v1); // touch the would-be victim
-    const unsigned v2 = p->victim(allWays(8));
+    const unsigned v2 = p->victim(wayMaskAll(8));
     EXPECT_NE(v1, v2);
 }
 
@@ -85,13 +89,25 @@ TEST(TreePlru, RequiresPowerOfTwo)
                  "power-of-two");
 }
 
+TEST(PolicyTable, RequiresPowerOfTwoForTree)
+{
+    EXPECT_DEATH(PolicyTable(PolicyKind::TreePlru, 4, 6, nullptr),
+                 "power-of-two");
+}
+
+TEST(PolicyTable, RejectsOversizedAssociativity)
+{
+    EXPECT_DEATH(PolicyTable(PolicyKind::TrueLru, 1, 33, nullptr),
+                 "outside");
+}
+
 TEST(BitPlru, ResetsWhenAllMru)
 {
     auto p = makePolicy(PolicyKind::BitPlru, 4, nullptr);
     for (unsigned w = 0; w < 4; ++w)
         p->onFill(w); // fourth fill clears others' MRU bits
     // Ways 0..2 cleared, way 3 still MRU: victim is way 0.
-    EXPECT_EQ(p->victim(allWays(4)), 0u);
+    EXPECT_EQ(p->victim(wayMaskAll(4)), 0u);
 }
 
 TEST(Nru, AgingFindsVictim)
@@ -100,7 +116,7 @@ TEST(Nru, AgingFindsVictim)
     for (unsigned w = 0; w < 4; ++w)
         p->onFill(w); // all "recent"
     // Aging pass must still return some way.
-    const unsigned v = p->victim(allWays(4));
+    const unsigned v = p->victim(wayMaskAll(4));
     EXPECT_LT(v, 4u);
 }
 
@@ -111,7 +127,7 @@ TEST(Fifo, IgnoresHits)
         p->onFill(w);
     p->onHit(0);
     p->onHit(0); // hits must not refresh
-    EXPECT_EQ(p->victim(allWays(4)), 0u);
+    EXPECT_EQ(p->victim(wayMaskAll(4)), 0u);
 }
 
 TEST(RandomIid, UniformVictims)
@@ -121,7 +137,7 @@ TEST(RandomIid, UniformVictims)
     std::vector<unsigned> counts(8, 0);
     const int n = 8000;
     for (int i = 0; i < n; ++i)
-        ++counts[p->victim(allWays(8))];
+        ++counts[p->victim(wayMaskAll(8))];
     for (unsigned w = 0; w < 8; ++w)
         EXPECT_NEAR(counts[w] / double(n), 0.125, 0.02);
 }
@@ -130,10 +146,8 @@ TEST(RandomIid, RespectsMask)
 {
     Rng rng(5);
     auto p = makePolicy(PolicyKind::RandomIid, 8, &rng);
-    std::vector<bool> mask(8, false);
-    mask[5] = true;
     for (int i = 0; i < 50; ++i)
-        EXPECT_EQ(p->victim(mask), 5u);
+        EXPECT_EQ(p->victim(1u << 5), 5u);
 }
 
 TEST(LfsrRandom, DeterministicFromReset)
@@ -143,10 +157,10 @@ TEST(LfsrRandom, DeterministicFromReset)
     p->reset();
     std::vector<unsigned> first;
     for (int i = 0; i < 20; ++i)
-        first.push_back(p->victim(allWays(8)));
+        first.push_back(p->victim(wayMaskAll(8)));
     p->reset();
     for (int i = 0; i < 20; ++i)
-        EXPECT_EQ(p->victim(allWays(8)), first[i]);
+        EXPECT_EQ(p->victim(wayMaskAll(8)), first[i]);
 }
 
 TEST(LfsrRandom, AccessesAdvanceState)
@@ -154,10 +168,10 @@ TEST(LfsrRandom, AccessesAdvanceState)
     Rng rng(9);
     auto p = makePolicy(PolicyKind::LfsrRandom, 8, &rng);
     p->reset();
-    const unsigned v1 = p->victim(allWays(8));
+    const unsigned v1 = p->victim(wayMaskAll(8));
     p->reset();
     p->onHit(0); // clocks the LFSR
-    const unsigned v2 = p->victim(allWays(8));
+    const unsigned v2 = p->victim(wayMaskAll(8));
     // With the x^15+x^14+1 LFSR, one step changes the low bits almost
     // always; allow equality only if the full 20-victim sequence also
     // shifted.
@@ -165,11 +179,11 @@ TEST(LfsrRandom, AccessesAdvanceState)
         p->reset();
         std::vector<unsigned> a, b;
         for (int i = 0; i < 20; ++i)
-            a.push_back(p->victim(allWays(8)));
+            a.push_back(p->victim(wayMaskAll(8)));
         p->reset();
         p->onHit(0);
         for (int i = 0; i < 20; ++i)
-            b.push_back(p->victim(allWays(8)));
+            b.push_back(p->victim(wayMaskAll(8)));
         EXPECT_NE(a, b);
     }
 }
@@ -205,18 +219,15 @@ TEST_P(PolicyProperty, VictimAlwaysEligible)
         } else if (action == 1) {
             p->onHit(static_cast<unsigned>(rng.below(ways)));
         } else {
-            std::vector<bool> mask(ways, false);
-            unsigned eligible = 0;
-            for (unsigned w = 0; w < ways; ++w) {
-                mask[w] = rng.chance(0.5);
-                eligible += mask[w];
-            }
-            if (eligible == 0) {
-                mask[rng.below(ways)] = true;
-            }
+            std::uint32_t mask = 0;
+            for (unsigned w = 0; w < ways; ++w)
+                if (rng.chance(0.5))
+                    mask |= 1u << w;
+            if (mask == 0)
+                mask |= 1u << rng.below(ways);
             const unsigned v = p->victim(mask);
             ASSERT_LT(v, ways);
-            ASSERT_TRUE(mask[v]);
+            ASSERT_TRUE((mask >> v) & 1u);
         }
     }
 }
@@ -236,7 +247,7 @@ TEST_P(PolicyProperty, ResetIsReproducible)
         std::vector<unsigned> seq;
         for (unsigned i = 0; i < 2 * ways; ++i) {
             p->onFill(i % ways);
-            seq.push_back(p->victim(allWays(ways)));
+            seq.push_back(p->victim(wayMaskAll(ways)));
         }
         return seq;
     };
@@ -245,6 +256,59 @@ TEST_P(PolicyProperty, ResetIsReproducible)
     p->reset();
     const auto b = run();
     EXPECT_EQ(a, b);
+}
+
+/**
+ * Property: the flat PolicyTable and the virtual reference classes are
+ * bit-identical — same ops, identically seeded Rngs, same victims.
+ * Multiple sets are driven in an interleaved pattern to exercise the
+ * table's per-set state separation.
+ */
+TEST_P(PolicyProperty, TableMatchesReference)
+{
+    const auto [kind, ways] = GetParam();
+    if ((kind == PolicyKind::TreePlru || kind == PolicyKind::QuadAgeLru)
+        && (ways & (ways - 1)) != 0) {
+        GTEST_SKIP() << "tree policies require power-of-two ways";
+    }
+    const unsigned sets = 4;
+
+    Rng tableRng(4242);
+    Rng refRng(4242);
+    PolicyTable table(kind, sets, ways, &tableRng);
+    std::vector<std::unique_ptr<ReplacementPolicy>> refs;
+    for (unsigned s = 0; s < sets; ++s)
+        refs.push_back(makePolicy(kind, ways, &refRng));
+
+    Rng opRng(7 + ways);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const auto set = static_cast<unsigned>(opRng.below(sets));
+        const auto action = opRng.below(4);
+        if (action == 0) {
+            const auto w = static_cast<unsigned>(opRng.below(ways));
+            table.onFill(set, w);
+            refs[set]->onFill(w);
+        } else if (action == 1) {
+            const auto w = static_cast<unsigned>(opRng.below(ways));
+            table.onHit(set, w);
+            refs[set]->onHit(w);
+        } else if (action == 2) {
+            std::uint32_t mask = 0;
+            for (unsigned w = 0; w < ways; ++w)
+                if (opRng.chance(0.5))
+                    mask |= 1u << w;
+            if (mask == 0)
+                mask |= 1u << opRng.below(ways);
+            ASSERT_EQ(table.victim(set, mask), refs[set]->victim(mask))
+                << policyName(kind) << " ways=" << ways
+                << " iter=" << iter;
+        } else if (iter % 97 == 0) {
+            // Occasional reset (rare so stateful histories build up).
+            table.reset();
+            for (auto &r : refs)
+                r->reset();
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
