@@ -75,8 +75,11 @@ now()
 
 /**
  * Run @p body (which performs @p opsPerCall simulated accesses per
- * invocation) until @p budgetSec of wall time is spent, after one
- * untimed warm-up call. Returns ops/second.
+ * invocation) in three timing windows of @p budgetSec each, after one
+ * untimed warm-up call, and report the fastest window. Best-of-N is
+ * the standard defense against scheduler noise on shared machines:
+ * interference only ever makes a window slower, so the fastest window
+ * is the closest estimate of the code's actual throughput.
  */
 template <typename Body>
 BenchResult
@@ -89,17 +92,23 @@ measure(const std::string &name, const std::string &impl,
     res.name = name;
     res.impl = impl;
     res.configJson = std::move(configJson);
-    const double start = now();
-    double elapsed = 0.0;
-    std::uint64_t calls = 0;
-    do {
-        body();
-        ++calls;
-        elapsed = now() - start;
-    } while (elapsed < budgetSec);
-    res.ops = calls * opsPerCall;
-    res.elapsedSec = elapsed;
-    res.opsPerSec = static_cast<double>(res.ops) / elapsed;
+    for (int window = 0; window < 3; ++window) {
+        const double start = now();
+        double elapsed = 0.0;
+        std::uint64_t calls = 0;
+        do {
+            body();
+            ++calls;
+            elapsed = now() - start;
+        } while (elapsed < budgetSec);
+        const std::uint64_t ops = calls * opsPerCall;
+        const double opsPerSec = static_cast<double>(ops) / elapsed;
+        if (opsPerSec > res.opsPerSec) {
+            res.ops = ops;
+            res.elapsedSec = elapsed;
+            res.opsPerSec = opsPerSec;
+        }
+    }
     return res;
 }
 
@@ -246,23 +255,37 @@ benchPlcacheLocked(const std::string &impl, double budgetSec)
                    [&]() { fillPass(cache, addrs, 1, false); });
 }
 
-/** hierarchy-access: sequential demand loads (old BM_CacheAccess). */
+/**
+ * hierarchy-access: the miss-heavy end-to-end sweep (1024 distinct
+ * lines, double the L1 capacity, so every access misses L1 and hits
+ * L2 — the WB-channel eviction-sweep steady state). Measured as a
+ * pair: "flat" drives one Hierarchy::accessBatch per pass (the fused
+ * miss-path loop), "reference" calls access() per address (the seed
+ * idiom every pre-batching call site used).
+ */
 BenchResult
-benchHierarchyAccess(double budgetSec)
+benchHierarchyAccess(const std::string &impl, double budgetSec)
 {
     Rng rng(5);
     HierarchyParams hp = xeonE5_2650Params();
     hp.lat.noiseSigma = 0.0;
     Hierarchy h(hp, &rng);
-    Addr a = 0;
-    const std::uint64_t opsPerCall = 1024;
-    return measure("hierarchy-access", "hierarchy",
-                   "{\"platform\":\"xeonE5_2650\",\"noise\":0}",
-                   budgetSec, opsPerCall, [&]() {
-                       for (std::uint64_t i = 0; i < opsPerCall; ++i) {
+    std::vector<Addr> addrs;
+    for (Addr a = 0; a < 0x10000; a += 64)
+        addrs.push_back(a);
+    const std::string cfg =
+        "{\"platform\":\"xeonE5-2650\",\"noise\":0,\"missHeavy\":true}";
+    if (impl == "flat") {
+        return measure("hierarchy-access", impl, cfg, budgetSec,
+                       addrs.size(), [&]() {
+                           (void)h.accessBatch(0, addrs,
+                                               /*isWrite=*/false);
+                       });
+    }
+    return measure("hierarchy-access", impl, cfg, budgetSec,
+                   addrs.size(), [&]() {
+                       for (Addr a : addrs)
                            (void)h.access(0, a, false);
-                           a = (a + 64) & 0xffff;
-                       }
                    });
 }
 
@@ -277,7 +300,7 @@ benchHierarchyDirtyEvict(double budgetSec)
     Addr tag = 1;
     const std::uint64_t opsPerCall = 1024;
     return measure("hierarchy-dirty-evict", "hierarchy",
-                   "{\"platform\":\"xeonE5_2650\",\"set\":9}",
+                   "{\"platform\":\"xeonE5-2650\",\"set\":9}",
                    budgetSec, opsPerCall, [&]() {
                        for (std::uint64_t i = 0; i < opsPerCall; ++i) {
                            (void)h.access(0, layout.compose(9, tag),
@@ -319,7 +342,7 @@ benchPointerChase(double budgetSec)
         chan::linesForSet(h.l1().layout(), 13, lines, 0x100);
     double sink = 0.0;
     auto res = measure("pointer-chase", "hierarchy",
-                       "{\"platform\":\"xeonE5_2650\",\"lines\":16}",
+                       "{\"platform\":\"xeonE5-2650\",\"lines\":16}",
                        budgetSec, lines, [&]() {
                            sink += chan::measureChaseOffline(
                                h, 1, space, order, noise);
@@ -447,7 +470,8 @@ main(int argc, char **argv)
     results.push_back(benchPartitioned<RefCache>("reference", budget));
     results.push_back(benchPlcacheLocked<Cache>("flat", budget));
     results.push_back(benchPlcacheLocked<RefCache>("reference", budget));
-    results.push_back(benchHierarchyAccess(budget));
+    results.push_back(benchHierarchyAccess("flat", budget));
+    results.push_back(benchHierarchyAccess("reference", budget));
     results.push_back(benchHierarchyDirtyEvict(budget));
     results.push_back(benchPointerChase(budget));
     results.push_back(benchSmtStep(budget));

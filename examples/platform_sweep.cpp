@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Platform sweep: run one WB-channel frame on every platform
+ * registered in the sim::platform registry and compare the channel
+ * quality side by side.
+ *
+ *   $ ./example_platform_sweep [frames]
+ *
+ * The same protocol (rate, encoding, seed) runs unchanged on each
+ * preset; only the machine differs. The paper's Xeon carries the
+ * channel cleanly; the write-through ARM-style core has no dirty L1
+ * lines at all (BER ~ 0.5, no calibration signal); the DAWG-defended
+ * variant removes the cross-thread replacement signal; the
+ * inclusive-LLC desktop part still leaks. The calibrated signal gap
+ * (median latency difference between d = 0 and the top encoding
+ * level) separates "physically removed" from "merely degraded".
+ */
+
+#include <iostream>
+#include <string>
+
+#include "chan/channel.hh"
+#include "common/table.hh"
+#include "sim/platform.hh"
+
+using namespace wb;
+
+int
+main(int argc, char **argv)
+{
+    const unsigned frames =
+        argc > 1 ? static_cast<unsigned>(std::stoul(argv[1])) : 1;
+
+    Table table("WB covert channel, one configuration on every "
+                "registered platform");
+    table.header({"platform", "description", "BER", "goodput kbps",
+                  "signal gap", "dirty WBs"});
+
+    for (const sim::Platform *platform : sim::allPlatforms()) {
+        chan::ChannelConfig cfg;
+        cfg.usePlatform(platform->name);
+        cfg.protocol.ts = cfg.protocol.tr = 5500;
+        cfg.protocol.encoding = chan::Encoding::binary(
+            std::min(4u, cfg.platform.l1.ways));
+        cfg.protocol.frames = frames;
+        cfg.calibration.measurements = 80;
+        cfg.seed = 7;
+
+        const chan::ChannelResult res = chan::runChannel(cfg);
+
+        double signalGap = 0.0;
+        const unsigned top = cfg.protocol.encoding.maxLevel();
+        if (top < res.calibrationMedians.size())
+            signalGap =
+                res.calibrationMedians[top] - res.calibrationMedians[0];
+
+        table.row({platform->name,
+                   platform->description.substr(0, 40),
+                   Table::pct(res.ber, 2),
+                   Table::num(res.goodputKbps, 0),
+                   Table::num(signalGap, 1),
+                   std::to_string(res.receiverCounters.l1DirtyWritebacks +
+                                  res.senderCounters.l1DirtyWritebacks)});
+    }
+
+    table.note("signal gap: calibrated median latency difference "
+               "between d=0 and the top encoding level (cycles); ~0 "
+               "means the platform removed the physical signal.");
+    table.note("frames per platform: " + std::to_string(frames));
+    table.print();
+    return 0;
+}

@@ -24,6 +24,7 @@
 #include "chan/protocol.hh"
 #include "sim/hierarchy.hh"
 #include "sim/noise_model.hh"
+#include "sim/platform.hh"
 #include "sim/smt_core.hh"
 
 namespace wb::baselines
@@ -32,6 +33,8 @@ namespace wb::baselines
 /** Configuration shared by every baseline channel. */
 struct BaselineConfig
 {
+    /** Registry preset this config was built from (see usePlatform). */
+    std::string platformName = sim::kDefaultPlatform;
     sim::HierarchyParams platform = sim::xeonE5_2650Params();
     sim::NoiseModel noise;
     Cycles ts = 5500;        //!< sender period
@@ -54,6 +57,17 @@ struct BaselineConfig
 
     /** Channel rate in kbps (binary symbols). */
     double rateKbps() const { return cpuGhz * 1e6 / double(ts); }
+
+    /**
+     * Reconfigure for a named registry preset (hierarchy parameters +
+     * noise model). Fatal on an unknown name. @return *this.
+     */
+    BaselineConfig &
+    usePlatform(const std::string &name)
+    {
+        sim::applyPlatform(name, platformName, platform, noise);
+        return *this;
+    }
 };
 
 /** Result of one baseline transmission experiment. */

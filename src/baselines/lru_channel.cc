@@ -12,6 +12,11 @@ LruReceiver::LruReceiver(std::vector<Addr> lines, Cycles tr,
 {
     if (lines_.size() < 4 || lines_.size() % 2 != 0)
         fatalf("LruReceiver: needs an even number (>=4) of lines");
+    // Two full sweeps fill the set and warm L2, as one batched sweep.
+    warmupOrder_.reserve(2 * lines_.size());
+    for (int sweep = 0; sweep < 2; ++sweep)
+        warmupOrder_.insert(warmupOrder_.end(), lines_.begin(),
+                            lines_.end());
 }
 
 std::optional<sim::MemOp>
@@ -20,9 +25,11 @@ LruReceiver::next(sim::ProcView &)
     const std::size_t half = lines_.size() / 2;
     switch (phase_) {
       case Phase::Warmup:
-        // Two full sweeps fill the set and warm L2.
-        if (pos_ < 2 * lines_.size())
-            return sim::MemOp::load(lines_[pos_ % lines_.size()]);
+        if (!warmupDone_) {
+            warmupDone_ = true;
+            return sim::MemOp::loadBatch(warmupOrder_.data(),
+                                         warmupOrder_.size());
+        }
         phase_ = Phase::InitTsc;
         return sim::MemOp::tscRead();
       case Phase::InitTsc:
@@ -30,7 +37,8 @@ LruReceiver::next(sim::ProcView &)
       case Phase::Wait:
         return sim::MemOp::spinUntil(tlast_ + tr_);
       case Phase::DecodeHalf:
-        return sim::MemOp::load(lines_[half + pos_]);
+        // The decode half is contiguous in lines_: one batched sweep.
+        return sim::MemOp::loadBatch(lines_.data() + half, half);
       case Phase::MeasStart:
         return sim::MemOp::tscRead();
       case Phase::MeasLoad:
@@ -38,7 +46,7 @@ LruReceiver::next(sim::ProcView &)
       case Phase::MeasEnd:
         return sim::MemOp::tscRead();
       case Phase::Refill:
-        return sim::MemOp::load(lines_[1 + pos_]);
+        return sim::MemOp::loadBatch(lines_.data() + 1, half - 1);
       case Phase::Done:
         return sim::MemOp::halt();
     }
@@ -49,10 +57,9 @@ void
 LruReceiver::onResult(const sim::MemOp &op, const sim::OpResult &res,
                       sim::ProcView &)
 {
-    const std::size_t half = lines_.size() / 2;
     switch (phase_) {
       case Phase::Warmup:
-        ++pos_;
+        // The warm-up batch completed; next() moves on to InitTsc.
         break;
       case Phase::InitTsc:
         tlast_ = res.tsc;
@@ -60,13 +67,10 @@ LruReceiver::onResult(const sim::MemOp &op, const sim::OpResult &res,
         break;
       case Phase::Wait:
         tlast_ = res.tsc;
-        pos_ = 0;
         phase_ = Phase::DecodeHalf;
         break;
       case Phase::DecodeHalf:
-        ++pos_;
-        if (pos_ >= half)
-            phase_ = Phase::MeasStart;
+        phase_ = Phase::MeasStart;
         break;
       case Phase::MeasStart:
         tscStart_ = res.tsc;
@@ -77,14 +81,11 @@ LruReceiver::onResult(const sim::MemOp &op, const sim::OpResult &res,
         break;
       case Phase::MeasEnd:
         samples_.push_back(static_cast<double>(res.tsc - tscStart_));
-        pos_ = 0;
         phase_ = samples_.size() >= sampleCount_ ? Phase::Done
                                                  : Phase::Refill;
         break;
       case Phase::Refill:
-        ++pos_;
-        if (pos_ >= half - 1)
-            phase_ = Phase::Wait;
+        phase_ = Phase::Wait;
         break;
       case Phase::Done:
         break;

@@ -47,14 +47,14 @@ class LruReceiver : public sim::Program, public LatencySource
   private:
     enum class Phase
     {
-        Warmup,
+        Warmup,     //!< one batched double sweep
         InitTsc,
         Wait,
-        DecodeHalf, //!< access lines W/2..W-1
+        DecodeHalf, //!< batched sweep of lines W/2..W-1
         MeasStart,  //!< TscRead
         MeasLoad,   //!< timed load of lines[0]
         MeasEnd,    //!< TscRead
-        Refill,     //!< re-access lines 1..W/2-1 (init for next slot)
+        Refill,     //!< batched re-access of lines 1..W/2-1
         Done
     };
 
@@ -63,7 +63,8 @@ class LruReceiver : public sim::Program, public LatencySource
     std::size_t sampleCount_;
 
     Phase phase_ = Phase::Warmup;
-    std::size_t pos_ = 0;
+    std::vector<Addr> warmupOrder_; //!< two full sweeps, batched
+    bool warmupDone_ = false;
     Cycles tlast_ = 0;
     Cycles tscStart_ = 0;
     std::vector<double> samples_;

@@ -1,5 +1,7 @@
 #include "baselines/prime_probe.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "chan/set_mapping.hh"
 
@@ -12,6 +14,12 @@ PrimeProbeReceiver::PrimeProbeReceiver(std::vector<Addr> lines, Cycles tr,
 {
     if (lines_.empty())
         fatalf("PrimeProbeReceiver: needs prime lines");
+    // Two full sweeps fill the set and warm L2, as one batched sweep.
+    warmupOrder_.reserve(2 * lines_.size());
+    for (int sweep = 0; sweep < 2; ++sweep)
+        warmupOrder_.insert(warmupOrder_.end(), lines_.begin(),
+                            lines_.end());
+    probeOrder_ = lines_;
 }
 
 std::optional<sim::MemOp>
@@ -19,8 +27,11 @@ PrimeProbeReceiver::next(sim::ProcView &)
 {
     switch (phase_) {
       case Phase::Warmup:
-        if (pos_ < 2 * lines_.size())
-            return sim::MemOp::load(lines_[pos_ % lines_.size()]);
+        if (!warmupDone_) {
+            warmupDone_ = true;
+            return sim::MemOp::loadBatch(warmupOrder_.data(),
+                                         warmupOrder_.size());
+        }
         phase_ = Phase::InitTsc;
         return sim::MemOp::tscRead();
       case Phase::InitTsc:
@@ -29,11 +40,9 @@ PrimeProbeReceiver::next(sim::ProcView &)
         return sim::MemOp::spinUntil(tlast_ + tr_);
       case Phase::ProbeStart:
         return sim::MemOp::tscRead();
-      case Phase::Probe: {
-        const std::size_t idx =
-            forward_ ? pos_ : lines_.size() - 1 - pos_;
-        return sim::MemOp::load(lines_[idx]);
-      }
+      case Phase::Probe:
+        return sim::MemOp::loadBatch(probeOrder_.data(),
+                                     probeOrder_.size());
       case Phase::ProbeEnd:
         return sim::MemOp::tscRead();
       case Phase::Done:
@@ -48,25 +57,28 @@ PrimeProbeReceiver::onResult(const sim::MemOp &, const sim::OpResult &res,
 {
     switch (phase_) {
       case Phase::Warmup:
-        ++pos_;
+        // The warm-up batch completed; next() moves on to InitTsc.
         break;
       case Phase::InitTsc:
         tlast_ = res.tsc;
         phase_ = Phase::Wait;
         break;
-      case Phase::Wait:
+      case Phase::Wait: {
         tlast_ = res.tsc;
+        // Walk the probe in the reverse of the previous traversal
+        // order (the anti-thrashing trick of paper Sec. VI-A).
+        probeOrder_.assign(lines_.begin(), lines_.end());
+        if (!forward_)
+            std::reverse(probeOrder_.begin(), probeOrder_.end());
         phase_ = Phase::ProbeStart;
         break;
+      }
       case Phase::ProbeStart:
         tscStart_ = res.tsc;
-        pos_ = 0;
         phase_ = Phase::Probe;
         break;
       case Phase::Probe:
-        ++pos_;
-        if (pos_ >= lines_.size())
-            phase_ = Phase::ProbeEnd;
+        phase_ = Phase::ProbeEnd;
         break;
       case Phase::ProbeEnd:
         samples_.push_back(static_cast<double>(res.tsc - tscStart_));
@@ -96,7 +108,7 @@ PrimeProbeSender::next(sim::ProcView &)
       case Phase::Init:
         return sim::MemOp::tscRead();
       case Phase::Touch:
-        return sim::MemOp::load(lines_[touchIdx_]);
+        return sim::MemOp::loadBatch(lines_.data(), linesPerOne_);
       case Phase::Wait:
         return sim::MemOp::spinUntil(tlast_ + ts_);
       case Phase::Done:
@@ -110,14 +122,10 @@ PrimeProbeSender::onResult(const sim::MemOp &op, const sim::OpResult &res,
                            sim::ProcView &)
 {
     auto beginSlot = [this]() {
-        if (bitIdx_ >= bits_.size()) {
+        if (bitIdx_ >= bits_.size())
             phase_ = Phase::Done;
-        } else if (bits_[bitIdx_]) {
-            touchIdx_ = 0;
-            phase_ = Phase::Touch;
-        } else {
-            phase_ = Phase::Wait;
-        }
+        else
+            phase_ = bits_[bitIdx_] ? Phase::Touch : Phase::Wait;
     };
 
     switch (op.kind) {
@@ -125,10 +133,8 @@ PrimeProbeSender::onResult(const sim::MemOp &op, const sim::OpResult &res,
         tlast_ = res.tsc;
         beginSlot();
         break;
-      case sim::MemOp::Kind::Load:
-        ++touchIdx_;
-        if (touchIdx_ >= linesPerOne_)
-            phase_ = Phase::Wait;
+      case sim::MemOp::Kind::LoadBatch:
+        phase_ = Phase::Wait;
         break;
       case sim::MemOp::Kind::SpinUntil:
         tlast_ = res.tsc;

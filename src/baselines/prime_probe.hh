@@ -39,11 +39,11 @@ class PrimeProbeReceiver : public sim::Program, public LatencySource
   private:
     enum class Phase
     {
-        Warmup,
+        Warmup,     //!< one batched double sweep
         InitTsc,
         Wait,
         ProbeStart, //!< TscRead
-        Probe,      //!< W loads, reverse order per slot
+        Probe,      //!< batched W-load sweep, reverse order per slot
         ProbeEnd,   //!< TscRead
         Done
     };
@@ -53,7 +53,9 @@ class PrimeProbeReceiver : public sim::Program, public LatencySource
     std::size_t sampleCount_;
 
     Phase phase_ = Phase::Warmup;
-    std::size_t pos_ = 0;
+    std::vector<Addr> warmupOrder_; //!< two full sweeps, batched
+    std::vector<Addr> probeOrder_;  //!< this slot's traversal order
+    bool warmupDone_ = false;
     bool forward_ = true;
     Cycles tlast_ = 0;
     Cycles tscStart_ = 0;
@@ -81,7 +83,7 @@ class PrimeProbeSender : public sim::Program
     enum class Phase
     {
         Init,
-        Touch, //!< bit 1: access linesPerOne lines
+        Touch, //!< bit 1: one batched sweep of linesPerOne lines
         Wait,
         Done
     };
@@ -93,7 +95,6 @@ class PrimeProbeSender : public sim::Program
 
     Phase phase_ = Phase::Init;
     std::size_t bitIdx_ = 0;
-    unsigned touchIdx_ = 0;
     Cycles tlast_ = 0;
 };
 

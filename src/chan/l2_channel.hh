@@ -33,6 +33,8 @@ namespace wb::chan
 /** L2-channel experiment configuration. */
 struct L2ChannelConfig
 {
+    /** Registry preset this config was built from (see usePlatform). */
+    std::string platformName = sim::kDefaultPlatform;
     sim::HierarchyParams platform = sim::xeonE5_2650Params();
     sim::NoiseModel noise;
     Cycles ts = 30000;   //!< slots are longer: encode costs more
@@ -49,6 +51,17 @@ struct L2ChannelConfig
 
     /** Channel rate in kbps. */
     double rateKbps() const { return cpuGhz * 1e6 / double(ts); }
+
+    /**
+     * Reconfigure for a named registry preset (hierarchy parameters +
+     * noise model). Fatal on an unknown name. @return *this.
+     */
+    L2ChannelConfig &
+    usePlatform(const std::string &name)
+    {
+        sim::applyPlatform(name, platformName, platform, noise);
+        return *this;
+    }
 };
 
 /**

@@ -113,7 +113,7 @@ MultiSetReceiver::startMeasurement(Rng &rng)
     PointerChase &chase =
         useA_ ? chaseA_[setIdx_] : chaseB_[setIdx_];
     chase.reshuffle(rng);
-    ops_ = chase.measurementOps();
+    ops_ = chase.batchedMeasurementOps();
     opPos_ = 0;
     sawFirstTsc_ = false;
     phase_ = Phase::Measure;

@@ -23,6 +23,8 @@ namespace wb::chan
 /** Multi-set experiment configuration. */
 struct MultiSetConfig
 {
+    /** Registry preset this config was built from (see usePlatform). */
+    std::string platformName = sim::kDefaultPlatform;
     sim::HierarchyParams platform = sim::xeonE5_2650Params();
     sim::NoiseModel noise;
     Cycles ts = 5500;  //!< slot period
@@ -49,6 +51,17 @@ struct MultiSetConfig
     targetSet(unsigned j) const
     {
         return (firstSet + 8 * j) % 64;
+    }
+
+    /**
+     * Reconfigure for a named registry preset (hierarchy parameters +
+     * noise model). Fatal on an unknown name. @return *this.
+     */
+    MultiSetConfig &
+    usePlatform(const std::string &name)
+    {
+        sim::applyPlatform(name, platformName, platform, noise);
+        return *this;
     }
 };
 

@@ -28,7 +28,10 @@ struct NoiseProcessConfig
     double storeFraction = 0.0; //!< probability a touch is a store
 };
 
-/** The noise program: periodic bursts of target-set accesses. */
+/**
+ * The noise program: periodic bursts of target-set accesses, issued
+ * as batched load/store sweeps.
+ */
 class NoiseProcess : public sim::Program
 {
   public:
@@ -46,11 +49,26 @@ class NoiseProcess : public sim::Program
     std::uint64_t accesses() const { return accesses_; }
 
   private:
+    /** A run of consecutive same-kind touches within one burst. */
+    struct BurstRun
+    {
+        bool isStore = false;
+        std::vector<Addr> lines;
+    };
+
+    /**
+     * Draw the next burst's load/store decisions (per line, as the
+     * scalar path did) and group consecutive same-kind touches into
+     * runs, preserving the original line order.
+     */
+    void buildBurst(Rng &rng);
+
     std::vector<Addr> lines_;
     NoiseProcessConfig cfg_;
     Cycles tlast_ = 0;
-    unsigned burstPos_ = 0;
     std::size_t nextLine_ = 0;
+    std::vector<BurstRun> runs_; //!< this burst's batched sweeps
+    std::size_t runPos_ = 0;     //!< next run to issue
     bool spinning_ = true;
     bool started_ = false;
     std::uint64_t accesses_ = 0;

@@ -35,7 +35,7 @@ ReceiverProgram::startMeasurement(Rng &rng)
 {
     PointerChase &chase = useA_ ? chaseA_ : chaseB_;
     chase.reshuffle(rng);
-    measureOps_ = chase.measurementOps();
+    measureOps_ = chase.batchedMeasurementOps();
     measurePos_ = 0;
     sawFirstTsc_ = false;
     phase_ = Phase::Measure;
@@ -46,8 +46,12 @@ ReceiverProgram::next(sim::ProcView &)
 {
     switch (phase_) {
       case Phase::Warmup:
-        if (warmupPos_ < warmupOrder_.size())
-            return sim::MemOp::load(warmupOrder_[warmupPos_]);
+        // Untimed initialization: all warm-up sweeps in one batch.
+        if (!warmupDone_ && !warmupOrder_.empty()) {
+            warmupDone_ = true;
+            return sim::MemOp::loadBatch(warmupOrder_.data(),
+                                         warmupOrder_.size());
+        }
         phase_ = Phase::Init;
         return sim::MemOp::tscRead();
       case Phase::Init:
@@ -70,7 +74,7 @@ ReceiverProgram::onResult(const sim::MemOp &op, const sim::OpResult &res,
 {
     switch (phase_) {
       case Phase::Warmup:
-        ++warmupPos_;
+        // The warm-up batch completed; next() moves on to Init.
         break;
       case Phase::Init:
         // The Init phase consists of one TscRead; the phase was already

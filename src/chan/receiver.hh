@@ -63,10 +63,10 @@ class ReceiverProgram : public sim::Program
   private:
     enum class Phase
     {
-        Warmup,  //!< untimed sweeps of A and B
+        Warmup,  //!< untimed batched sweeps of A and B
         Init,    //!< read TSC once to establish Tlast
         Wait,    //!< spin until Tlast + Tr
-        Measure, //!< TscRead, chase loads, TscRead
+        Measure, //!< TscRead, batched chase sweep, TscRead
         Done     //!< sampleCount observations recorded
     };
 
@@ -81,12 +81,11 @@ class ReceiverProgram : public sim::Program
 
     Phase phase_ = Phase::Warmup;
     bool useA_ = true; //!< Algorithm 2: alternate replacement sets
-    std::size_t warmupPos_ = 0;
+    bool warmupDone_ = false;
     std::vector<Addr> warmupOrder_;
 
     std::vector<sim::MemOp> measureOps_;
     std::size_t measurePos_ = 0;
-    double accumulated_ = 0.0;
     Cycles tscStart_ = 0;
     bool sawFirstTsc_ = false;
 

@@ -28,9 +28,11 @@ SenderProgram::next(sim::ProcView &)
             done_ = true;
             return sim::MemOp::halt();
         }
+        // Algorithm 1: dirty the symbol's d lines as one batched store
+        // sweep through the fused miss path, then wait out the slot.
         const unsigned d = dSeq_[symbolIdx_];
-        if (storeIdx_ < d)
-            return sim::MemOp::store(lines_[storeIdx_]);
+        if (d > 0)
+            return sim::MemOp::storeBatch(lines_.data(), d);
         phase_ = Phase::Wait;
         return sim::MemOp::spinUntil(tlast_ + ts_);
       }
@@ -51,13 +53,12 @@ SenderProgram::onResult(const sim::MemOp &op, const sim::OpResult &res,
         tlast_ = res.tsc;
         phase_ = Phase::Encode;
         break;
-      case sim::MemOp::Kind::Store:
-        ++storeIdx_;
+      case sim::MemOp::Kind::StoreBatch:
+        phase_ = Phase::Wait;
         break;
       case sim::MemOp::Kind::SpinUntil:
         tlast_ = res.tsc; // Algorithm 3: Tlast = TSC (post-spin)
         ++symbolIdx_;
-        storeIdx_ = 0;
         phase_ = Phase::Encode;
         break;
       default:

@@ -4,9 +4,9 @@
  * Algorithm 3).
  *
  * Every Ts cycles the sender encodes one symbol by dirtying d lines of
- * the target set (d = 0 means no access at all), then busy-waits for
- * the period boundary and re-bases its period clock on the post-spin
- * timestamp, exactly as Algorithm 3's
+ * the target set (d = 0 means no access at all) with one batched store
+ * sweep, then busy-waits for the period boundary and re-bases its
+ * period clock on the post-spin timestamp, exactly as Algorithm 3's
  * `while (TSC < Tlast + Ts); Tlast = TSC;` does.
  */
 
@@ -48,7 +48,7 @@ class SenderProgram : public sim::Program
     enum class Phase
     {
         Init,   //!< read the TSC once to establish Tlast
-        Encode, //!< issue the d stores of the current symbol
+        Encode, //!< issue the current symbol's batched store sweep
         Wait    //!< spin until Tlast + Ts
     };
 
@@ -58,7 +58,6 @@ class SenderProgram : public sim::Program
 
     Phase phase_ = Phase::Init;
     std::size_t symbolIdx_ = 0;
-    unsigned storeIdx_ = 0;
     Cycles tlast_ = 0;
     bool done_ = false;
 };

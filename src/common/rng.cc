@@ -109,6 +109,15 @@ Rng::gaussian(double mean, double sigma)
     return mean + sigma * gaussian();
 }
 
+void
+Rng::refillGaussians()
+{
+    for (auto &d : gaussBlock_)
+        d = gaussian();
+    gaussPos_ = 0;
+    gaussFill_ = gaussBlock_.size();
+}
+
 double
 Rng::exponential(double mean)
 {

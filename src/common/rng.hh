@@ -50,6 +50,26 @@ class Rng
     /** Normal draw with the given mean and standard deviation. */
     double gaussian(double mean, double sigma);
 
+    /**
+     * Standard normal draw served from a refill-on-demand block of
+     * precomputed deviates. Hot paths that charge per-access Gaussian
+     * noise (Hierarchy::accessBatch) use this instead of gaussian():
+     * the polar rejection loop runs once per gaussianBlockSize draws
+     * instead of once per access, and the common case is a single
+     * indexed read. Draw values match gaussian() called back to back;
+     * only the interleaving with other draws on this Rng differs.
+     */
+    double
+    gaussianCached()
+    {
+        if (gaussPos_ >= gaussFill_)
+            refillGaussians();
+        return gaussBlock_[gaussPos_++];
+    }
+
+    /** Number of deviates precomputed per gaussianCached() refill. */
+    static constexpr std::size_t gaussianBlockSize = 256;
+
     /** Exponential draw with the given mean. @pre mean > 0. */
     double exponential(double mean);
 
@@ -71,9 +91,16 @@ class Rng
     Rng split() { return Rng(next()); }
 
   private:
+    /** Refill the gaussianCached() block (out of line, cold). */
+    void refillGaussians();
+
     std::array<std::uint64_t, 4> state_;
     bool hasSpare_ = false;
     double spare_ = 0.0;
+
+    std::array<double, gaussianBlockSize> gaussBlock_{};
+    std::size_t gaussPos_ = 0;  //!< next deviate to hand out
+    std::size_t gaussFill_ = 0; //!< valid deviates in the block
 };
 
 } // namespace wb

@@ -122,37 +122,26 @@ runAttack(const AttackConfig &cfg)
             cal0.add(atk.probe()); // full dirty prime intact
             atk.dirtyPrime(ways);
             // Emulate the victim's evictions with clean set-m loads.
-            for (unsigned j = 0; j < cfg.serialLines; ++j) {
-                hierarchy.access(attackerTid,
-                                 attackerSpace.translate(calPool0[j]),
-                                 false);
-            }
+            hierarchy.accessBatch(attackerTid, attackerSpace,
+                                  calPool0.data(), cfg.serialLines,
+                                  /*isWrite=*/false);
             cal1.add(atk.probe());
             break;
           case Scenario::VictimTiming: {
             // Calibrate on the victim-visible latency of touching
             // serialLines lines over a dirty vs clean set.
             atk.dirtyPrime(ways);
-            double t1 = 0, t0 = 0;
-            for (unsigned j = 0; j < cfg.serialLines; ++j) {
-                t1 += static_cast<double>(
-                    hierarchy
-                        .access(attackerTid,
-                                attackerSpace.translate(calPool1[j]),
-                                false)
-                        .latency + cfg.noise.opOverhead);
-            }
-            cal1.add(t1);
+            const auto b1 = hierarchy.accessBatch(
+                attackerTid, attackerSpace, calPool1.data(),
+                cfg.serialLines, /*isWrite=*/false);
+            cal1.add(static_cast<double>(
+                b1.totalLatency + cfg.noise.opOverhead * b1.accesses));
             atk.probe(); // clean the set again
-            for (unsigned j = 0; j < cfg.serialLines; ++j) {
-                t0 += static_cast<double>(
-                    hierarchy
-                        .access(attackerTid,
-                                attackerSpace.translate(calPool0[j]),
-                                false)
-                        .latency + cfg.noise.opOverhead);
-            }
-            cal0.add(t0);
+            const auto b0 = hierarchy.accessBatch(
+                attackerTid, attackerSpace, calPool0.data(),
+                cfg.serialLines, /*isWrite=*/false);
+            cal0.add(static_cast<double>(
+                b0.totalLatency + cfg.noise.opOverhead * b0.accesses));
             break;
           }
         }
@@ -181,9 +170,8 @@ runAttack(const AttackConfig &cfg)
             break;
           case Scenario::VictimTiming: {
             atk.dirtyPrime(ways);
-            for (Addr va : cleanLinesN)
-                hierarchy.access(attackerTid,
-                                 attackerSpace.translate(va), false);
+            hierarchy.accessBatch(attackerTid, attackerSpace,
+                                  cleanLinesN, /*isWrite=*/false);
             Cycles vt = victim.run(secret);
             measured = static_cast<double>(vt);
             // Timing a whole function call carries call/ret, pipeline
@@ -210,11 +198,13 @@ runAttack(const AttackConfig &cfg)
 }
 
 unsigned
-recoverKeyDemo(unsigned keyBits, unsigned votes, std::uint64_t seed)
+recoverKeyDemo(unsigned keyBits, unsigned votes, std::uint64_t seed,
+               const std::string &platformName)
 {
     Rng rng(seed);
-    sim::HierarchyParams hp = sim::xeonE5_2650Params();
-    sim::NoiseModel noise;
+    const sim::Platform &plat = sim::platform(platformName);
+    const sim::HierarchyParams &hp = plat.params;
+    const sim::NoiseModel &noise = plat.noise;
     sim::Hierarchy hierarchy(hp, &rng);
     const auto &layout = hierarchy.l1().layout();
 

@@ -20,9 +20,11 @@
 #define WB_SIDECHAN_ATTACK_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/rng.hh"
 #include "sidechan/victim.hh"
+#include "sim/platform.hh"
 
 namespace wb::sidechan
 {
@@ -46,8 +48,22 @@ struct AttackConfig
     unsigned replacementSize = 10; //!< attacker probe size
     unsigned calibration = 200;   //!< calibration measurements
     std::uint64_t seed = 1;
+
+    /** Registry preset this config was built from (see usePlatform). */
+    std::string platformName = sim::kDefaultPlatform;
     sim::HierarchyParams platform = sim::xeonE5_2650Params();
     sim::NoiseModel noise;
+
+    /**
+     * Reconfigure for a named registry preset (hierarchy parameters +
+     * noise model). Fatal on an unknown name. @return *this.
+     */
+    AttackConfig &
+    usePlatform(const std::string &name)
+    {
+        sim::applyPlatform(name, platformName, platform, noise);
+        return *this;
+    }
 };
 
 /** Experiment outcome. */
@@ -76,10 +92,13 @@ AttackResult runAttack(const AttackConfig &cfg);
  * @param keyBits key length
  * @param votes odd number of probes per bit
  * @param seed run seed
+ * @param platformName registry preset to attack on
  * @return number of correctly recovered bits
  */
 unsigned recoverKeyDemo(unsigned keyBits, unsigned votes,
-                        std::uint64_t seed);
+                        std::uint64_t seed,
+                        const std::string &platformName =
+                            sim::kDefaultPlatform);
 
 } // namespace wb::sidechan
 

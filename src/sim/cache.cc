@@ -34,7 +34,7 @@ Cache::Cache(const CacheParams &params, Rng *rng)
     const std::size_t lines =
         std::size_t(params_.numSets()) * params_.ways;
     lineAddr_.assign(lines, 0);
-    flags_.assign(lines, 0);
+    flags_.assign(lines, LineFlagWord{});
     filledBy_.assign(lines, 0);
     validMask_.assign(params_.numSets(), 0);
     lockedMask_.assign(params_.numSets(), 0);
@@ -48,7 +48,7 @@ void
 Cache::reset()
 {
     std::fill(lineAddr_.begin(), lineAddr_.end(), 0);
-    std::fill(flags_.begin(), flags_.end(), 0);
+    std::fill(flags_.begin(), flags_.end(), LineFlagWord{});
     std::fill(filledBy_.begin(), filledBy_.end(), 0);
     std::fill(validMask_.begin(), validMask_.end(), 0);
     std::fill(lockedMask_.begin(), lockedMask_.end(), 0);
@@ -58,18 +58,11 @@ Cache::reset()
 std::optional<unsigned>
 Cache::probe(Addr paddr, ThreadId tid) const
 {
-    const Addr la = AddressLayout::lineAddr(paddr);
-    const unsigned set = layout_.setIndex(paddr);
-    const Addr *stripe = &lineAddr_[std::size_t(set) * params_.ways];
-    for (std::uint32_t m = validMask_[set]; m != 0; m &= m - 1) {
-        const unsigned w = lowestWay(m);
-        if (stripe[w] == la) {
-            if (params_.probeIsolated && !((fillMaskFor(tid) >> w) & 1u))
-                return std::nullopt;
-            return w;
-        }
-    }
-    return std::nullopt;
+    const int way = probeWay(AddressLayout::lineAddr(paddr),
+                             layout_.setIndex(paddr), tid);
+    if (way < 0)
+        return std::nullopt;
+    return static_cast<unsigned>(way);
 }
 
 void
@@ -77,100 +70,16 @@ Cache::onHit(Addr paddr, unsigned way, ThreadId, bool isWrite)
 {
     const unsigned set = layout_.setIndex(paddr);
     const std::size_t idx = std::size_t(set) * params_.ways + way;
-    if ((flags_[idx] & FlagValid) == 0 ||
+    if ((unsigned(flags_[idx]) & FlagValid) == 0 ||
         lineAddr_[idx] != AddressLayout::lineAddr(paddr))
         panicf(params_.name, ": onHit way does not hold the line");
-    if (isWrite && params_.writePolicy == WritePolicy::WriteBack) {
-        flags_[idx] |= FlagDirty;
-        if (params_.lockOnWrite) {
-            flags_[idx] |= FlagLocked;
-            lockedMask_[set] |= 1u << way;
-        }
-    }
-    policy_.onHit(set, way);
-}
-
-FillOutcome
-Cache::fillLine(Addr la, unsigned set, ThreadId tid,
-                std::uint32_t fillMask, bool dirtyFill,
-                std::uint8_t newFlags)
-{
-    const std::size_t base = std::size_t(set) * params_.ways;
-
-    // A fill of a resident line degenerates to a (write) hit. This
-    // happens when a write-back from the level above finds the line
-    // still cached here.
-    for (std::uint32_t m = validMask_[set]; m != 0; m &= m - 1) {
-        const unsigned w = lowestWay(m);
-        if (lineAddr_[base + w] != la)
-            continue;
-        if (dirtyFill) {
-            flags_[base + w] |= FlagDirty;
-            if (params_.lockOnWrite) {
-                // A write-back arrival dirties the line, so PLcache
-                // locks it — same rule as onHit() on a store.
-                flags_[base + w] |= FlagLocked;
-                lockedMask_[set] |= 1u << w;
-            }
-        }
-        policy_.onHit(set, w);
-        FillOutcome hitOut;
-        hitOut.filled = true;
-        hitOut.residentHit = true;
-        hitOut.way = w;
-        return hitOut;
-    }
-
-    // Candidate ways: inside the thread's partition and not locked.
-    const std::uint32_t candidates = fillMask & ~lockedMask_[set];
-    if (candidates == 0)
-        return {}; // everything locked / partition empty: bypass
-
-    FillOutcome out;
-    out.filled = true;
-
-    // Prefer an invalid candidate way; otherwise every candidate is
-    // valid, so ask the policy for a victim among them.
-    unsigned way;
-    const std::uint32_t invalid = candidates & ~validMask_[set];
-    if (invalid != 0) {
-        way = lowestWay(invalid);
-    } else {
-        way = policy_.victim(set, candidates);
-        if (way >= params_.ways || !((candidates >> way) & 1u))
-            panicf(params_.name, ": policy chose ineligible way ", way);
-        const std::size_t idx = base + way;
-        out.evicted.any = true;
-        out.evicted.dirty = (flags_[idx] & FlagDirty) != 0;
-        out.evicted.lineAddr = lineAddr_[idx];
-    }
-
-    const std::size_t idx = base + way;
-    lineAddr_[idx] = la;
-    filledBy_[idx] = tid;
-    flags_[idx] = newFlags;
-    validMask_[set] |= 1u << way;
-    if ((newFlags & FlagLocked) != 0)
-        lockedMask_[set] |= 1u << way;
-    else
-        lockedMask_[set] &= ~(1u << way);
-    policy_.onFill(set, way);
-    out.way = way;
-    return out;
+    hitFast(set, way, isWrite);
 }
 
 FillOutcome
 Cache::fill(Addr paddr, ThreadId tid, bool asDirty)
 {
-    const bool dirtyFill =
-        asDirty && params_.writePolicy == WritePolicy::WriteBack;
-    const bool lockFill = dirtyFill && params_.lockOnWrite;
-    const std::uint8_t newFlags =
-        FlagValid | (dirtyFill ? FlagDirty : 0) |
-        (lockFill ? FlagLocked : 0);
-    return fillLine(AddressLayout::lineAddr(paddr),
-                    layout_.setIndex(paddr), tid, fillMaskFor(tid),
-                    dirtyFill, newFlags);
+    return fillFast(paddr, tid, asDirty, /*checkResident=*/true);
 }
 
 BatchStats
@@ -212,13 +121,8 @@ Cache::fillBatch(const Addr *addrs, std::size_t n, ThreadId tid,
     // One fillLine() per address — the same body fill() uses, so the
     // two paths cannot drift — with the traversal-invariant
     // configuration hoisted out of the loop.
-    const bool dirtyFill =
-        asDirty && params_.writePolicy == WritePolicy::WriteBack;
-    const bool lockFill = dirtyFill && params_.lockOnWrite;
+    const auto [dirtyFill, newFlags] = fillSpec(asDirty);
     const std::uint32_t fillMask = fillMaskFor(tid);
-    const std::uint8_t newFlags =
-        FlagValid | (dirtyFill ? FlagDirty : 0) |
-        (lockFill ? FlagLocked : 0);
     BatchStats stats;
 
     for (std::size_t i = 0; i < n; ++i) {
@@ -253,11 +157,11 @@ Cache::invalidate(Addr paddr, bool &wasDirty)
     const std::size_t idx = findIndex(paddr);
     if (idx == npos)
         return false;
-    wasDirty = (flags_[idx] & FlagDirty) != 0;
+    wasDirty = (unsigned(flags_[idx]) & FlagDirty) != 0;
     const unsigned set = static_cast<unsigned>(idx / params_.ways);
     const unsigned way = static_cast<unsigned>(idx % params_.ways);
     lineAddr_[idx] = 0;
-    flags_[idx] = 0;
+    flags_[idx] = LineFlagWord{};
     filledBy_[idx] = 0;
     validMask_[set] &= ~(1u << way);
     lockedMask_[set] &= ~(1u << way);
@@ -270,7 +174,7 @@ Cache::lock(Addr paddr)
     const std::size_t idx = findIndex(paddr);
     if (idx == npos)
         return false;
-    flags_[idx] |= FlagLocked;
+    flags_[idx] = flagWord(unsigned(flags_[idx]) | FlagLocked);
     lockedMask_[idx / params_.ways] |=
         1u << static_cast<unsigned>(idx % params_.ways);
     return true;
@@ -282,17 +186,23 @@ Cache::unlock(Addr paddr)
     const std::size_t idx = findIndex(paddr);
     if (idx == npos)
         return false;
-    flags_[idx] &= ~FlagLocked;
+    flags_[idx] = flagWord(unsigned(flags_[idx]) & ~FlagLocked);
     lockedMask_[idx / params_.ways] &=
         ~(1u << static_cast<unsigned>(idx % params_.ways));
     return true;
 }
 
 void
+Cache::badVictimWay(unsigned way) const
+{
+    panicf(params_.name, ": policy chose ineligible way ", way);
+}
+
+void
 Cache::unlockAll()
 {
     for (auto &f : flags_)
-        f &= ~FlagLocked;
+        f = flagWord(unsigned(f) & ~FlagLocked);
     std::fill(lockedMask_.begin(), lockedMask_.end(), 0);
 }
 
@@ -306,7 +216,7 @@ bool
 Cache::isDirty(Addr paddr) const
 {
     const std::size_t idx = findIndex(paddr);
-    return idx != npos && (flags_[idx] & FlagDirty) != 0;
+    return idx != npos && (unsigned(flags_[idx]) & FlagDirty) != 0;
 }
 
 unsigned
@@ -317,7 +227,7 @@ Cache::dirtyCountInSet(unsigned set) const
     unsigned n = 0;
     const std::size_t base = std::size_t(set) * params_.ways;
     for (std::uint32_t m = validMask_[set]; m != 0; m &= m - 1)
-        if (flags_[base + lowestWay(m)] & FlagDirty)
+        if (unsigned(flags_[base + lowestWay(m)]) & FlagDirty)
             ++n;
     return n;
 }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hh"
@@ -226,6 +227,102 @@ class Cache
     /** True when @p paddr is cached and dirty. */
     bool isDirty(Addr paddr) const;
 
+    // --- Inline hot-path API (used by Hierarchy's fused access loop;
+    // defined below so calls flatten to straight-line code) ---
+
+    /**
+     * Hot-path lookup with the line address and set precomputed; same
+     * semantics as probe() (honors probe isolation for @p tid).
+     * @return the hit way, or -1 on miss.
+     */
+    int
+    probeWay(Addr la, unsigned set, ThreadId tid) const
+    {
+        // Branchless compare of the whole set stripe; at most one
+        // valid way can hold a line, so the lowest set bit is the
+        // match. The common widths run a compile-time-bound loop so
+        // the compiler unrolls and vectorizes the compares (the
+        // runtime-bound fallback stays scalar).
+        const unsigned ways = params_.ways;
+        const Addr *stripe = &lineAddr_[std::size_t(set) * ways];
+        std::uint32_t eq;
+        if (ways == 8)
+            eq = stripeMatch<8>(stripe, la);
+        else if (ways == 16)
+            eq = stripeMatch<16>(stripe, la);
+        else if (ways == 4)
+            eq = stripeMatch<4>(stripe, la);
+        else {
+            eq = 0;
+            for (unsigned w = 0; w < ways; ++w)
+                eq |= static_cast<std::uint32_t>(stripe[w] == la) << w;
+        }
+        eq &= validMask_[set];
+        if (eq == 0)
+            return -1;
+        const unsigned w = lowestWay(eq);
+        if (params_.probeIsolated && !((fillMaskFor(tid) >> w) & 1u))
+            return -1;
+        return static_cast<int>(w);
+    }
+
+    /**
+     * Hot-path hit bookkeeping: the state effects of onHit() without
+     * the way/line consistency check (the caller just probed @p way).
+     */
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((always_inline))
+#endif
+    void
+    hitFast(unsigned set, unsigned way, bool isWrite)
+    {
+        if (isWrite && params_.writePolicy == WritePolicy::WriteBack) {
+            LineFlagWord *__restrict flags = flags_.data();
+            const std::size_t idx =
+                std::size_t(set) * params_.ways + way;
+            flags[idx] = flagWord(unsigned(flags[idx]) | FlagDirty);
+            if (params_.lockOnWrite) {
+                flags[idx] = flagWord(unsigned(flags[idx]) | FlagLocked);
+                lockedMask_[set] |= 1u << way;
+            }
+        }
+        policy_.onHit(set, way);
+    }
+
+    /**
+     * Hot-path fill: fill() with the resident-line scan optionally
+     * skipped. @p checkResident may be false only when the caller
+     * just probed this cache for the line and missed with probe
+     * isolation disabled (a demand fill right after a miss) — under
+     * probe isolation a probe miss does not rule out residency.
+     */
+    FillOutcome
+    fillFast(Addr paddr, ThreadId tid, bool asDirty, bool checkResident)
+    {
+        const auto [dirtyFill, newFlags] = fillSpec(asDirty);
+        return fillLine(AddressLayout::lineAddr(paddr),
+                        layout_.setIndex(paddr), tid, fillMaskFor(tid),
+                        dirtyFill, newFlags, checkResident);
+    }
+
+    /**
+     * The traversal-invariant fill configuration for @p asDirty:
+     * {install dirty, composed line flags}. Shared by fill(),
+     * fillBatch() and the Hierarchy miss path so write-policy and
+     * PLcache lock rules cannot drift between them.
+     */
+    std::pair<bool, std::uint8_t>
+    fillSpec(bool asDirty) const
+    {
+        const bool dirtyFill =
+            asDirty && params_.writePolicy == WritePolicy::WriteBack;
+        const bool lockFill = dirtyFill && params_.lockOnWrite;
+        return {dirtyFill,
+                static_cast<std::uint8_t>(
+                    FlagValid | (dirtyFill ? FlagDirty : 0) |
+                    (lockFill ? FlagLocked : 0))};
+    }
+
     /** Number of dirty lines currently in @p set. */
     unsigned dirtyCountInSet(unsigned set) const;
 
@@ -247,6 +344,24 @@ class Cache
         FlagLocked = 4,
     };
 
+    /**
+     * Storage type of flags_: a distinct 8-bit enum rather than
+     * std::uint8_t because the character types' alias-everything rule
+     * would force the optimizer to reload every cached invariant
+     * (vector data pointers, geometry masks, latency parameters)
+     * after each flag store in the fused hierarchy loop.
+     */
+    enum LineFlagWord : std::uint8_t
+    {
+    };
+
+    /** Compose a LineFlagWord from LineFlag bits. */
+    static LineFlagWord
+    flagWord(unsigned bits)
+    {
+        return static_cast<LineFlagWord>(bits);
+    }
+
     /** Cached fill mask (bit w set = thread may fill way w). */
     std::uint32_t
     fillMaskFor(ThreadId tid) const
@@ -254,24 +369,46 @@ class Cache
         return tid < fillMask_.size() ? fillMask_[tid] : allMask_;
     }
 
+    /** Fixed-width stripe compare (vectorizable): match bitmask. */
+    template <unsigned Ways>
+    static std::uint32_t
+    stripeMatch(const Addr *stripe, Addr la)
+    {
+        std::uint32_t eq = 0;
+        for (unsigned w = 0; w < Ways; ++w)
+            eq |= static_cast<std::uint32_t>(stripe[w] == la) << w;
+        return eq;
+    }
+
     /** Flat index of the resident line for @p paddr, or npos. */
     std::size_t findIndex(Addr paddr) const;
 
     /**
-     * The shared per-line fill semantics behind fill() and
-     * fillBatch(): resident-hit degeneration, candidate masking,
-     * victim selection and line install. Callers precompute the
-     * per-traversal invariants (@p fillMask, @p dirtyFill and the
-     * composed @p newFlags). Force-inlined: with two call sites the
+     * The shared per-line fill semantics behind fill(), fillBatch()
+     * and the Hierarchy miss path: resident-hit degeneration,
+     * candidate masking, victim selection and line install. Callers
+     * precompute the per-traversal invariants (@p fillMask,
+     * @p dirtyFill and the composed @p newFlags). @p checkResident
+     * may be false only when the caller just probed this cache for
+     * @p la and missed with probe isolation disabled (the demand-fill
+     * fast path), skipping a redundant set scan. Force-inlined: the
      * compiler otherwise outlines it, costing ~8% on the fill-evict
-     * benchmark.
+     * benchmark. Defined below.
      */
 #if defined(__GNUC__) || defined(__clang__)
     __attribute__((always_inline))
 #endif
-    FillOutcome fillLine(Addr la, unsigned set, ThreadId tid,
-                         std::uint32_t fillMask, bool dirtyFill,
-                         std::uint8_t newFlags);
+    inline FillOutcome fillLine(Addr la, unsigned set, ThreadId tid,
+                                std::uint32_t fillMask, bool dirtyFill,
+                                std::uint8_t newFlags,
+                                bool checkResident = true);
+
+    /**
+     * Cold panic half of fillLine's ineligible-victim check, kept out
+     * of line: panicf's stream formatting would otherwise inline into
+     * every fillLine copy in the flattened miss path.
+     */
+    [[noreturn]] void badVictimWay(unsigned way) const;
 
     static constexpr std::size_t npos = ~std::size_t(0);
 
@@ -280,7 +417,7 @@ class Cache
 
     // Structure-of-arrays line storage, indexed by set * ways + way.
     std::vector<Addr> lineAddr_;
-    std::vector<std::uint8_t> flags_;
+    std::vector<LineFlagWord> flags_;
     std::vector<ThreadId> filledBy_;
 
     // Per-set way bitmasks (bit w = way w valid / locked).
@@ -292,6 +429,90 @@ class Cache
 
     PolicyTable policy_;
 };
+
+inline FillOutcome
+Cache::fillLine(Addr la, unsigned set, ThreadId tid,
+                std::uint32_t fillMask, bool dirtyFill,
+                std::uint8_t newFlags, bool checkResident)
+{
+    const std::size_t base = std::size_t(set) * params_.ways;
+
+    // The line-state arrays never overlap; the restrict-qualified
+    // locals keep the std::uint8_t flag stores (which otherwise alias
+    // everything) from forcing pointer and counter reloads in the
+    // flattened miss path.
+    Addr *__restrict lineAddr = lineAddr_.data();
+    LineFlagWord *__restrict flags = flags_.data();
+    ThreadId *__restrict filledBy = filledBy_.data();
+    std::uint32_t *__restrict validMask = validMask_.data();
+    std::uint32_t *__restrict lockedMask = lockedMask_.data();
+
+    // A fill of a resident line degenerates to a (write) hit. This
+    // happens when a write-back from the level above finds the line
+    // still cached here.
+    if (checkResident) {
+        for (std::uint32_t m = validMask[set]; m != 0; m &= m - 1) {
+            const unsigned w = lowestWay(m);
+            if (lineAddr[base + w] != la)
+                continue;
+            if (dirtyFill) {
+                flags[base + w] =
+                    flagWord(unsigned(flags[base + w]) | FlagDirty);
+                if (params_.lockOnWrite) {
+                    // A write-back arrival dirties the line, so
+                    // PLcache locks it — same rule as onHit() on a
+                    // store.
+                    flags[base + w] = flagWord(
+                        unsigned(flags[base + w]) | FlagLocked);
+                    lockedMask[set] |= 1u << w;
+                }
+            }
+            policy_.onHit(set, w);
+            FillOutcome hitOut;
+            hitOut.filled = true;
+            hitOut.residentHit = true;
+            hitOut.way = w;
+            return hitOut;
+        }
+    }
+
+    // Candidate ways: inside the thread's partition and not locked.
+    const std::uint32_t candidates = fillMask & ~lockedMask[set];
+    if (candidates == 0)
+        return {}; // everything locked / partition empty: bypass
+
+    FillOutcome out;
+    out.filled = true;
+
+    // Prefer an invalid candidate way; otherwise every candidate is
+    // valid, so ask the policy for a victim among them.
+    unsigned way;
+    const std::uint32_t invalid = candidates & ~validMask[set];
+    if (invalid != 0) {
+        way = lowestWay(invalid);
+    } else {
+        way = policy_.victim(set, candidates);
+        if (way >= params_.ways || !((candidates >> way) & 1u))
+            badVictimWay(way);
+        const std::size_t idx = base + way;
+        out.evicted.any = true;
+        out.evicted.dirty = (unsigned(flags[idx]) & FlagDirty) != 0;
+        out.evicted.lineAddr = lineAddr[idx];
+    }
+
+    const std::size_t idx = base + way;
+    lineAddr[idx] = la;
+    filledBy[idx] = tid;
+    flags[idx] = flagWord(newFlags);
+    validMask[set] |= 1u << way;
+    if ((newFlags & FlagLocked) != 0)
+        lockedMask[set] |= 1u << way;
+    else
+        lockedMask[set] &= ~(1u << way);
+    policy_.onFill(set, way);
+    out.way = way;
+    return out;
+}
 
 } // namespace wb::sim
 

@@ -1,7 +1,5 @@
 #include "sim/hierarchy.hh"
 
-#include <cmath>
-
 #include "common/log.hh"
 
 namespace wb::sim
@@ -41,41 +39,29 @@ PerfCounters::merge(const PerfCounters &other)
     spinLoads += other.spinLoads;
 }
 
-HierarchyParams
-xeonE5_2650Params()
-{
-    HierarchyParams p;
-    p.l1.name = "L1D";
-    p.l1.sizeBytes = 32 * 1024; // 64 sets x 8 ways x 64 B (Table III)
-    p.l1.ways = 8;
-    p.l1.policy = PolicyKind::TreePlru;
-
-    p.l2.name = "L2";
-    p.l2.sizeBytes = 256 * 1024;
-    p.l2.ways = 8;
-    p.l2.policy = PolicyKind::TreePlru;
-
-    p.llc.name = "LLC";
-    p.llc.sizeBytes = 4 * 1024 * 1024; // scaled-down 20 MiB shared LLC
-    p.llc.ways = 16;
-    p.llc.policy = PolicyKind::TreePlru;
-    return p;
-}
-
 Hierarchy::Hierarchy(const HierarchyParams &params, Rng *rng)
-    : params_(params), rng_(rng),
-      l1_(std::make_unique<Cache>(params.l1, rng)),
-      l2_(std::make_unique<Cache>(params.l2, rng)),
-      llc_(std::make_unique<Cache>(params.llc, rng)), counters_(2)
+    : params_(params), rng_(rng), l1_(params.l1, rng), l2_(params.l2, rng),
+      llc_(params.llc, rng), counters_(2),
+      plainMissPath_(params.l1.writePolicy == WritePolicy::WriteBack &&
+                     params.l1.allocPolicy == AllocPolicy::WriteAllocate &&
+                     params.randomFillWindow == 0 &&
+                     params.prefetchGuardProb <= 0.0)
 {
 }
 
 void
 Hierarchy::reset()
 {
-    l1_->reset();
-    l2_->reset();
-    llc_->reset();
+    l1_.reset();
+    l2_.reset();
+    llc_.reset();
+}
+
+void
+Hierarchy::resetAll()
+{
+    reset();
+    resetCounters();
 }
 
 void
@@ -102,115 +88,129 @@ Hierarchy::totalCounters() const
     return total;
 }
 
-Cycles
-Hierarchy::noise()
+void
+Hierarchy::llcFill(Addr paddr, ThreadId tid, bool asDirty,
+                   bool checkResident)
 {
-    if (rng_ == nullptr || params_.lat.noiseSigma <= 0.0)
-        return 0;
-    const double n = rng_->gaussian(0.0, params_.lat.noiseSigma);
-    return n > 0.0 ? static_cast<Cycles>(std::lround(n)) : 0;
+    auto out = llc_.fillFast(paddr, tid, asDirty, checkResident);
+    if (params_.inclusiveLlc && out.filled && !out.residentHit &&
+        out.evicted.any) {
+        // Inclusive LLC: a victim leaving the LLC may not survive in
+        // the levels above. Dirty upper-level copies drain to DRAM,
+        // which keeps no state, so the invalidation is a pure drop.
+        const Addr victimPaddr = out.evicted.lineAddr << lineShift;
+        bool wasDirty = false;
+        l1_.invalidate(victimPaddr, wasDirty);
+        l2_.invalidate(victimPaddr, wasDirty);
+    }
 }
 
 void
 Hierarchy::writebackToL2(Addr lineAddr, ThreadId tid)
 {
     const Addr paddr = lineAddr << lineShift;
-    auto outcome = l2_->fill(paddr, tid, /*asDirty=*/true);
+    auto outcome = l2_.fillFast(paddr, tid, /*asDirty=*/true,
+                                /*checkResident=*/true);
     if (outcome.filled && outcome.evicted.dirty)
-        writebackToLlc(outcome.evicted.lineAddr, tid);
-}
-
-void
-Hierarchy::writebackToLlc(Addr lineAddr, ThreadId tid)
-{
-    const Addr paddr = lineAddr << lineShift;
-    auto outcome = llc_->fill(paddr, tid, /*asDirty=*/true);
-    // A dirty LLC victim drains to DRAM, which keeps no state.
-    (void)outcome;
+        llcFill(outcome.evicted.lineAddr << lineShift, tid,
+                /*asDirty=*/true, /*checkResident=*/true);
 }
 
 AccessResult
-Hierarchy::access(ThreadId tid, Addr paddr, bool isWrite)
+Hierarchy::writeThroughL1Hit(ThreadId tid, Addr paddr, unsigned set,
+                             unsigned way, PerfCounters &ctr)
 {
-    PerfCounters &ctr = counters(tid);
-    if (isWrite)
-        ++ctr.stores;
-    else
-        ++ctr.loads;
+    const LatencyModel &lat = params_.lat;
+    l1_.hitFast(set, way, /*isWrite=*/true);
+    AccessResult res;
+    res.servedBy = Level::L1;
+    res.l1Hit = true;
+    res.latency = lat.l1Hit + lat.storeExtra + noise();
 
+    // Forward the store to L2 (write-through traffic).
+    ++ctr.l2Accesses;
+    const Addr la = AddressLayout::lineAddr(paddr);
+    const unsigned l2set = l2_.layout().setIndex(paddr);
+    if (const int w2 = l2_.probeWay(la, l2set, tid); w2 >= 0) {
+        ++ctr.l2Hits;
+        l2_.hitFast(l2set, static_cast<unsigned>(w2), /*isWrite=*/true);
+    } else {
+        ++ctr.l2Misses;
+        auto out2 = l2_.fillFast(paddr, tid, /*asDirty=*/true,
+                                 l2_.params().probeIsolated);
+        if (out2.filled && out2.evicted.dirty)
+            llcFill(out2.evicted.lineAddr << lineShift, tid,
+                    /*asDirty=*/true, /*checkResident=*/true);
+    }
+    res.latency += lat.writeThroughStore;
+    return res;
+}
+
+template <bool Plain>
+AccessResult
+Hierarchy::missPath(ThreadId tid, Addr paddr, bool isWrite,
+                    PerfCounters &ctr)
+{
     AccessResult res;
     const LatencyModel &lat = params_.lat;
+    const Addr la = AddressLayout::lineAddr(paddr);
 
-    // --- L1 lookup ---
-    if (auto way = l1_->probe(paddr, tid)) {
-        ++ctr.l1Hits;
-        l1_->onHit(paddr, *way, tid, isWrite);
-        res.servedBy = Level::L1;
-        res.l1Hit = true;
-        res.latency = lat.l1Hit + (isWrite ? lat.storeExtra : 0) + noise();
-        if (isWrite && params_.l1.writePolicy == WritePolicy::WriteThrough) {
-            // Forward the store to L2 (write-through traffic).
-            ++ctr.l2Accesses;
-            if (auto w2 = l2_->probe(paddr, tid)) {
-                ++ctr.l2Hits;
-                l2_->onHit(paddr, *w2, tid, /*isWrite=*/true);
-            } else {
-                ++ctr.l2Misses;
-                auto out2 = l2_->fill(paddr, tid, /*asDirty=*/true);
-                if (out2.filled && out2.evicted.dirty)
-                    writebackToLlc(out2.evicted.lineAddr, tid);
-            }
-            res.latency += lat.writeThroughStore;
-        }
-        return res;
-    }
-
-    // --- L1 miss: find the data below ---
+    // --- Find the data below L1 ---
     ++ctr.l1Misses;
     ++ctr.l2Accesses;
     Cycles base = 0;
-    if (auto way = l2_->probe(paddr, tid)) {
+    const unsigned l2set = l2_.layout().setIndex(paddr);
+    if (const int w2 = l2_.probeWay(la, l2set, tid); w2 >= 0) {
         ++ctr.l2Hits;
-        l2_->onHit(paddr, *way, tid, /*isWrite=*/false);
+        l2_.hitFast(l2set, static_cast<unsigned>(w2), /*isWrite=*/false);
         res.servedBy = Level::L2;
         base = lat.l2Hit;
     } else {
         ++ctr.l2Misses;
         ++ctr.llcAccesses;
-        if (auto w3 = llc_->probe(paddr, tid)) {
+        const unsigned llcSet = llc_.layout().setIndex(paddr);
+        if (const int w3 = llc_.probeWay(la, llcSet, tid); w3 >= 0) {
             ++ctr.llcHits;
-            llc_->onHit(paddr, *w3, tid, /*isWrite=*/false);
+            llc_.hitFast(llcSet, static_cast<unsigned>(w3),
+                         /*isWrite=*/false);
             res.servedBy = Level::LLC;
             base = lat.llcHit;
         } else {
             ++ctr.llcMisses;
             res.servedBy = Level::Mem;
             base = lat.mem;
-            auto out3 = llc_->fill(paddr, tid, /*asDirty=*/false);
-            (void)out3;
+            llcFill(paddr, tid, /*asDirty=*/false,
+                    llc_.params().probeIsolated);
         }
-        // Fill L2 on the way up.
-        auto out2 = l2_->fill(paddr, tid, /*asDirty=*/false);
+        // Fill L2 on the way up (we just missed it; residency is only
+        // possible under probe isolation).
+        auto out2 = l2_.fillFast(paddr, tid, /*asDirty=*/false,
+                                 l2_.params().probeIsolated);
         if (out2.filled && out2.evicted.dirty) {
-            writebackToLlc(out2.evicted.lineAddr, tid);
+            llcFill(out2.evicted.lineAddr << lineShift, tid,
+                    /*asDirty=*/true, /*checkResident=*/true);
             base += lat.l2DirtyEvictPenalty;
         }
     }
 
-    res.latency = base + (isWrite ? lat.storeExtra : 0);
+    res.latency = base + (isWrite ? lat.storeExtra : Cycles(0));
 
-    // --- L1 allocation decision ---
+    // --- L1 allocation decision (Plain: always allocate) ---
     const bool writeThrough =
-        params_.l1.writePolicy == WritePolicy::WriteThrough;
+        !Plain && params_.l1.writePolicy == WritePolicy::WriteThrough;
     bool allocate = true;
-    if (isWrite && params_.l1.allocPolicy == AllocPolicy::NoWriteAllocate)
-        allocate = false;
-    if (!isWrite && params_.randomFillWindow > 0)
-        allocate = false; // random-fill defense: no demand fill
+    if (!Plain) {
+        if (isWrite &&
+            params_.l1.allocPolicy == AllocPolicy::NoWriteAllocate)
+            allocate = false;
+        if (!isWrite && params_.randomFillWindow > 0)
+            allocate = false; // random-fill defense: no demand fill
+    }
 
     if (allocate) {
         const bool asDirty = isWrite && !writeThrough;
-        auto out = l1_->fill(paddr, tid, asDirty);
+        auto out = l1_.fillFast(paddr, tid, asDirty,
+                                l1_.params().probeIsolated);
         if (out.filled && out.evicted.dirty) {
             // The fill must wait for the dirty victim's write-back:
             // this is the latency difference the WB channel measures.
@@ -221,23 +221,26 @@ Hierarchy::access(ThreadId tid, Addr paddr, bool isWrite)
         }
     }
 
-    if (isWrite && (writeThrough || !allocate)) {
+    if (!Plain && isWrite && (writeThrough || !allocate)) {
         // The store data itself goes to L2.
-        auto out2 = l2_->fill(paddr, tid, /*asDirty=*/true);
+        auto out2 = l2_.fillFast(paddr, tid, /*asDirty=*/true,
+                                 /*checkResident=*/true);
         if (out2.filled && out2.evicted.dirty)
-            writebackToLlc(out2.evicted.lineAddr, tid);
+            llcFill(out2.evicted.lineAddr << lineShift, tid,
+                    /*asDirty=*/true, /*checkResident=*/true);
         res.latency += lat.writeThroughStore;
     }
 
-    if (params_.prefetchGuardProb > 0.0 && rng_ != nullptr &&
+    if (!Plain && params_.prefetchGuardProb > 0.0 && rng_ != nullptr &&
         rng_->chance(params_.prefetchGuardProb)) {
         // Prefetch-guard: drop a random clean line into the missed set.
-        const unsigned set = l1_->layout().setIndex(paddr);
+        const unsigned set = l1_.layout().setIndex(paddr);
         const Addr tag = 0x800000 + rng_->below(0x10000);
-        injectCleanFill(l1_->layout().compose(set, tag), tid);
+        injectCleanFill(l1_.layout().compose(set, tag), tid);
     }
 
-    if (!isWrite && params_.randomFillWindow > 0 && rng_ != nullptr) {
+    if (!Plain && !isWrite && params_.randomFillWindow > 0 &&
+        rng_ != nullptr) {
         // Random-fill defense: fill a random neighbour instead of the
         // requested line. The neighbour fill is off the critical path.
         const auto w = static_cast<std::int64_t>(params_.randomFillWindow);
@@ -246,7 +249,8 @@ Hierarchy::access(ThreadId tid, Addr paddr, bool isWrite)
         const Addr neighbour =
             static_cast<Addr>(static_cast<std::int64_t>(lineAddr) + delta)
             << lineShift;
-        auto out = l1_->fill(neighbour, tid, /*asDirty=*/false);
+        auto out = l1_.fillFast(neighbour, tid, /*asDirty=*/false,
+                                /*checkResident=*/true);
         if (out.filled && out.evicted.dirty) {
             ++ctr.l1DirtyWritebacks;
             writebackToL2(out.evicted.lineAddr, tid);
@@ -269,19 +273,68 @@ Hierarchy::access(ThreadId tid, Addr paddr, bool isWrite)
     return res;
 }
 
+inline AccessResult
+Hierarchy::accessOne(ThreadId tid, Addr paddr, bool isWrite,
+                     PerfCounters &ctr)
+{
+    if (isWrite)
+        ++ctr.stores;
+    else
+        ++ctr.loads;
+
+    // --- Inline L1-hit fast path: no out-of-line calls ---
+    const Addr la = AddressLayout::lineAddr(paddr);
+    const unsigned set = l1_.layout().setIndex(paddr);
+    const int way = l1_.probeWay(la, set, tid);
+    if (way < 0) {
+        return plainMissPath_ ? missPath<true>(tid, paddr, isWrite, ctr)
+                              : missPath<false>(tid, paddr, isWrite, ctr);
+    }
+
+    ++ctr.l1Hits;
+    if (isWrite && params_.l1.writePolicy == WritePolicy::WriteThrough)
+        return writeThroughL1Hit(tid, paddr, set,
+                                 static_cast<unsigned>(way), ctr);
+
+    l1_.hitFast(set, static_cast<unsigned>(way), isWrite);
+    AccessResult res;
+    res.servedBy = Level::L1;
+    res.l1Hit = true;
+    res.latency = params_.lat.l1Hit +
+                  (isWrite ? params_.lat.storeExtra : Cycles(0)) + noise();
+    return res;
+}
+
+AccessResult
+Hierarchy::access(ThreadId tid, Addr paddr, bool isWrite)
+{
+    return accessOne(tid, paddr, isWrite, counters(tid));
+}
+
 template <typename AddrAt>
 BatchAccessResult
 Hierarchy::accessBatchImpl(ThreadId tid, std::size_t n, bool isWrite,
                            AddrAt addrAt)
 {
+    // The fused sweep loop: L1 hits retire inside the inlined
+    // accessOne() fast path and only misses escalate into missPath().
+    // accessOne() is the same code access() runs, so batched and
+    // scalar execution are bit-identical
+    // (tests/test_hierarchy_equivalence.cc). Counter deltas accumulate
+    // in a loop-local struct — with the whole body inlined its fields
+    // live in registers instead of per-access heap read-modify-writes
+    // — and merge into the thread's counters once at the end.
     BatchAccessResult batch;
     batch.accesses = n;
+    PerfCounters local;
     for (std::size_t i = 0; i < n; ++i) {
-        const AccessResult res = access(tid, addrAt(i), isWrite);
+        const AccessResult res =
+            accessOne(tid, addrAt(i), isWrite, local);
         batch.l1Hits += res.l1Hit ? 1 : 0;
         batch.l1DirtyEvictions += res.l1VictimDirty ? 1 : 0;
         batch.totalLatency += res.latency;
     }
+    counters(tid).merge(local);
     return batch;
 }
 
@@ -311,15 +364,15 @@ Hierarchy::flush(ThreadId tid, Addr paddr)
     bool present = false;
     bool dirty = false;
     bool d = false;
-    if (l1_->invalidate(paddr, d)) {
+    if (l1_.invalidate(paddr, d)) {
         present = true;
         dirty |= d;
     }
-    if (l2_->invalidate(paddr, d)) {
+    if (l2_.invalidate(paddr, d)) {
         present = true;
         dirty |= d;
     }
-    if (llc_->invalidate(paddr, d)) {
+    if (llc_.invalidate(paddr, d)) {
         present = true;
         dirty |= d;
     }
@@ -334,7 +387,8 @@ Hierarchy::flush(ThreadId tid, Addr paddr)
 void
 Hierarchy::injectCleanFill(Addr paddr, ThreadId tid)
 {
-    auto out = l1_->fill(paddr, tid, /*asDirty=*/false);
+    auto out = l1_.fillFast(paddr, tid, /*asDirty=*/false,
+                            /*checkResident=*/true);
     if (out.filled && out.evicted.dirty)
         writebackToL2(out.evicted.lineAddr, tid);
 }

@@ -15,8 +15,8 @@
 #ifndef WB_SIM_HIERARCHY_HH
 #define WB_SIM_HIERARCHY_HH
 
+#include <cmath>
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -187,6 +187,15 @@ struct HierarchyParams
      * clean noisy lines do not disturb the WB channel.
      */
     double prefetchGuardProb = 0.0;
+
+    /**
+     * Inclusive LLC (desktop-part behavior): evicting an LLC line
+     * back-invalidates any copy in L1/L2. Dirty upper-level copies
+     * drain straight to DRAM, which keeps no state, so the
+     * back-invalidation is a pure drop here. Exclusive/non-inclusive
+     * (false) matches the paper's Xeon E5-2650.
+     */
+    bool inclusiveLlc = false;
 };
 
 /** The Xeon E5-2650 configuration of paper Table III. */
@@ -207,11 +216,19 @@ class Hierarchy
      */
     Hierarchy(const HierarchyParams &params, Rng *rng);
 
-    /** Invalidate all levels and zero nothing (counters persist). */
+    /**
+     * Invalidate all cached state in every level (lines, dirty/lock
+     * bits, replacement state). Perf counters persist — use
+     * resetCounters() or resetAll() when a call site wants them gone
+     * too.
+     */
     void reset();
 
     /** Zero all perf counters. */
     void resetCounters();
+
+    /** reset() + resetCounters(): a factory-fresh hierarchy. */
+    void resetAll();
 
     /**
      * One demand access.
@@ -270,11 +287,11 @@ class Hierarchy
     void injectCleanFill(Addr paddr, ThreadId tid = 0);
 
     /** L1 data cache (introspection for tests and experiments). */
-    Cache &l1() { return *l1_; }
+    Cache &l1() { return l1_; }
     /** L2 cache. */
-    Cache &l2() { return *l2_; }
+    Cache &l2() { return l2_; }
     /** Last-level cache. */
-    Cache &llc() { return *llc_; }
+    Cache &llc() { return llc_; }
 
     /** Counters for one thread (auto-extends). */
     PerfCounters &counters(ThreadId tid);
@@ -286,8 +303,54 @@ class Hierarchy
     const HierarchyParams &params() const { return params_; }
 
   private:
-    /** Gaussian measurement noise (>= 0), 0 when rng or sigma absent. */
-    Cycles noise();
+    /**
+     * Gaussian measurement noise (>= 0), 0 when rng or sigma absent.
+     * Inline, drawing from the Rng's precomputed deviate block, so the
+     * batched access loop never leaves straight-line code for noise.
+     */
+    Cycles
+    noise()
+    {
+        if (rng_ == nullptr || params_.lat.noiseSigma <= 0.0)
+            return 0;
+        const double n = params_.lat.noiseSigma * rng_->gaussianCached();
+        return n > 0.0 ? static_cast<Cycles>(std::lround(n)) : 0;
+    }
+
+    /**
+     * One demand access: the inline L1-hit fast path shared verbatim
+     * by access() and the accessBatch() loop (the batched-vs-scalar
+     * equivalence suite relies on this being one code path). Resolves
+     * L1 hits with no out-of-line calls; everything else escalates to
+     * missPath() / writeThroughL1Hit().
+     */
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((always_inline))
+#endif
+    inline AccessResult accessOne(ThreadId tid, Addr paddr, bool isWrite,
+                                  PerfCounters &ctr);
+
+    /**
+     * The fused L1-miss → L2 → LLC → fill/write-back path. Flattened:
+     * every cache-level probe/fill/policy call inlines into one
+     * straight-line body, which is where the batched miss-heavy sweep
+     * earns its throughput (see docs/PERF.md). The Plain
+     * instantiation compiles out the defense hooks (random fill,
+     * prefetch guard, write-through/no-allocate stores) for the
+     * common undefended configuration; plainMissPath_ picks the
+     * instantiation once per hierarchy, identically for access() and
+     * accessBatch().
+     */
+    template <bool Plain>
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((flatten, always_inline)) inline
+#endif
+    AccessResult missPath(ThreadId tid, Addr paddr, bool isWrite,
+                          PerfCounters &ctr);
+
+    /** Store hit in a write-through L1: forward the store to L2. */
+    AccessResult writeThroughL1Hit(ThreadId tid, Addr paddr, unsigned set,
+                                   unsigned way, PerfCounters &ctr);
 
     /**
      * Shared aggregation loop behind both accessBatch() overloads;
@@ -300,15 +363,21 @@ class Hierarchy
     /** Write a dirty L1 victim back into L2 (allocating if needed). */
     void writebackToL2(Addr lineAddr, ThreadId tid);
 
-    /** Write a dirty L2 victim back into LLC (allocating if needed). */
-    void writebackToLlc(Addr lineAddr, ThreadId tid);
+    /**
+     * Install a line into the LLC, applying inclusive back-
+     * invalidation of the evicted victim when configured. A dirty LLC
+     * victim drains to DRAM, which keeps no state.
+     */
+    void llcFill(Addr paddr, ThreadId tid, bool asDirty,
+                 bool checkResident);
 
     HierarchyParams params_;
     Rng *rng_;
-    std::unique_ptr<Cache> l1_;
-    std::unique_ptr<Cache> l2_;
-    std::unique_ptr<Cache> llc_;
+    Cache l1_;
+    Cache l2_;
+    Cache llc_;
     std::vector<PerfCounters> counters_;
+    bool plainMissPath_; //!< no defense hooks: use missPath<true>
 };
 
 } // namespace wb::sim

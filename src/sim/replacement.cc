@@ -35,6 +35,37 @@ PolicyTable::PolicyTable(PolicyKind kind, unsigned sets, unsigned ways,
     if (kind_ == PolicyKind::RandomIid && rng_ == nullptr)
         panic("RandomIid requires an Rng");
 
+    if (kind_ == PolicyKind::TreePlru || kind_ == PolicyKind::QuadAgeLru) {
+        // Precompute the tree fast paths (see the member comment):
+        // per-way masked-assign touch updates...
+        touchMask_.assign(ways_, 0);
+        touchVal_.assign(ways_, 0);
+        for (unsigned w = 0; w < ways_; ++w) {
+            unsigned node = nodes_ + w;
+            while (node != 0) {
+                const unsigned parent = (node - 1) / 2;
+                touchMask_[w] |= std::uint64_t(1) << parent;
+                if (node == 2 * parent + 1)
+                    touchVal_[w] |= std::uint64_t(1) << parent;
+                node = parent;
+            }
+        }
+        // ...and, for small trees, the bits -> victim-leaf lookup,
+        // built by running the reference root-to-leaf walk once per
+        // possible bit pattern.
+        if (nodes_ <= 7) {
+            victimLut_.assign(std::size_t(1) << nodes_, 0);
+            for (std::size_t bits = 0; bits < victimLut_.size(); ++bits) {
+                unsigned node = 0;
+                while (node < nodes_)
+                    node = 2 * node + 1 +
+                           static_cast<unsigned>((bits >> node) & 1);
+                victimLut_[bits] =
+                    static_cast<std::uint8_t>(node - nodes_);
+            }
+        }
+    }
+
     setWord_.assign(sets_, 0);
     switch (kind_) {
       case PolicyKind::TrueLru:

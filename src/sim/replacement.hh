@@ -186,6 +186,17 @@ class PolicyTable
     Rng *rng_;
 
     /**
+     * Tree-policy fast paths, precomputed at construction: promoting
+     * way w flips a fixed set of tree bits to fixed values, so
+     * touch() is one masked assign (touchMask_/touchVal_, indexed by
+     * way); and for trees of at most 7 nodes (<= 8 ways) the
+     * bits -> leaf walk is a 128-entry lookup (victimLut_).
+     */
+    std::vector<std::uint64_t> touchMask_;
+    std::vector<std::uint64_t> touchVal_;
+    std::vector<std::uint8_t> victimLut_;
+
+    /**
      * One word per set: tree bits (TreePlru/QuadAgeLru), MRU bits
      * (BitPlru), reference bits (Nru), LFSR state (LfsrRandom), or the
      * recency/insertion clock (TrueLru/Fifo).
@@ -265,18 +276,10 @@ const std::vector<PolicyKind> &allPolicies();
 inline void
 PolicyTable::touch(unsigned set, unsigned way)
 {
-    std::uint64_t bits = setWord_[set];
-    unsigned node = nodes_ + way;
-    while (node != 0) {
-        const unsigned parent = (node - 1) / 2;
-        // Point the parent at the sibling subtree.
-        if (node == 2 * parent + 1)
-            bits |= std::uint64_t(1) << parent;
-        else
-            bits &= ~(std::uint64_t(1) << parent);
-        node = parent;
-    }
-    setWord_[set] = bits;
+    // Point every parent on way's root path at the sibling subtree:
+    // fixed bits to fixed values, precomputed at construction.
+    setWord_[set] =
+        (setWord_[set] & ~touchMask_[way]) | touchVal_[way];
 }
 
 inline void
@@ -379,11 +382,16 @@ PolicyTable::victim(unsigned set, std::uint32_t eligibleMask)
         if (eligibleMask == 0)
             break;
         const std::uint64_t bits = setWord_[set];
-        unsigned node = 0;
-        while (node < nodes_)
-            node = 2 * node + 1 +
-                   static_cast<unsigned>((bits >> node) & 1);
-        const unsigned leaf = node - nodes_;
+        unsigned leaf;
+        if (!victimLut_.empty()) {
+            leaf = victimLut_[bits & (victimLut_.size() - 1)];
+        } else {
+            unsigned node = 0;
+            while (node < nodes_)
+                node = 2 * node + 1 +
+                       static_cast<unsigned>((bits >> node) & 1);
+            leaf = node - nodes_;
+        }
         if ((eligibleMask >> leaf) & 1)
             return leaf;
         break; // ineligible PLRU leaf: out-of-line fallback

@@ -71,6 +71,26 @@ SmtCore::halted(ThreadId tid) const
     return threads_.at(tid).halted;
 }
 
+Cycles
+SmtCore::contentionDelay(const ThreadCtx &ctx, ThreadId tid)
+{
+    // SMT port contention: if a sibling issued a memory op within the
+    // coincidence window, this op (or batch: the burst issues back to
+    // back, so the window is evaluated once at issue) may stall.
+    Cycles delay = 0;
+    for (ThreadId o = 0; o < threads_.size(); ++o) {
+        if (o == tid || !threads_[o].everIssuedMem)
+            continue;
+        const Cycles ot = threads_[o].lastMemOpAt;
+        const Cycles d = ot > ctx.time ? ot - ctx.time : ctx.time - ot;
+        if (d <= noise_.portContentionWindow &&
+            rng_.chance(noise_.portContentionProb)) {
+            delay += noise_.portContentionDelay;
+        }
+    }
+    return delay;
+}
+
 void
 SmtCore::step(ThreadCtx &ctx, ThreadId tid)
 {
@@ -93,23 +113,10 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
         if (op.pipelined && ar.l1Hit)
             lat = noise_.pipelinedHitCost;
 
-        // SMT port contention: if the sibling issued a memory op
-        // within the coincidence window, this op may stall. Skipped
-        // entirely when contention is disabled (quiet noise models) so
-        // the per-op sibling scan stays off the hot path.
-        if (noise_.portContentionProb > 0.0) {
-            for (ThreadId o = 0; o < threads_.size(); ++o) {
-                if (o == tid || !threads_[o].everIssuedMem)
-                    continue;
-                const Cycles ot = threads_[o].lastMemOpAt;
-                const Cycles d =
-                    ot > ctx.time ? ot - ctx.time : ctx.time - ot;
-                if (d <= noise_.portContentionWindow &&
-                    rng_.chance(noise_.portContentionProb)) {
-                    lat += noise_.portContentionDelay;
-                }
-            }
-        }
+        // Skipped entirely when contention is disabled (quiet noise
+        // models) so the per-op sibling scan stays off the hot path.
+        if (noise_.portContentionProb > 0.0)
+            lat += contentionDelay(ctx, tid);
         if (noise_.preemptProbPerOp > 0.0 &&
             rng_.chance(noise_.preemptProbPerOp)) {
             lat += static_cast<Cycles>(rng_.exponential(noise_.preemptMean));
@@ -122,6 +129,38 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
         res.servedBy = ar.servedBy;
         res.l1Hit = ar.l1Hit;
         res.l1VictimDirty = ar.l1VictimDirty;
+        break;
+      }
+      case MemOp::Kind::LoadBatch:
+      case MemOp::Kind::StoreBatch: {
+        // A whole sweep (prime loop, pointer chase, warm-up) executed
+        // through the hierarchy's fused batch path in one core step.
+        // The burst issues back to back, so the sibling coincidence
+        // window is evaluated once at issue rather than per element;
+        // per-op-sensitive loops (the hit-hit channel's contention
+        // hammering) must keep issuing scalar ops.
+        const bool isWrite = op.kind == MemOp::Kind::StoreBatch;
+        const BatchAccessResult br = hierarchy_.accessBatch(
+            tid, ctx.space, op.addrs, op.count, isWrite);
+        Cycles lat = br.totalLatency +
+                     noise_.opOverhead * static_cast<Cycles>(op.count);
+        if (noise_.portContentionProb > 0.0)
+            lat += contentionDelay(ctx, tid);
+        if (noise_.preemptProbPerOp > 0.0) {
+            // Each element of the burst is individually preemptible,
+            // as on the scalar path.
+            for (std::size_t i = 0; i < op.count; ++i) {
+                if (rng_.chance(noise_.preemptProbPerOp)) {
+                    lat += static_cast<Cycles>(
+                        rng_.exponential(noise_.preemptMean));
+                }
+            }
+        }
+        ctx.time += lat;
+        ctx.lastMemOpAt = ctx.time;
+        ctx.everIssuedMem = true;
+        res.latency = lat;
+        res.batch = br;
         break;
       }
       case MemOp::Kind::Flush: {

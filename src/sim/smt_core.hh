@@ -33,13 +33,15 @@ struct MemOp
     /** Operation kinds. */
     enum class Kind
     {
-        Load,      //!< demand load of vaddr
-        Store,     //!< demand store to vaddr
-        Flush,     //!< clflush vaddr
-        TscRead,   //!< serialized timestamp read (rdtscp)
-        SpinUntil, //!< busy-wait until TSC >= until
-        Delay,     //!< consume `until` cycles without touching memory
-        Halt       //!< finish the program
+        Load,       //!< demand load of vaddr
+        Store,      //!< demand store to vaddr
+        LoadBatch,  //!< back-to-back demand loads of addrs[0..count)
+        StoreBatch, //!< back-to-back demand stores to addrs[0..count)
+        Flush,      //!< clflush vaddr
+        TscRead,    //!< serialized timestamp read (rdtscp)
+        SpinUntil,  //!< busy-wait until TSC >= until
+        Delay,      //!< consume `until` cycles without touching memory
+        Halt        //!< finish the program
     };
 
     Kind kind = Kind::Halt;
@@ -53,6 +55,16 @@ struct MemOp
      * loops (the LRU channel's modulation loop, streaming workloads).
      */
     bool pipelined = false;
+
+    /**
+     * Virtual-address list of a LoadBatch/StoreBatch: a whole sweep
+     * (a prime loop, a pointer-chased traversal, a warm-up) executed
+     * through Hierarchy::accessBatch in one core step. Not owned: the
+     * issuing Program must keep the array alive and unmoved until the
+     * op's onResult() is delivered.
+     */
+    const Addr *addrs = nullptr;
+    std::size_t count = 0; //!< number of addresses in the batch
 
     /** Convenience constructors. */
     static MemOp load(Addr va) { return {Kind::Load, va, 0, false}; }
@@ -69,6 +81,20 @@ struct MemOp
     {
         return {Kind::Load, va, 0, true};
     }
+
+    /** A batched load sweep over @p n caller-owned addresses. */
+    static MemOp
+    loadBatch(const Addr *addrs, std::size_t n)
+    {
+        return {Kind::LoadBatch, 0, 0, false, addrs, n};
+    }
+
+    /** A batched store sweep over @p n caller-owned addresses. */
+    static MemOp
+    storeBatch(const Addr *addrs, std::size_t n)
+    {
+        return {Kind::StoreBatch, 0, 0, false, addrs, n};
+    }
 };
 
 /** Result of executing one MemOp, delivered to Program::onResult. */
@@ -79,6 +105,9 @@ struct OpResult
     Level servedBy = Level::L1; //!< for Load/Store
     bool l1Hit = false;         //!< for Load/Store
     bool l1VictimDirty = false; //!< the fill replaced a dirty line
+
+    /** Aggregates of a LoadBatch/StoreBatch sweep. */
+    BatchAccessResult batch;
 };
 
 /** Read-only view a Program gets of its execution context. */
@@ -213,6 +242,13 @@ class SmtCore
 
     /** Execute one op of thread @p tid. */
     void step(ThreadCtx &ctx, ThreadId tid);
+
+    /**
+     * Stall cycles from SMT port contention for an op (or batch)
+     * issued by @p tid at ctx.time, rolled against every sibling
+     * whose last memory op falls inside the coincidence window.
+     */
+    Cycles contentionDelay(const ThreadCtx &ctx, ThreadId tid);
 
     /** Quantize a cycle count to the TSC granularity. */
     Cycles quantize(Cycles t) const;

@@ -28,6 +28,7 @@
 #include "sim/eviction_probe.hh"
 #include "sim/hierarchy.hh"
 #include "sim/noise_model.hh"
+#include "sim/platform.hh"
 #include "sim/replacement.hh"
 #include "sim/smt_core.hh"
 #include "sim/stats_dump.hh"

@@ -264,6 +264,19 @@ TEST(Hierarchy, ResetKeepsCounters)
     EXPECT_EQ(h.counters(0).loads, 0u);
 }
 
+TEST(Hierarchy, ResetAllZeroesStateAndCounters)
+{
+    Hierarchy h(quietParams(), nullptr);
+    const Addr a = setLine(h, 2, 1);
+    h.access(0, a, true);
+    ASSERT_GT(h.counters(0).stores, 0u);
+    h.resetAll();
+    EXPECT_FALSE(h.l1().contains(a));
+    EXPECT_FALSE(h.l2().contains(a));
+    EXPECT_EQ(h.counters(0).stores, 0u);
+    EXPECT_EQ(h.totalCounters().l1Misses, 0u);
+}
+
 TEST(Hierarchy, LevelNames)
 {
     EXPECT_EQ(levelName(Level::L1), "L1");
