@@ -17,7 +17,10 @@
  *   hierarchy-dirty-evict  store stream exercising the WB-channel path
  *   pointer-chase    replacement-set traversal measurement (receiver)
  *   smt-step         two-thread SMT core stepping (ops = cycles)
+ *   spin-step        spin-wait-dominated stepping (ops = cycles)
+ *   multicore-access miss-heavy sweep through a 2-core shared LLC
  *   channel-frame    one 128-bit frame end to end (ops = bits)
+ *   cross-core-frame one cross-core frame on the 4-core desktop
  *   calibration      offline threshold calibration (ops = measurements)
  *   edit-distance    128-bit Wagner-Fischer frame scoring
  *
@@ -40,11 +43,13 @@
 
 #include "chan/calibration.hh"
 #include "chan/channel.hh"
+#include "chan/cross_core.hh"
 #include "chan/set_mapping.hh"
 #include "common/edit_distance.hh"
 #include "common/rng.hh"
 #include "sim/cache.hh"
 #include "sim/hierarchy.hh"
+#include "sim/multicore.hh"
 #include "sim/ref_cache.hh"
 #include "sim/smt_core.hh"
 
@@ -74,10 +79,19 @@ now()
 }
 
 /**
+ * Number of best-of timing windows per workload. The quick (CI) mode
+ * uses more, shorter windows than the full run: the 15% bench gate
+ * compares quick runs across jobs, and more windows make the
+ * fastest-window estimate robust against sustained co-tenant
+ * interference bursts that can span an entire short window.
+ */
+int gWindows = 3;
+
+/**
  * Run @p body (which performs @p opsPerCall simulated accesses per
- * invocation) in three timing windows of @p budgetSec each, after one
- * untimed warm-up call, and report the fastest window. Best-of-N is
- * the standard defense against scheduler noise on shared machines:
+ * invocation) in gWindows timing windows of @p budgetSec each, after
+ * one untimed warm-up call, and report the fastest window. Best-of-N
+ * is the standard defense against scheduler noise on shared machines:
  * interference only ever makes a window slower, so the fastest window
  * is the closest estimate of the code's actual throughput.
  */
@@ -92,7 +106,7 @@ measure(const std::string &name, const std::string &impl,
     res.name = name;
     res.impl = impl;
     res.configJson = std::move(configJson);
-    for (int window = 0; window < 3; ++window) {
+    for (int window = 0; window < gWindows; ++window) {
         const double start = now();
         double elapsed = 0.0;
         std::uint64_t calls = 0;
@@ -374,6 +388,76 @@ benchSmtStep(double budgetSec)
                    });
 }
 
+/**
+ * multicore-access: the hierarchy-access miss-heavy sweep driven
+ * through one core of a 2-core MultiCoreSystem — the same workload
+ * plus the coherence layer (remote snoop scans on every L2 miss), so
+ * the multi-core engine's overhead over the single-core Hierarchy
+ * stays visible in the trajectory.
+ */
+BenchResult
+benchMulticoreAccess(double budgetSec)
+{
+    Rng rng(5);
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    MultiCoreSystem mc(hp, /*cores=*/2, &rng);
+    std::vector<Addr> addrs;
+    for (Addr a = 0; a < 0x10000; a += 64)
+        addrs.push_back(a);
+    return measure("multicore-access", "multicore",
+                   "{\"platform\":\"xeonE5-2650\",\"cores\":2,"
+                   "\"missHeavy\":true}",
+                   budgetSec, addrs.size(), [&]() {
+                       (void)mc.accessBatch(0, 0, addrs,
+                                            /*isWrite=*/false);
+                   });
+}
+
+/** A program that does nothing but paced spin-waits. */
+class SpinProgram : public Program
+{
+  public:
+    explicit SpinProgram(Cycles period) : period_(period) {}
+
+    std::optional<MemOp>
+    next(ProcView &view) override
+    {
+        return MemOp::spinUntil(view.now() + period_);
+    }
+
+    void onResult(const MemOp &, const OpResult &, ProcView &) override {}
+
+  private:
+    Cycles period_;
+};
+
+/**
+ * spin-step: two threads whose execution is purely spin-waits, the
+ * regime channel senders/receivers spend most of their virtual time
+ * in (one spin-stack access per wait). Ops are simulated cycles.
+ */
+BenchResult
+benchSpinStep(double budgetSec)
+{
+    Rng rng(8);
+    HierarchyParams hp = xeonE5_2650Params();
+    Hierarchy h(hp, &rng);
+    SmtCore core(h, NoiseModel(), rng);
+    SpinProgram a(200);
+    SpinProgram b(200);
+    core.addThread(&a, AddressSpace(1));
+    core.addThread(&b, AddressSpace(2));
+    const Cycles step = 10000;
+    Cycles horizon = step;
+    return measure("spin-step", "hierarchy",
+                   "{\"threads\":2,\"spinPeriod\":200,\"unit\":\"cycles\"}",
+                   budgetSec, step, [&]() {
+                       core.run(horizon);
+                       horizon += step;
+                   });
+}
+
 /** channel-frame: one 128-bit frame end to end; ops are payload bits. */
 BenchResult
 benchChannelFrame(double budgetSec)
@@ -386,6 +470,24 @@ benchChannelFrame(double budgetSec)
                    "{\"frames\":1,\"ts\":5500,\"unit\":\"bits\"}",
                    budgetSec, cfg.protocol.frameBits,
                    [&]() { (void)chan::runChannel(cfg); });
+}
+
+/**
+ * cross-core-frame: one cross-core frame (sender core 0, receiver
+ * core 1, shared inclusive LLC) end to end; ops are payload bits.
+ */
+BenchResult
+benchCrossCoreFrame(double budgetSec)
+{
+    chan::CrossCoreChannelConfig cfg;
+    cfg.usePlatform("desktop-inclusive-4core");
+    cfg.protocol.frames = 1;
+    cfg.calibration.measurements = 20;
+    cfg.seed = 1;
+    return measure("cross-core-frame", "multicore",
+                   "{\"frames\":1,\"cores\":4,\"unit\":\"bits\"}",
+                   budgetSec, cfg.protocol.frameBits,
+                   [&]() { (void)chan::runCrossCoreChannel(cfg); });
 }
 
 /** calibration: one offline calibrate() per call; ops = measurements. */
@@ -459,7 +561,8 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    const double budget = quick ? 0.05 : 0.4;
+    const double budget = quick ? 0.08 : 0.4;
+    gWindows = quick ? 5 : 3;
 
     std::vector<BenchResult> results;
     results.push_back(benchProbeHit<Cache>("flat", budget));
@@ -472,10 +575,13 @@ main(int argc, char **argv)
     results.push_back(benchPlcacheLocked<RefCache>("reference", budget));
     results.push_back(benchHierarchyAccess("flat", budget));
     results.push_back(benchHierarchyAccess("reference", budget));
+    results.push_back(benchMulticoreAccess(budget));
     results.push_back(benchHierarchyDirtyEvict(budget));
     results.push_back(benchPointerChase(budget));
     results.push_back(benchSmtStep(budget));
+    results.push_back(benchSpinStep(budget));
     results.push_back(benchChannelFrame(budget));
+    results.push_back(benchCrossCoreFrame(budget));
     results.push_back(benchCalibration(budget));
     results.push_back(benchEditDistance(budget));
 

@@ -26,10 +26,10 @@ runBaseline(const BaselineConfig &cfg, const PartsFactory &factory)
     if (!parts.sender || !parts.receiver || !parts.latencySource)
         panic("runBaseline: factory returned incomplete parts");
 
-    const Cycles senderStart =
-        static_cast<Cycles>(cfg.senderStartSlots) * cfg.ts;
-    const ThreadId senderTid =
-        core.addThread(parts.sender.get(), parts.senderSpace, senderStart);
+    const chan::TransmissionSchedule sched = chan::transmissionSchedule(
+        allBits.size(), cfg.ts, cfg.senderStartSlots, cfg.sampleMargin);
+    const ThreadId senderTid = core.addThread(
+        parts.sender.get(), parts.senderSpace, sched.senderStart);
     const ThreadId receiverTid =
         core.addThread(parts.receiver.get(), parts.receiverSpace, 0);
 
@@ -45,9 +45,7 @@ runBaseline(const BaselineConfig &cfg, const PartsFactory &factory)
                        sim::AddressSpace(10 + i), 500 * i);
     }
 
-    const Cycles horizon = senderStart +
-        static_cast<Cycles>(allBits.size() + 8) * (cfg.ts + 50) + 200000;
-    core.run(horizon);
+    core.run(sched.horizon);
 
     BaselineResult res;
     res.latencies = parts.latencySource->latencies();
@@ -55,23 +53,33 @@ runBaseline(const BaselineConfig &cfg, const PartsFactory &factory)
     res.sentFrame = frame;
     res.framesExpected = cfg.frames;
 
-    if (parts.centroidHigh <= parts.centroidLow)
-        panic("runBaseline: centroidHigh must exceed centroidLow");
-    chan::Classifier classifier({parts.centroidLow, parts.centroidHigh});
+    scoreBinaryLatencies(res, parts.centroidLow, parts.centroidHigh,
+                         parts.invert, frame, cfg.frames);
+    res.senderCounters = hierarchy.counters(senderTid);
+    res.receiverCounters = hierarchy.counters(receiverTid);
+    return res;
+}
+
+void
+scoreBinaryLatencies(BaselineResult &res, double centroidLow,
+                     double centroidHigh, bool invert,
+                     const BitVec &frame, unsigned framesExpected)
+{
+    if (centroidHigh <= centroidLow)
+        panic("scoreBinaryLatencies: centroidHigh must exceed "
+              "centroidLow");
+    chan::Classifier classifier({centroidLow, centroidHigh});
     const chan::Encoding enc = chan::Encoding::binary(1);
     auto symbols = chan::classifyAll(res.latencies, classifier);
-    if (parts.invert)
+    if (invert)
         for (auto &s : symbols)
             s = 1 - s;
     const BitVec bits = chan::symbolsToBits(symbols, enc);
-    auto dec = chan::scoreFrames(bits, frame, cfg.frames);
+    auto dec = chan::scoreFrames(bits, frame, framesExpected);
     res.ber = dec.ber;
     res.breakdown = dec.breakdown;
     res.aligned = dec.aligned;
     res.framesScored = dec.framesScored;
-    res.senderCounters = hierarchy.counters(senderTid);
-    res.receiverCounters = hierarchy.counters(receiverTid);
-    return res;
 }
 
 } // namespace wb::baselines

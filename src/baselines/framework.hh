@@ -137,6 +137,19 @@ using PartsFactory = std::function<BaselineParts(
 BaselineResult runBaseline(const BaselineConfig &cfg,
                            const PartsFactory &factory);
 
+/**
+ * The shared decode tail of every binary baseline: classify
+ * res.latencies against {centroidLow, centroidHigh}, optionally
+ * invert, align the repeated @p frame and score it with the edit
+ * distance, filling res.ber/breakdown/aligned/framesScored.
+ * @pre centroidHigh > centroidLow — panics otherwise; callers that
+ * cannot guarantee separation branch before calling (see
+ * runCrossCorePrimeProbe).
+ */
+void scoreBinaryLatencies(BaselineResult &res, double centroidLow,
+                          double centroidHigh, bool invert,
+                          const BitVec &frame, unsigned framesExpected);
+
 } // namespace wb::baselines
 
 #endif // WB_BASELINES_FRAMEWORK_HH

@@ -26,9 +26,16 @@ class PrimeProbeReceiver : public sim::Program, public LatencySource
      * @param lines the receiver's W prime lines
      * @param tr sampling period
      * @param sampleCount observations before halting
+     * @param reprimeEachSlot issue an untimed full prime sweep after
+     *        every timed probe. The L1 variant does not need it (the
+     *        probe itself restores the set), but on an inclusive
+     *        shared LLC a perturbed probe's misses back-invalidate
+     *        the receiver's own private copies and the elevated state
+     *        persists across slots; re-priming resets it.
      */
     PrimeProbeReceiver(std::vector<Addr> lines, Cycles tr,
-                       std::size_t sampleCount);
+                       std::size_t sampleCount,
+                       bool reprimeEachSlot = false);
 
     std::optional<sim::MemOp> next(sim::ProcView &view) override;
     void onResult(const sim::MemOp &op, const sim::OpResult &res,
@@ -45,12 +52,14 @@ class PrimeProbeReceiver : public sim::Program, public LatencySource
         ProbeStart, //!< TscRead
         Probe,      //!< batched W-load sweep, reverse order per slot
         ProbeEnd,   //!< TscRead
+        Reprime,    //!< untimed restore sweep (reprimeEachSlot)
         Done
     };
 
     std::vector<Addr> lines_;
     Cycles tr_;
     std::size_t sampleCount_;
+    bool reprimeEachSlot_;
 
     Phase phase_ = Phase::Warmup;
     std::vector<Addr> warmupOrder_; //!< two full sweeps, batched
@@ -101,6 +110,24 @@ class PrimeProbeSender : public sim::Program
 /** Run the Prime+Probe covert channel end to end. */
 BaselineResult runPrimeProbeChannel(const BaselineConfig &cfg,
                                     unsigned linesPerOne = 2);
+
+/**
+ * Cross-core Prime+Probe over the shared LLC: the receiver (core 1)
+ * primes cfg.targetSet of the LLC with llc.ways of its own lines and
+ * times whole-set probes; the sender (core 0) touches @p linesPerOne
+ * lines of the same LLC set for a 1-bit. On an inclusive LLC the
+ * sender's fills evict the receiver's lines from every level
+ * (back-invalidation), so probe misses rise; a non-inclusive LLC
+ * leaves the receiver's private copies alive and closes the channel.
+ * Classifier centroids are calibrated empirically offline (the
+ * steady-state probe latency is platform-dependent). cfg.targetSet
+ * indexes the LLC layout here, and cfg.ts/tr should leave room for a
+ * whole-LLC-set probe (llc.ways DRAM-latency misses in the worst
+ * case).
+ */
+BaselineResult runCrossCorePrimeProbe(const BaselineConfig &cfg,
+                                      unsigned linesPerOne = 2,
+                                      unsigned cores = 2);
 
 } // namespace wb::baselines
 

@@ -30,13 +30,13 @@ Calibration::classifierFor(const Encoding &encoding) const
 }
 
 double
-measureChaseOffline(sim::Hierarchy &hierarchy, ThreadId tid,
+measureChaseOffline(sim::MemorySystem &mem, ThreadId tid,
                     const sim::AddressSpace &space,
                     const std::vector<Addr> &order,
                     const sim::NoiseModel &noise)
 {
     const auto batch =
-        hierarchy.accessBatch(tid, space, order, /*isWrite=*/false);
+        mem.accessBatch(tid, space, order, /*isWrite=*/false);
     return static_cast<double>(batch.totalLatency +
                                noise.opOverhead * batch.accesses +
                                noise.tscReadCost);

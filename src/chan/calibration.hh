@@ -70,19 +70,21 @@ Calibration calibrate(const sim::HierarchyParams &hp,
                       const CalibrationConfig &cfg, Rng &rng);
 
 /**
- * Measure one replacement-set traversal directly against a hierarchy
- * (no SMT interleaving): the sum of the permuted dependent-load
+ * Measure one replacement-set traversal directly against a memory
+ * system (no SMT interleaving): the sum of the permuted dependent-load
  * latencies plus timestamp-read cost. Shared by calibration and the
- * single-process side-channel attacks of Sec. IX.
+ * single-process side-channel attacks of Sec. IX; @p mem may be a
+ * Hierarchy or one core's port of a MultiCoreSystem (the cross-core
+ * attacker's probe).
  *
- * @param hierarchy the hierarchy to measure against
+ * @param mem the memory system to measure against
  * @param tid issuing thread id
  * @param order replacement-set lines in traversal order (physical
  *        addresses are formed by @p translate-ing each)
  * @param space address space of the issuing process
  * @param noise noise model (timestamp cost, op overhead)
  */
-double measureChaseOffline(sim::Hierarchy &hierarchy, ThreadId tid,
+double measureChaseOffline(sim::MemorySystem &mem, ThreadId tid,
                            const sim::AddressSpace &space,
                            const std::vector<Addr> &order,
                            const sim::NoiseModel &noise);

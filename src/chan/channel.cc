@@ -57,16 +57,14 @@ runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
                                       cfg.platform.l1.ways,
                                       proto.replacementSize);
 
+    const TransmissionSchedule sched = transmissionSchedule(
+        dSeq.size(), proto.ts, cfg.senderStartSlots, cfg.sampleMargin);
     SenderProgram sender(sets.senderLines, dSeq, proto.ts);
-    const std::size_t sampleCount =
-        dSeq.size() + cfg.senderStartSlots + cfg.sampleMargin;
     ReceiverProgram receiver(sets.replacementA, sets.replacementB,
-                             proto.tr, sampleCount);
+                             proto.tr, sched.sampleCount);
 
-    const Cycles senderStart =
-        static_cast<Cycles>(cfg.senderStartSlots) * proto.ts;
     const ThreadId senderTid =
-        core.addThread(&sender, sim::AddressSpace(1), senderStart);
+        core.addThread(&sender, sim::AddressSpace(1), sched.senderStart);
     const ThreadId receiverTid =
         core.addThread(&receiver, sim::AddressSpace(2), 0);
 
@@ -82,9 +80,7 @@ runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
                        sim::AddressSpace(10 + i), /*startTime=*/500 * i);
     }
 
-    const Cycles horizon = senderStart +
-        static_cast<Cycles>(dSeq.size() + 8) * (proto.ts + 50) + 200000;
-    const Cycles end = core.run(horizon);
+    const Cycles end = core.run(sched.horizon);
 
     // --- Decode ---
     ChannelResult res;

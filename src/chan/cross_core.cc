@@ -1,0 +1,210 @@
+#include "chan/cross_core.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hh"
+#include "chan/pointer_chase.hh"
+#include "chan/receiver.hh"
+#include "chan/sender.hh"
+#include "chan/set_mapping.hh"
+#include "sim/smt_core.hh"
+
+namespace wb::chan
+{
+
+namespace
+{
+
+/** Line pools both parties derive from the agreed LLC set. */
+struct CrossCoreSets
+{
+    std::vector<Addr> senderLines;
+    std::vector<Addr> replacementA;
+    std::vector<Addr> replacementB;
+};
+
+/** Resolve the replacement-set size (0 = whole LLC set + slack). */
+unsigned
+resolveReplacementSize(const CrossCoreChannelConfig &cfg)
+{
+    if (cfg.replacementSize != 0)
+        return cfg.replacementSize;
+    return cfg.platform.llc.ways + 2;
+}
+
+/**
+ * Build the pools against the LLC layout: the low LLC index bits
+ * survive the page-linear translation, so both processes target the
+ * agreed set purely from their virtual addresses, exactly as the L1
+ * channel does with the VIPT L1 layout (Sec. IV generalized).
+ */
+CrossCoreSets
+makeCrossCoreSets(const sim::AddressLayout &llcLayout,
+                  const CrossCoreChannelConfig &cfg)
+{
+    const unsigned replacement = resolveReplacementSize(cfg);
+    const unsigned senderLines =
+        std::max(1u, cfg.protocol.encoding.maxLevel());
+    CrossCoreSets sets;
+    sets.senderLines =
+        linesForSet(llcLayout, cfg.targetLlcSet, senderLines, /*tag=*/1);
+    sets.replacementA = linesForSet(llcLayout, cfg.targetLlcSet,
+                                    replacement, /*tag=*/0x100);
+    sets.replacementB = linesForSet(llcLayout, cfg.targetLlcSet,
+                                    replacement, /*tag=*/0x200);
+    return sets;
+}
+
+void
+validate(const CrossCoreChannelConfig &cfg)
+{
+    if (cfg.cores < 2)
+        fatalf("runCrossCoreChannel: needs at least 2 cores, got ",
+               cfg.cores);
+    if (cfg.senderCore == cfg.receiverCore ||
+        cfg.senderCore >= cfg.cores || cfg.receiverCore >= cfg.cores) {
+        fatalf("runCrossCoreChannel: sender core ", cfg.senderCore,
+               " / receiver core ", cfg.receiverCore,
+               " invalid for ", cfg.cores, " cores");
+    }
+    const unsigned top = cfg.protocol.encoding.maxLevel();
+    if (top > cfg.platform.llc.ways)
+        fatalf("runCrossCoreChannel: encoding level ", top,
+               " exceeds LLC associativity ", cfg.platform.llc.ways);
+}
+
+/**
+ * Offline calibration against a fresh MultiCoreSystem: the sender
+ * side dirties d LLC-set lines from its core, the receiver side times
+ * the alternating replacement-set sweep from its core — the Fig. 4
+ * procedure carried to LLC granularity. Levels are interleaved at
+ * random for the same steady-state reasons as chan::calibrate().
+ */
+Calibration
+calibrateCrossCore(const CrossCoreChannelConfig &cfg,
+                   const CrossCoreSets &sets, Rng &rng)
+{
+    const unsigned top = cfg.protocol.encoding.maxLevel();
+    Calibration out;
+    out.latencyByD.resize(top + 1);
+    out.medianByD.resize(top + 1, 0.0);
+
+    sim::MultiCoreSystem mc(cfg.platform, cfg.cores, &rng);
+    sim::MemorySystem &sender = mc.port(cfg.senderCore);
+    sim::MemorySystem &receiver = mc.port(cfg.receiverCore);
+    sim::AddressSpace senderSpace(1);
+    sim::AddressSpace receiverSpace(2);
+
+    PointerChase chaseA(sets.replacementA);
+    PointerChase chaseB(sets.replacementB);
+
+    // Warm both replacement sets into the shared LLC.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+        receiver.accessBatch(0, receiverSpace, sets.replacementA, false);
+        receiver.accessBatch(0, receiverSpace, sets.replacementB, false);
+    }
+
+    std::vector<unsigned> mix = cfg.calibration.levelsMix;
+    if (mix.empty())
+        mix = cfg.protocol.encoding.levels();
+
+    const std::size_t total =
+        mix.size() * cfg.calibration.measurements + cfg.calibration.discard;
+    bool useA = true;
+    for (std::size_t m = 0; m < total; ++m) {
+        const unsigned d = mix[rng.below(mix.size())];
+        sender.accessBatch(0, senderSpace, sets.senderLines.data(), d,
+                           /*isWrite=*/true);
+        PointerChase &chase = useA ? chaseA : chaseB;
+        chase.reshuffle(rng);
+        double lat = measureChaseOffline(receiver, 0, receiverSpace,
+                                         chase.order(), cfg.noise);
+        if (cfg.noise.measBaseSigma > 0.0)
+            lat += rng.gaussian(0.0, cfg.noise.measBaseSigma);
+        useA = !useA;
+        if (m >= cfg.calibration.discard)
+            out.latencyByD[d].add(lat);
+    }
+    for (unsigned d = 0; d <= top; ++d)
+        out.medianByD[d] = out.latencyByD[d].median();
+    return out;
+}
+
+} // namespace
+
+ChannelResult
+runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
+{
+    validate(cfg);
+    const ProtocolConfig &proto = cfg.protocol;
+    const Encoding &enc = proto.encoding;
+
+    Rng frameRng(cfg.seed ^ 0xf00dULL);
+    const BitVec frame = randomFrame(proto.frameBits - 16, frameRng);
+    if (frame.size() % enc.bitsPerSymbol() != 0)
+        fatalf("runCrossCoreChannel: frame bits ", frame.size(),
+               " not divisible by bits/symbol ", enc.bitsPerSymbol());
+
+    Rng rootRng(cfg.seed);
+    Rng calRng = rootRng.split();
+    Rng runRng = rootRng.split();
+
+    // The LLC layout is shared by every core; borrow it from a
+    // throwaway cache-less construction via the params geometry.
+    const sim::AddressLayout llcLayout(cfg.platform.llc.numSets());
+    const CrossCoreSets sets = makeCrossCoreSets(llcLayout, cfg);
+
+    // --- Offline calibration -> classifier centroids ---
+    const Calibration cal = calibrateCrossCore(cfg, sets, calRng);
+    const Classifier classifier = cal.classifierFor(enc);
+
+    // --- Per-slot dirty-line levels for all frame repetitions ---
+    const auto frameLevels = frameToLevels(frame, enc);
+    std::vector<unsigned> dSeq;
+    dSeq.reserve(frameLevels.size() * proto.frames);
+    for (unsigned f = 0; f < proto.frames; ++f)
+        dSeq.insert(dSeq.end(), frameLevels.begin(), frameLevels.end());
+
+    // --- Platform: one system, one SmtCore front-end per party ---
+    sim::MultiCoreSystem mc(cfg.platform, cfg.cores, &runRng);
+    sim::SmtCore senderCore(mc.port(cfg.senderCore), cfg.noise, runRng);
+    sim::SmtCore receiverCore(mc.port(cfg.receiverCore), cfg.noise,
+                              runRng);
+
+    const TransmissionSchedule sched = transmissionSchedule(
+        dSeq.size(), proto.ts, cfg.senderStartSlots, cfg.sampleMargin);
+    SenderProgram sender(sets.senderLines, dSeq, proto.ts);
+    ReceiverProgram receiver(sets.replacementA, sets.replacementB,
+                             proto.tr, sched.sampleCount);
+
+    const ThreadId senderTid = senderCore.addThread(
+        &sender, sim::AddressSpace(1), sched.senderStart);
+    const ThreadId receiverTid =
+        receiverCore.addThread(&receiver, sim::AddressSpace(2), 0);
+
+    const Cycles end =
+        sim::runCores({&senderCore, &receiverCore}, sched.horizon);
+
+    // --- Decode ---
+    ChannelResult res;
+    res.latencies = receiver.latencies();
+    DecodeResult dec = decodeTransmission(res.latencies, classifier, enc,
+                                          frame, proto.frames);
+    res.ber = dec.ber;
+    res.breakdown = dec.breakdown;
+    res.aligned = dec.aligned;
+    res.framesScored = dec.framesScored;
+    res.framesExpected = dec.framesExpected;
+    res.rateKbps = proto.rateKbps();
+    res.goodputKbps = res.rateKbps * (1.0 - std::min(1.0, res.ber));
+    res.sentFrame = frame;
+    res.decodedBits = dec.bitstream;
+    res.calibrationMedians = cal.medianByD;
+    res.senderCounters = mc.counters(cfg.senderCore, senderTid);
+    res.receiverCounters = mc.counters(cfg.receiverCore, receiverTid);
+    res.simulatedCycles = end;
+    return res;
+}
+
+} // namespace wb::chan

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cross-core WB covert channel over a shared LLC.
+ *
+ * The paper's channel runs sender and receiver as SMT siblings on one
+ * physical core, sharing the L1D. This runner moves them to different
+ * cores of a MultiCoreSystem and carries the same dirty-state signal
+ * through the shared last-level cache instead:
+ *
+ *  - the sender (core 0) dirties d lines mapping to an agreed LLC set
+ *    (d encodes the symbol, as in Algorithm 1);
+ *  - the receiver (core 1) times a pointer-chased traversal of an
+ *    LLC-sized replacement set mapping to the same LLC set
+ *    (Algorithm 2 at LLC granularity, two sets used alternately);
+ *  - each receiver fill that evicts an LLC line whose data is dirty —
+ *    in the LLC itself or, via inclusive back-invalidation, in the
+ *    sender's private caches — stalls for the DRAM drain
+ *    (LatencyModel::llcDirtyEvictPenalty), so the traversal latency
+ *    grows by roughly d penalties, exactly like the paper's L1 channel
+ *    grows by d write-back penalties.
+ *
+ * On a non-inclusive LLC (xeonE5-2650-2core) the receiver's evictions
+ * never reach the sender's private dirty lines and the channel closes
+ * — the contrast examples/platform_sweep.cpp prints.
+ */
+
+#ifndef WB_CHAN_CROSS_CORE_HH
+#define WB_CHAN_CROSS_CORE_HH
+
+#include <string>
+
+#include "chan/calibration.hh"
+#include "chan/channel.hh"
+#include "chan/protocol.hh"
+#include "sim/multicore.hh"
+#include "sim/noise_model.hh"
+#include "sim/platform.hh"
+
+namespace wb::chan
+{
+
+/** Cross-core transmission experiment configuration. */
+struct CrossCoreChannelConfig
+{
+    /** Registry preset this config was built from (see usePlatform). */
+    std::string platformName = "desktop-inclusive-4core";
+    sim::HierarchyParams platform;
+    sim::NoiseModel noise;
+
+    /** Cores the MultiCoreSystem instantiates (>= 2). */
+    unsigned cores = 4;
+
+    unsigned senderCore = 0;   //!< core the sender is pinned to
+    unsigned receiverCore = 1; //!< core the receiver is pinned to
+
+    /** Pacing/encoding/framing. targetSet is ignored (LLC set used). */
+    ProtocolConfig protocol;
+
+    /** Agreed LLC set index both parties derive from their vaddrs. */
+    unsigned targetLlcSet = 37;
+
+    /**
+     * Lines per receiver replacement set; 0 resolves to
+     * llc.ways + 2, enough to replace the whole LLC set per sweep.
+     */
+    unsigned replacementSize = 0;
+
+    CalibrationConfig calibration; //!< measurements/discard reused
+    std::uint64_t seed = 1;
+
+    unsigned senderStartSlots = 8; //!< sender launch delay in slots
+    unsigned sampleMargin = 96;    //!< extra receiver samples
+
+    CrossCoreChannelConfig()
+    {
+        platform = sim::platform(platformName).params;
+        noise = sim::platform(platformName).noise;
+        // An LLC-set sweep is ~llc.ways DRAM misses, far slower than
+        // the L1 channel's 10-line chase: slots are paced wider.
+        protocol.ts = protocol.tr = 12000;
+        protocol.frames = 8;
+        protocol.encoding = Encoding::binary(4);
+        calibration.measurements = 80;
+    }
+
+    /**
+     * Reconfigure for a named registry preset: hierarchy parameters,
+     * noise model and core count (at least 2 — a cross-core channel
+     * needs a sender core and a receiver core even on single-core
+     * presets). Fatal on an unknown name. @return *this.
+     */
+    CrossCoreChannelConfig &
+    usePlatform(const std::string &name)
+    {
+        const sim::Platform &p = sim::platform(name);
+        platformName = p.name;
+        platform = p.params;
+        noise = p.noise;
+        cores = std::max(2u, p.cores);
+        return *this;
+    }
+};
+
+/**
+ * Run one complete cross-core transmission experiment: offline
+ * calibration of the receiver's LLC-sweep classifier, then the live
+ * protocol on per-core SmtCore front-ends interleaved in global time
+ * order, then decode. Reports the same ChannelResult as the same-core
+ * runner, with sender/receiver counters taken from their cores.
+ */
+ChannelResult runCrossCoreChannel(const CrossCoreChannelConfig &cfg);
+
+} // namespace wb::chan
+
+#endif // WB_CHAN_CROSS_CORE_HH

@@ -150,4 +150,19 @@ decodeTransmission(const std::vector<double> &latencies,
     return scoreFrames(bits, frame, framesExpected);
 }
 
+TransmissionSchedule
+transmissionSchedule(std::size_t slots, Cycles ts,
+                     unsigned senderStartSlots, unsigned sampleMargin)
+{
+    TransmissionSchedule s;
+    s.senderStart = static_cast<Cycles>(senderStartSlots) * ts;
+    s.sampleCount = slots + senderStartSlots + sampleMargin;
+    // Slack per slot (+50 cycles) absorbs spin overshoot drift, the
+    // +8 slots and flat tail absorb the receiver's warm-up and the
+    // final partially-observed slots.
+    s.horizon = s.senderStart +
+                static_cast<Cycles>(slots + 8) * (ts + 50) + 200000;
+    return s;
+}
+
 } // namespace wb::chan

@@ -100,6 +100,30 @@ DecodeResult decodeTransmission(const std::vector<double> &latencies,
 std::vector<unsigned> frameToLevels(const BitVec &frame,
                                     const Encoding &encoding);
 
+/**
+ * The run bookkeeping every transmission runner (same-core and
+ * cross-core WB channel, every baseline) derives from its slot
+ * count: when the sender launches, how many observations the
+ * receiver records, and how long the platform must run.
+ */
+struct TransmissionSchedule
+{
+    Cycles senderStart = 0;      //!< sender thread start time
+    std::size_t sampleCount = 0; //!< receiver observations to record
+    Cycles horizon = 0;          //!< simulation end time
+};
+
+/**
+ * Compute the schedule for a transmission of @p slots sender slots
+ * of period @p ts.
+ *
+ * @param senderStartSlots sender launch delay, in slots
+ * @param sampleMargin extra receiver samples beyond the slot count
+ */
+TransmissionSchedule transmissionSchedule(std::size_t slots, Cycles ts,
+                                          unsigned senderStartSlots,
+                                          unsigned sampleMargin);
+
 } // namespace wb::chan
 
 #endif // WB_CHAN_PROTOCOL_HH

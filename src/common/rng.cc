@@ -28,9 +28,17 @@ rotl(std::uint64_t x, int k)
 
 Rng::Rng(std::uint64_t seed)
 {
+    reseed(seed);
+}
+
+void
+Rng::reseed(std::uint64_t seed)
+{
     std::uint64_t s = seed;
     for (auto &word : state_)
         word = splitMix64(s);
+    hasSpare_ = false;
+    spare_ = 0.0;
 }
 
 std::uint64_t

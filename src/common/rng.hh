@@ -29,6 +29,35 @@ class Rng
     /** Construct from a 64-bit seed, expanded via SplitMix64. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+    /**
+     * Restart the generator stream from @p seed: the core state is
+     * re-expanded via SplitMix64 and gaussian()'s Marsaglia spare is
+     * dropped, exactly as a freshly constructed Rng(seed). Sweep
+     * harnesses reseed between repetitions for bit-exact
+     * reproducibility without re-wiring the Rng* a hierarchy holds.
+     *
+     * The gaussianCached() block is NOT dropped here: it is a
+     * prefetch owned by the hot-path consumer, and the consumer's
+     * reset (Hierarchy::resetAll() / MultiCoreSystem::resetAll())
+     * discards it. Callers using gaussianCached() directly must pair
+     * reseed() with discardCachedDeviates() themselves.
+     */
+    void reseed(std::uint64_t seed);
+
+    /**
+     * Drop the precomputed gaussianCached() block, so the next draw
+     * refills from the generator's current stream position. Without
+     * this, a reseeded sweep would first consume stale deviates
+     * computed from the previous run's stream — the reason
+     * Hierarchy::resetAll()/MultiCoreSystem::resetAll() call it.
+     */
+    void
+    discardCachedDeviates()
+    {
+        gaussPos_ = 0;
+        gaussFill_ = 0;
+    }
+
     /** Next raw 64-bit value. */
     std::uint64_t next();
 

@@ -8,6 +8,7 @@
 #include "chan/set_mapping.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "sim/multicore.hh"
 
 namespace wb::sidechan
 {
@@ -23,7 +24,7 @@ constexpr double victimCallSigma = 10.0;
 /** The attacker's working state for one experiment. */
 struct AttackerCtx
 {
-    sim::Hierarchy &hierarchy;
+    sim::MemorySystem &mem;
     sim::AddressSpace space;
     sim::NoiseModel noise;
     std::vector<Addr> dirtyLines;   //!< attacker lines it can dirty
@@ -40,7 +41,7 @@ struct AttackerCtx
         chase.reshuffle(rng);
         useA = !useA;
         double lat = chan::measureChaseOffline(
-            hierarchy, attackerTid, space, chase.order(), noise);
+            mem, attackerTid, space, chase.order(), noise);
         if (noise.measBaseSigma > 0.0)
             lat += rng.gaussian(0.0, noise.measBaseSigma);
         return lat;
@@ -52,8 +53,8 @@ struct AttackerCtx
     {
         const std::size_t n =
             std::min<std::size_t>(d, dirtyLines.size());
-        hierarchy.accessBatch(attackerTid, space, dirtyLines.data(), n,
-                              /*isWrite=*/true);
+        mem.accessBatch(attackerTid, space, dirtyLines.data(), n,
+                        /*isWrite=*/true);
     }
 };
 
@@ -63,29 +64,60 @@ AttackResult
 runAttack(const AttackConfig &cfg)
 {
     Rng rng(cfg.seed);
-    sim::Hierarchy hierarchy(cfg.platform, &rng);
-    const auto &layout = hierarchy.l1().layout();
-    const unsigned ways = cfg.platform.l1.ways;
+
+    // Same-core: attacker and victim share one Hierarchy and contend
+    // on an L1 set. Cross-core: the victim runs on core 0 and the
+    // attacker on core 1 of a MultiCoreSystem, contending on a set of
+    // the shared LLC (whose index layout both derive from their
+    // virtual addresses).
+    std::unique_ptr<sim::Hierarchy> hier;
+    std::unique_ptr<sim::MultiCoreSystem> mc;
+    sim::MemorySystem *atkMem = nullptr;
+    sim::MemorySystem *vicMem = nullptr;
+    unsigned ways = cfg.platform.l1.ways;
+    unsigned replacementSize = cfg.replacementSize;
+    if (cfg.crossCore) {
+        mc = std::make_unique<sim::MultiCoreSystem>(
+            cfg.platform, std::max(2u, cfg.cores), &rng);
+        vicMem = &mc->port(0);
+        atkMem = &mc->port(1);
+        ways = cfg.platform.llc.ways;
+        // The probe must be able to replace the whole LLC set.
+        replacementSize = std::max(replacementSize, ways + 2);
+    } else {
+        hier = std::make_unique<sim::Hierarchy>(cfg.platform, &rng);
+        atkMem = hier.get();
+        vicMem = hier.get();
+    }
+    const sim::AddressLayout layout(cfg.crossCore
+                                        ? cfg.platform.llc.numSets()
+                                        : cfg.platform.l1.numSets());
 
     sim::AddressSpace attackerSpace(7);
     sim::AddressSpace victimSpace(8);
 
+    // How many lines a full prime of the contended set takes. The L1
+    // attack fills exactly the W ways; the LLC attack needs the same
+    // slack as the probe (tree-PLRU spares recently-touched victim
+    // lines from an exact-W fill of the larger shared set).
+    const unsigned primeLines = cfg.crossCore ? replacementSize : ways;
+
     AttackerCtx atk{
-        hierarchy,
+        *atkMem,
         attackerSpace,
         cfg.noise,
-        chan::linesForSet(layout, cfg.setM, ways, /*tagBase=*/1),
+        chan::linesForSet(layout, cfg.setM, primeLines, /*tagBase=*/1),
         chan::PointerChase(chan::linesForSet(layout, cfg.setM,
-                                             cfg.replacementSize, 0x100)),
+                                             replacementSize, 0x100)),
         chan::PointerChase(chan::linesForSet(layout, cfg.setM,
-                                             cfg.replacementSize, 0x200)),
+                                             replacementSize, 0x200)),
         true,
         rng,
     };
 
     // Clean-noise lines the attacker uses to prime set n in scenario 3.
     auto cleanLinesN =
-        chan::linesForSet(layout, cfg.setN, ways, /*tagBase=*/0x60);
+        chan::linesForSet(layout, cfg.setN, primeLines, /*tagBase=*/0x60);
 
     // Dedicated set-m pools for self-calibration (never resident in L1
     // right after a prime/probe, so their miss latencies are clean
@@ -98,8 +130,8 @@ runAttack(const AttackConfig &cfg)
     const GadgetKind gadget = cfg.scenario == Scenario::DirtyProbe
                                   ? GadgetKind::StoreBranch
                                   : GadgetKind::LoadBranch;
-    Victim victim(hierarchy, victimSpace, gadget, cfg.setM, cfg.setN,
-                  cfg.serialLines, cfg.noise);
+    Victim victim(*vicMem, layout, victimSpace, gadget, cfg.setM,
+                  cfg.setN, cfg.serialLines, cfg.noise);
 
     // --- Self-calibration: the attacker measures the latency contrast
     // it expects, using only its own lines. ---
@@ -118,26 +150,26 @@ runAttack(const AttackConfig &cfg)
             // secret=0 leaves the full dirty prime intact (the victim
             // touches set n); secret=1 evicts serialLines dirty lines,
             // making the probe cheaper by that many write-backs.
-            atk.dirtyPrime(ways);
+            atk.dirtyPrime(primeLines);
             cal0.add(atk.probe()); // full dirty prime intact
-            atk.dirtyPrime(ways);
+            atk.dirtyPrime(primeLines);
             // Emulate the victim's evictions with clean set-m loads.
-            hierarchy.accessBatch(attackerTid, attackerSpace,
-                                  calPool0.data(), cfg.serialLines,
-                                  /*isWrite=*/false);
+            atkMem->accessBatch(attackerTid, attackerSpace,
+                                calPool0.data(), cfg.serialLines,
+                                /*isWrite=*/false);
             cal1.add(atk.probe());
             break;
           case Scenario::VictimTiming: {
             // Calibrate on the victim-visible latency of touching
             // serialLines lines over a dirty vs clean set.
-            atk.dirtyPrime(ways);
-            const auto b1 = hierarchy.accessBatch(
+            atk.dirtyPrime(primeLines);
+            const auto b1 = atkMem->accessBatch(
                 attackerTid, attackerSpace, calPool1.data(),
                 cfg.serialLines, /*isWrite=*/false);
             cal1.add(static_cast<double>(
                 b1.totalLatency + cfg.noise.opOverhead * b1.accesses));
             atk.probe(); // clean the set again
-            const auto b0 = hierarchy.accessBatch(
+            const auto b0 = atkMem->accessBatch(
                 attackerTid, attackerSpace, calPool0.data(),
                 cfg.serialLines, /*isWrite=*/false);
             cal0.add(static_cast<double>(
@@ -164,14 +196,14 @@ runAttack(const AttackConfig &cfg)
             measured = atk.probe();
             break;
           case Scenario::DirtyPrime:
-            atk.dirtyPrime(ways);
+            atk.dirtyPrime(primeLines);
             victim.run(secret);
             measured = atk.probe();
             break;
           case Scenario::VictimTiming: {
-            atk.dirtyPrime(ways);
-            hierarchy.accessBatch(attackerTid, attackerSpace,
-                                  cleanLinesN, /*isWrite=*/false);
+            atk.dirtyPrime(primeLines);
+            atkMem->accessBatch(attackerTid, attackerSpace, cleanLinesN,
+                                /*isWrite=*/false);
             Cycles vt = victim.run(secret);
             measured = static_cast<double>(vt);
             // Timing a whole function call carries call/ret, pipeline
@@ -213,8 +245,8 @@ recoverKeyDemo(unsigned keyBits, unsigned votes, std::uint64_t seed,
     const unsigned setM = 13;
     const unsigned setN = 21;
 
-    Victim victim(hierarchy, victimSpace, GadgetKind::StoreBranch, setM,
-                  setN, /*serialLines=*/1, noise);
+    Victim victim(hierarchy, layout, victimSpace, GadgetKind::StoreBranch,
+                  setM, setN, /*serialLines=*/1, noise);
 
     AttackerCtx atk{
         hierarchy,

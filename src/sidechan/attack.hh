@@ -49,19 +49,33 @@ struct AttackConfig
     unsigned calibration = 200;   //!< calibration measurements
     std::uint64_t seed = 1;
 
+    /**
+     * Cross-core variant: victim on core 0, attacker on core 1 of a
+     * MultiCoreSystem, with the target sets indexed against the
+     * *shared LLC* layout instead of the L1. The attacker's timed
+     * replacement of LLC set m observes the victim's dirty lines as
+     * inclusive back-invalidation drains — the same three scenarios,
+     * carried across cores. replacementSize resolves to llc.ways + 2
+     * when it would not cover the LLC set.
+     */
+    bool crossCore = false;
+    unsigned cores = 2; //!< cores instantiated when crossCore is set
+
     /** Registry preset this config was built from (see usePlatform). */
     std::string platformName = sim::kDefaultPlatform;
     sim::HierarchyParams platform = sim::xeonE5_2650Params();
     sim::NoiseModel noise;
 
     /**
-     * Reconfigure for a named registry preset (hierarchy parameters +
-     * noise model). Fatal on an unknown name. @return *this.
+     * Reconfigure for a named registry preset: hierarchy parameters,
+     * noise model, and the preset's core count (at least 2, used only
+     * when crossCore is set). Fatal on an unknown name. @return *this.
      */
     AttackConfig &
     usePlatform(const std::string &name)
     {
         sim::applyPlatform(name, platformName, platform, noise);
+        cores = std::max(2u, sim::platform(name).cores);
         return *this;
     }
 };

@@ -6,13 +6,13 @@
 namespace wb::sidechan
 {
 
-Victim::Victim(sim::Hierarchy &hierarchy, sim::AddressSpace space,
-               GadgetKind kind, unsigned setM, unsigned setN,
-               unsigned serialLines, const sim::NoiseModel &noise)
-    : hierarchy_(hierarchy), space_(space), kind_(kind),
+Victim::Victim(sim::MemorySystem &mem, const sim::AddressLayout &layout,
+               sim::AddressSpace space, GadgetKind kind, unsigned setM,
+               unsigned setN, unsigned serialLines,
+               const sim::NoiseModel &noise)
+    : mem_(mem), space_(space), kind_(kind),
       serialLines_(serialLines == 0 ? 1 : serialLines), noise_(noise)
 {
-    const auto &layout = hierarchy.l1().layout();
     linesM_ = chan::linesForSet(layout, setM, serialLines_,
                                 /*tagBase=*/0x40);
     linesN_ = chan::linesForSet(layout, setN, serialLines_,
@@ -24,8 +24,7 @@ Victim::run(bool secret)
 {
     const std::vector<Addr> &lines = secret ? linesM_ : linesN_;
     const bool isWrite = secret && kind_ == GadgetKind::StoreBranch;
-    const auto batch =
-        hierarchy_.accessBatch(tid, space_, lines, isWrite);
+    const auto batch = mem_.accessBatch(tid, space_, lines, isWrite);
     return batch.totalLatency + noise_.opOverhead * batch.accesses;
 }
 

@@ -41,7 +41,12 @@ class Victim
 {
   public:
     /**
-     * @param hierarchy shared platform
+     * @param mem memory system the victim runs against — a Hierarchy
+     *        (same-core attack) or one core's port of a
+     *        MultiCoreSystem (cross-core attack)
+     * @param layout address layout the target sets index into (the L1
+     *        layout for the paper's L1 attack, the LLC layout for the
+     *        cross-core variant)
      * @param space the victim process' address space
      * @param kind which gadget
      * @param setM cache set of the secret=1 branch's line(s)
@@ -49,9 +54,10 @@ class Victim
      * @param serialLines lines touched serially per branch (scenario 3)
      * @param noise noise model (per-op overhead accounting)
      */
-    Victim(sim::Hierarchy &hierarchy, sim::AddressSpace space,
-           GadgetKind kind, unsigned setM, unsigned setN,
-           unsigned serialLines, const sim::NoiseModel &noise);
+    Victim(sim::MemorySystem &mem, const sim::AddressLayout &layout,
+           sim::AddressSpace space, GadgetKind kind, unsigned setM,
+           unsigned setN, unsigned serialLines,
+           const sim::NoiseModel &noise);
 
     /**
      * Execute the gadget once.
@@ -64,7 +70,7 @@ class Victim
     static constexpr ThreadId tid = 3;
 
   private:
-    sim::Hierarchy &hierarchy_;
+    sim::MemorySystem &mem_;
     sim::AddressSpace space_;
     GadgetKind kind_;
     unsigned serialLines_;

@@ -219,6 +219,16 @@ Cache::isDirty(Addr paddr) const
     return idx != npos && (unsigned(flags_[idx]) & FlagDirty) != 0;
 }
 
+bool
+Cache::downgrade(Addr paddr)
+{
+    const std::size_t idx = findIndex(paddr);
+    if (idx == npos || (unsigned(flags_[idx]) & FlagDirty) == 0)
+        return false;
+    flags_[idx] = flagWord(unsigned(flags_[idx]) & ~FlagDirty);
+    return true;
+}
+
 unsigned
 Cache::dirtyCountInSet(unsigned set) const
 {

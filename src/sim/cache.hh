@@ -227,6 +227,14 @@ class Cache
     /** True when @p paddr is cached and dirty. */
     bool isDirty(Addr paddr) const;
 
+    /**
+     * MESI-lite downgrade (M -> S): clear the dirty bit of the line
+     * holding @p paddr, keeping it resident. Used by the multi-core
+     * coherence layer when a remote load snoops a dirty private copy.
+     * @return true when the line was present *and* dirty.
+     */
+    bool downgrade(Addr paddr);
+
     // --- Inline hot-path API (used by Hierarchy's fused access loop;
     // defined below so calls flatten to straight-line code) ---
 
@@ -235,6 +243,17 @@ class Cache
      * semantics as probe() (honors probe isolation for @p tid).
      * @return the hit way, or -1 on miss.
      */
+    /**
+     * Hot-path dirty check of one specific line; the caller just
+     * probed @p way for this set, so no consistency check is needed.
+     */
+    bool
+    lineDirty(unsigned set, unsigned way) const
+    {
+        const std::size_t idx = std::size_t(set) * params_.ways + way;
+        return (unsigned(flags_[idx]) & FlagDirty) != 0;
+    }
+
     int
     probeWay(Addr la, unsigned set, ThreadId tid) const
     {

@@ -36,6 +36,8 @@ PerfCounters::merge(const PerfCounters &other)
     llcMisses += other.llcMisses;
     l1DirtyWritebacks += other.l1DirtyWritebacks;
     flushes += other.flushes;
+    llcDirtyEvictions += other.llcDirtyEvictions;
+    crossCoreSnoops += other.crossCoreSnoops;
     spinLoads += other.spinLoads;
 }
 
@@ -62,6 +64,10 @@ Hierarchy::resetAll()
 {
     reset();
     resetCounters();
+    // A reseeded sweep must not consume deviates precomputed from the
+    // previous run's stream (see Rng::discardCachedDeviates).
+    if (rng_ != nullptr)
+        rng_->discardCachedDeviates();
 }
 
 void

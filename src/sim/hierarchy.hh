@@ -53,6 +53,22 @@ struct LatencyModel
     /** Extra cycles when the L2 fill victim is dirty. */
     Cycles l2DirtyEvictPenalty = 16;
 
+    /**
+     * Extra cycles when an LLC eviction must drain dirty data to DRAM
+     * — either the LLC victim itself is dirty or (inclusive LLC) a
+     * back-invalidated private copy in some core was. Charged by the
+     * multi-core system to the access that forced the eviction; this
+     * is the cross-core observable the shared-LLC WB channel measures.
+     */
+    Cycles llcDirtyEvictPenalty = 24;
+
+    /**
+     * Extra cycles when a load is served by snooping a dirty copy out
+     * of another core's private caches (MESI M->S downgrade with a
+     * write-back into the shared LLC). Multi-core only.
+     */
+    Cycles crossCoreSnoopPenalty = 40;
+
     /** Store completion cost on top of the lookup (store buffer). */
     Cycles storeExtra = 0;
 
@@ -99,6 +115,17 @@ struct PerfCounters
     std::uint64_t llcMisses = 0;
     std::uint64_t l1DirtyWritebacks = 0;
     std::uint64_t flushes = 0;
+
+    /**
+     * LLC evictions (caused by this thread's accesses) that drained
+     * dirty data to DRAM — the victim was dirty in the LLC or, under
+     * an inclusive LLC, a back-invalidated private copy was. Only the
+     * multi-core system charges these today.
+     */
+    std::uint64_t llcDirtyEvictions = 0;
+
+    /** Loads served by downgrading a remote core's dirty copy. */
+    std::uint64_t crossCoreSnoops = 0;
 
     /**
      * L1 loads retired by busy-wait loops (always hits; see
@@ -202,11 +229,63 @@ struct HierarchyParams
 HierarchyParams xeonE5_2650Params();
 
 /**
+ * What a simulated process sees of the memory system: demand
+ * accesses, flushes and perf counters. Implemented by Hierarchy (one
+ * core, three levels) and by MultiCoreSystem's per-core ports
+ * (private L1/L2 over a shared LLC), so SmtCore programs, victims and
+ * offline measurement helpers run unchanged on either topology. The
+ * hot paths keep static types (Hierarchy is final, so direct calls
+ * devirtualize); only the SmtCore front-end dispatches through this
+ * interface.
+ */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /** One demand access (see Hierarchy::access). */
+    virtual AccessResult access(ThreadId tid, Addr paddr,
+                                bool isWrite) = 0;
+
+    /** Batched demand accesses over physical addresses. */
+    virtual BatchAccessResult accessBatch(ThreadId tid, const Addr *paddrs,
+                                          std::size_t n, bool isWrite) = 0;
+
+    /** Batched demand accesses over virtual addresses. */
+    virtual BatchAccessResult accessBatch(ThreadId tid,
+                                          const AddressSpace &space,
+                                          const Addr *vaddrs, std::size_t n,
+                                          bool isWrite) = 0;
+
+    /** clflush (coherent across the whole system). */
+    virtual Cycles flush(ThreadId tid, Addr paddr) = 0;
+
+    /** Counters for one thread (auto-extends). */
+    virtual PerfCounters &counters(ThreadId tid) = 0;
+
+    /** Convenience overload over a vector of physical addresses. */
+    BatchAccessResult
+    accessBatch(ThreadId tid, const std::vector<Addr> &paddrs, bool isWrite)
+    {
+        return accessBatch(tid, paddrs.data(), paddrs.size(), isWrite);
+    }
+
+    /** Convenience overload over a vector of virtual addresses. */
+    BatchAccessResult
+    accessBatch(ThreadId tid, const AddressSpace &space,
+                const std::vector<Addr> &vaddrs, bool isWrite)
+    {
+        return accessBatch(tid, space, vaddrs.data(), vaddrs.size(),
+                           isWrite);
+    }
+};
+
+/**
  * Three cache levels plus DRAM. All state mutation and latency
  * accounting for demand accesses, write-backs, flushes and injected
  * (prefetch) fills goes through this class.
  */
-class Hierarchy
+class Hierarchy final : public MemorySystem
 {
   public:
     /**
@@ -227,7 +306,13 @@ class Hierarchy
     /** Zero all perf counters. */
     void resetCounters();
 
-    /** reset() + resetCounters(): a factory-fresh hierarchy. */
+    /**
+     * reset() + resetCounters(), plus dropping the Rng's cached
+     * deviates (gaussianCached block, Marsaglia spare): a
+     * factory-fresh hierarchy. Repeated sweeps that reseed the shared
+     * Rng between repetitions are bit-reproducible only if leftover
+     * deviates from the previous stream are discarded here.
+     */
     void resetAll();
 
     /**
@@ -237,7 +322,7 @@ class Hierarchy
      * @param paddr physical byte address
      * @param isWrite store (true) or load (false)
      */
-    AccessResult access(ThreadId tid, Addr paddr, bool isWrite);
+    AccessResult access(ThreadId tid, Addr paddr, bool isWrite) override;
 
     /**
      * Drive a whole address list through access() in one call — the
@@ -246,15 +331,7 @@ class Hierarchy
      * results.
      */
     BatchAccessResult accessBatch(ThreadId tid, const Addr *paddrs,
-                                  std::size_t n, bool isWrite);
-
-    /** Convenience overload over a vector of physical addresses. */
-    BatchAccessResult
-    accessBatch(ThreadId tid, const std::vector<Addr> &paddrs,
-                bool isWrite)
-    {
-        return accessBatch(tid, paddrs.data(), paddrs.size(), isWrite);
-    }
+                                  std::size_t n, bool isWrite) override;
 
     /**
      * accessBatch() over virtual addresses: translates each one
@@ -262,22 +339,16 @@ class Hierarchy
      */
     BatchAccessResult accessBatch(ThreadId tid, const AddressSpace &space,
                                   const Addr *vaddrs, std::size_t n,
-                                  bool isWrite);
+                                  bool isWrite) override;
 
-    /** Convenience overload over a vector of virtual addresses. */
-    BatchAccessResult
-    accessBatch(ThreadId tid, const AddressSpace &space,
-                const std::vector<Addr> &vaddrs, bool isWrite)
-    {
-        return accessBatch(tid, space, vaddrs.data(), vaddrs.size(),
-                           isWrite);
-    }
+    /** The base class' vector conveniences stay visible. */
+    using MemorySystem::accessBatch;
 
     /**
      * clflush: drop the line from every level, writing dirty data back
      * to memory. @return cycle cost (depends on presence/dirtiness).
      */
-    Cycles flush(ThreadId tid, Addr paddr);
+    Cycles flush(ThreadId tid, Addr paddr) override;
 
     /**
      * Install a clean line into L1 without touching demand counters or
@@ -294,7 +365,7 @@ class Hierarchy
     Cache &llc() { return llc_; }
 
     /** Counters for one thread (auto-extends). */
-    PerfCounters &counters(ThreadId tid);
+    PerfCounters &counters(ThreadId tid) override;
 
     /** Counters summed over all threads. */
     PerfCounters totalCounters() const;

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Multi-core shared-LLC topology: N cores with private L1/L2 pairs
+ * over one shared last-level cache, with a MESI-lite coherence layer
+ * built on the per-line dirty bits.
+ *
+ * This is the machine the cross-core variants of the WB channel need
+ * (Sec. III generalized beyond the paper's SMT deployment, following
+ * the shared-cache channels of Flushgeist and CacheOut):
+ *
+ *  - a store on core A invalidates the line in every other core's
+ *    privates (the M-state upgrade message);
+ *  - a load on core A that misses its privates while core B holds the
+ *    line dirty snoops B's copy: B is downgraded to clean, the data is
+ *    written back into the shared LLC, and A pays
+ *    LatencyModel::crossCoreSnoopPenalty;
+ *  - with HierarchyParams::inclusiveLlc, an LLC eviction
+ *    back-invalidates the victim in every core's privates; if any
+ *    dropped copy (or the LLC victim itself) was dirty, the data must
+ *    drain to DRAM and the access that forced the eviction pays
+ *    LatencyModel::llcDirtyEvictPenalty — the latency difference a
+ *    cross-core receiver measures.
+ *
+ * Scalar access() and the batched accessBatch() sweeps share one
+ * per-access body, so batched and scalar execution are bit-identical
+ * (tests/test_hierarchy_equivalence.cc, MultiCoreEquivalence).
+ */
+
+#ifndef WB_SIM_MULTICORE_HH
+#define WB_SIM_MULTICORE_HH
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/cache.hh"
+#include "sim/hierarchy.hh"
+
+namespace wb::sim
+{
+
+class MultiCoreSystem;
+
+/**
+ * One core's view of a MultiCoreSystem: the MemorySystem interface
+ * with the core id bound, so SmtCore front-ends, victims and offline
+ * measurement helpers drive a core exactly as they drive a Hierarchy.
+ */
+class CorePort final : public MemorySystem
+{
+  public:
+    AccessResult access(ThreadId tid, Addr paddr, bool isWrite) override;
+    BatchAccessResult accessBatch(ThreadId tid, const Addr *paddrs,
+                                  std::size_t n, bool isWrite) override;
+    BatchAccessResult accessBatch(ThreadId tid, const AddressSpace &space,
+                                  const Addr *vaddrs, std::size_t n,
+                                  bool isWrite) override;
+    using MemorySystem::accessBatch;
+    Cycles flush(ThreadId tid, Addr paddr) override;
+    PerfCounters &counters(ThreadId tid) override;
+
+    /** The core this port is bound to. */
+    unsigned coreId() const { return core_; }
+
+  private:
+    friend class MultiCoreSystem;
+    MultiCoreSystem *sys_ = nullptr;
+    unsigned core_ = 0;
+};
+
+/**
+ * N per-core private L1/L2 pairs over one shared LLC. The latency
+ * model, write-back semantics and noise handling mirror Hierarchy;
+ * the coherence layer (see file comment) is what a single Hierarchy
+ * cannot express. Models write-back, write-allocate cores without the
+ * hierarchy-level defenses (random fill / prefetch guard) — the
+ * constructor is fatal on unsupported parameter combinations.
+ */
+class MultiCoreSystem
+{
+  public:
+    /**
+     * @param params per-core L1/L2 geometry, shared-LLC geometry,
+     *        latency model and inclusiveLlc flag
+     * @param cores number of cores (>= 1)
+     * @param rng randomness for noise and stochastic policies; may be
+     *        nullptr for a fully deterministic system
+     */
+    MultiCoreSystem(const HierarchyParams &params, unsigned cores,
+                    Rng *rng);
+
+    /** Number of cores. */
+    unsigned coreCount() const { return unsigned(cores_.size()); }
+
+    /** The MemorySystem port of one core. */
+    MemorySystem &port(unsigned core);
+
+    /** One demand access issued by @p core. */
+    AccessResult access(unsigned core, ThreadId tid, Addr paddr,
+                        bool isWrite);
+
+    /** Batched demand accesses over physical addresses. */
+    BatchAccessResult accessBatch(unsigned core, ThreadId tid,
+                                  const Addr *paddrs, std::size_t n,
+                                  bool isWrite);
+
+    /** Batched demand accesses over virtual addresses. */
+    BatchAccessResult accessBatch(unsigned core, ThreadId tid,
+                                  const AddressSpace &space,
+                                  const Addr *vaddrs, std::size_t n,
+                                  bool isWrite);
+
+    /** Convenience overload over a vector of physical addresses. */
+    BatchAccessResult
+    accessBatch(unsigned core, ThreadId tid,
+                const std::vector<Addr> &paddrs, bool isWrite)
+    {
+        return accessBatch(core, tid, paddrs.data(), paddrs.size(),
+                           isWrite);
+    }
+
+    /** Convenience overload over a vector of virtual addresses. */
+    BatchAccessResult
+    accessBatch(unsigned core, ThreadId tid, const AddressSpace &space,
+                const std::vector<Addr> &vaddrs, bool isWrite)
+    {
+        return accessBatch(core, tid, space, vaddrs.data(), vaddrs.size(),
+                           isWrite);
+    }
+
+    /**
+     * clflush issued by @p core: coherent — drops the line from every
+     * core's privates and the LLC, writing dirty data back.
+     */
+    Cycles flush(unsigned core, ThreadId tid, Addr paddr);
+
+    /** One core's private L1 (introspection for tests/experiments). */
+    Cache &l1(unsigned core) { return coreRef(core).l1; }
+    /** One core's private L2. */
+    Cache &l2(unsigned core) { return coreRef(core).l2; }
+    /** The shared LLC. */
+    Cache &llc() { return llc_; }
+
+    /** Counters for one hardware thread of one core (auto-extends). */
+    PerfCounters &counters(unsigned core, ThreadId tid);
+
+    /** Counters summed over every core and thread. */
+    PerfCounters totalCounters() const;
+
+    /** Invalidate all cached state in every core and the LLC. */
+    void reset();
+
+    /** Zero all perf counters on every core. */
+    void resetCounters();
+
+    /**
+     * reset() + resetCounters(), plus dropping the Rng's cached
+     * deviates — the same reseed-reproducibility contract as
+     * Hierarchy::resetAll().
+     */
+    void resetAll();
+
+    /** The static configuration. */
+    const HierarchyParams &params() const { return params_; }
+
+  private:
+    struct Core
+    {
+        Core(const CacheParams &l1p, const CacheParams &l2p, Rng *rng)
+            : l1(l1p, rng), l2(l2p, rng), counters(2)
+        {
+        }
+
+        Cache l1;
+        Cache l2;
+        std::vector<PerfCounters> counters;
+        CorePort port;
+    };
+
+    /** Bounds-checked core lookup. */
+    Core &coreRef(unsigned core);
+
+    /** Gaussian measurement noise (same contract as Hierarchy). */
+    Cycles
+    noise()
+    {
+        if (rng_ == nullptr || params_.lat.noiseSigma <= 0.0)
+            return 0;
+        const double n = params_.lat.noiseSigma * rng_->gaussianCached();
+        return n > 0.0 ? static_cast<Cycles>(std::lround(n)) : 0;
+    }
+
+    /**
+     * One demand access: the single body shared by access() and the
+     * accessBatch() loops (bit-exact batched-vs-scalar execution).
+     */
+    AccessResult accessOne(Core &c, unsigned core, ThreadId tid,
+                           Addr paddr, bool isWrite, PerfCounters &ctr);
+
+    /** The L1-miss path: L2 -> snoop -> LLC -> DRAM, fills, coherence. */
+    AccessResult missPath(Core &c, unsigned core, ThreadId tid, Addr paddr,
+                          bool isWrite, PerfCounters &ctr);
+
+    /** Shared aggregation loop behind the accessBatch() overloads. */
+    template <typename AddrAt>
+    BatchAccessResult accessBatchImpl(unsigned core, ThreadId tid,
+                                      std::size_t n, bool isWrite,
+                                      AddrAt addrAt);
+
+    /**
+     * MESI upgrade: drop the line from every core's privates except
+     * @p core (a store is about to own it in M state).
+     */
+    void invalidateRemote(unsigned core, Addr paddr);
+
+    /**
+     * MESI snoop for a load miss: if any other core holds the line
+     * dirty, downgrade it to clean and write the data back into the
+     * shared LLC. @return true when a dirty remote copy was found.
+     * @p drainExtra accumulates dirty-eviction penalties charged by
+     * the LLC write-back this snoop may trigger.
+     */
+    bool snoopRemoteDirty(unsigned core, Addr paddr, PerfCounters &ctr,
+                          Cycles &drainExtra);
+
+    /**
+     * Install a line into the shared LLC. An eviction back-invalidates
+     * the victim in every core's privates when inclusiveLlc is set; if
+     * the LLC victim or any dropped private copy was dirty, the drain
+     * penalty is added to @p drainExtra and counted in @p ctr (the
+     * access that forced the eviction pays — the cross-core signal).
+     */
+    void llcFillShared(Addr paddr, unsigned core, bool asDirty,
+                       bool checkResident, PerfCounters &ctr,
+                       Cycles &drainExtra);
+
+    /**
+     * Write a dirty L1 victim of @p core back into its private L2,
+     * cascading a dirty L2 victim into the shared LLC.
+     */
+    void writebackToL2(Core &c, unsigned core, Addr lineAddr, ThreadId tid,
+                       PerfCounters &ctr, Cycles &drainExtra);
+
+    HierarchyParams params_;
+    Rng *rng_;
+    std::vector<std::unique_ptr<Core>> cores_; //!< stable port addresses
+    Cache llc_;
+};
+
+} // namespace wb::sim
+
+#endif // WB_SIM_MULTICORE_HH

@@ -120,6 +120,32 @@ dawgDefendedPlatform()
     return p;
 }
 
+Platform
+xeon2CorePlatform()
+{
+    Platform p = xeonPlatform();
+    p.name = "xeonE5-2650-2core";
+    p.description = "Two Xeon E5-2650 cores (private L1/L2) over the "
+                    "shared non-inclusive LLC: cross-core dirty state "
+                    "moves only via MESI snoop write-backs, so the "
+                    "shared-LLC eviction channel stays closed";
+    p.cores = 2;
+    return p;
+}
+
+Platform
+desktop4CorePlatform()
+{
+    Platform p = desktopInclusivePlatform();
+    p.name = "desktop-inclusive-4core";
+    p.description = "Four desktop cores over the shared inclusive LLC: "
+                    "an LLC eviction back-invalidates every core's "
+                    "privates, so a receiver on another core observes "
+                    "the sender's dirty lines as write-back drains";
+    p.cores = 4;
+    return p;
+}
+
 /** Registry storage: stable allocations so lookups stay valid. */
 std::vector<std::unique_ptr<Platform>> &
 registry()
@@ -131,6 +157,8 @@ registry()
         v.push_back(
             std::make_unique<Platform>(desktopInclusivePlatform()));
         v.push_back(std::make_unique<Platform>(dawgDefendedPlatform()));
+        v.push_back(std::make_unique<Platform>(xeon2CorePlatform()));
+        v.push_back(std::make_unique<Platform>(desktop4CorePlatform()));
         return v;
     }();
     return platforms;

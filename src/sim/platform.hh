@@ -33,6 +33,15 @@ struct Platform
     std::string description; //!< one-line provenance / calibration note
     HierarchyParams params;  //!< geometry + latency model + defenses
     NoiseModel noise;        //!< scheduling/measurement noise
+
+    /**
+     * Physical cores the preset models. 1 stands the machine up as a
+     * single Hierarchy (the paper's SMT deployment); >1 presets are
+     * meant for MultiCoreSystem: per-core private L1/L2 from `params`
+     * over one shared LLC, with `params.inclusiveLlc` deciding whether
+     * LLC evictions back-invalidate every core's privates.
+     */
+    unsigned cores = 1;
 };
 
 /** Name of the paper's platform, the default everywhere. */

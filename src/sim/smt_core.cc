@@ -7,8 +7,9 @@
 namespace wb::sim
 {
 
-SmtCore::SmtCore(Hierarchy &hierarchy, const NoiseModel &noise, Rng &rng)
-    : hierarchy_(hierarchy), noise_(noise), rng_(rng)
+SmtCore::SmtCore(MemorySystem &mem, const NoiseModel &noise, Rng &rng)
+    : mem_(mem), fastHier_(dynamic_cast<Hierarchy *>(&mem)), noise_(noise),
+      rng_(rng)
 {
 }
 
@@ -33,29 +34,75 @@ SmtCore::quantize(Cycles t) const
 }
 
 Cycles
+SmtCore::nextTime() const
+{
+    Cycles next = noPendingTime;
+    for (const auto &ctx : threads_)
+        if (!ctx.halted && ctx.time < next)
+            next = ctx.time;
+    return next;
+}
+
+Cycles
+SmtCore::maxTime() const
+{
+    Cycles maxTime = 0;
+    for (const auto &ctx : threads_)
+        maxTime = std::max(maxTime, ctx.time);
+    return maxTime;
+}
+
+bool
+SmtCore::stepEarliest(Cycles horizon)
+{
+    // Pick the earliest non-halted thread (ties: lowest id).
+    ThreadId pick = 0;
+    bool found = false;
+    for (ThreadId t = 0; t < threads_.size(); ++t) {
+        if (threads_[t].halted)
+            continue;
+        if (!found || threads_[t].time < threads_[pick].time) {
+            pick = t;
+            found = true;
+        }
+    }
+    if (!found || threads_[pick].time >= horizon)
+        return false;
+    step(threads_[pick], pick);
+    return true;
+}
+
+Cycles
 SmtCore::run(Cycles horizon)
 {
     if (threads_.empty())
         return 0;
+    while (stepEarliest(horizon)) {
+    }
+    return maxTime();
+}
+
+Cycles
+runCores(const std::vector<SmtCore *> &cores, Cycles horizon)
+{
     for (;;) {
-        // Pick the earliest non-halted thread.
-        ThreadId pick = 0;
-        bool found = false;
-        for (ThreadId t = 0; t < threads_.size(); ++t) {
-            if (threads_[t].halted)
-                continue;
-            if (!found || threads_[t].time < threads_[pick].time) {
-                pick = t;
-                found = true;
+        SmtCore *pick = nullptr;
+        Cycles pickTime = SmtCore::noPendingTime;
+        for (SmtCore *core : cores) {
+            const Cycles t = core->nextTime();
+            if (t < pickTime) {
+                pickTime = t;
+                pick = core;
             }
         }
-        if (!found || threads_[pick].time >= horizon)
+        if (pick == nullptr || pickTime >= horizon ||
+            !pick->stepEarliest(horizon)) {
             break;
-        step(threads_[pick], pick);
+        }
     }
     Cycles maxTime = 0;
-    for (const auto &ctx : threads_)
-        maxTime = std::max(maxTime, ctx.time);
+    for (const SmtCore *core : cores)
+        maxTime = std::max(maxTime, core->maxTime());
     return maxTime;
 }
 
@@ -108,7 +155,7 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
       case MemOp::Kind::Store: {
         const bool isWrite = op.kind == MemOp::Kind::Store;
         const Addr paddr = ctx.space.translate(op.vaddr);
-        const AccessResult ar = hierarchy_.access(tid, paddr, isWrite);
+        const AccessResult ar = memAccess(tid, paddr, isWrite);
         Cycles lat = ar.latency + noise_.opOverhead;
         if (op.pipelined && ar.l1Hit)
             lat = noise_.pipelinedHitCost;
@@ -140,8 +187,8 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
         // per-op-sensitive loops (the hit-hit channel's contention
         // hammering) must keep issuing scalar ops.
         const bool isWrite = op.kind == MemOp::Kind::StoreBatch;
-        const BatchAccessResult br = hierarchy_.accessBatch(
-            tid, ctx.space, op.addrs, op.count, isWrite);
+        const BatchAccessResult br =
+            memAccessBatch(tid, ctx.space, op.addrs, op.count, isWrite);
         Cycles lat = br.totalLatency +
                      noise_.opOverhead * static_cast<Cycles>(op.count);
         if (noise_.portContentionProb > 0.0)
@@ -165,7 +212,7 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
       }
       case MemOp::Kind::Flush: {
         const Addr paddr = ctx.space.translate(op.vaddr);
-        const Cycles lat = hierarchy_.flush(tid, paddr) + noise_.opOverhead;
+        const Cycles lat = memFlush(tid, paddr) + noise_.opOverhead;
         ctx.time += lat;
         res.latency = lat;
         break;
@@ -180,9 +227,16 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
         // once per wait. Normally an L1 hit, but a co-runner thrashing
         // the L1 turns these into real misses — which is how a benign
         // co-scheduled workload inflates a spinning process' L1 miss
-        // rate (paper Table VII, "sender & g++").
-        const Addr stackVa = 0xdead0000 + static_cast<Addr>(tid) * 4096;
-        hierarchy_.access(tid, ctx.space.translate(stackVa), false);
+        // rate (paper Table VII, "sender & g++"). The translation is
+        // computed once per thread: the stack line never remaps, and
+        // the shared-segment scan would otherwise run on every spin.
+        if (!ctx.spinStackKnown) {
+            const Addr stackVa =
+                0xdead0000 + static_cast<Addr>(tid) * 4096;
+            ctx.spinStackPaddr = ctx.space.translate(stackVa);
+            ctx.spinStackKnown = true;
+        }
+        memAccess(tid, ctx.spinStackPaddr, false);
 
         Cycles release = std::max(ctx.time, op.until);
         double overshoot = 0.0;
@@ -197,7 +251,7 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
         if (noise_.spinIterCycles > 0) {
             // Credit the busy-wait loop's bookkeeping loads (they all
             // hit L1; see NoiseModel).
-            hierarchy_.counters(tid).spinLoads +=
+            memCounters(tid).spinLoads +=
                 (res.latency / noise_.spinIterCycles) *
                 noise_.spinLoadsPerIter;
         }

@@ -193,16 +193,22 @@ class TraceProgram : public Program
 /**
  * The two-hyper-thread core. Owns thread contexts (program pointer,
  * address space, virtual clock) and executes them in time order.
+ *
+ * The memory backend is any MemorySystem: a single Hierarchy (the
+ * paper's SMT deployment) or one core's port of a MultiCoreSystem.
+ * When the backend is a Hierarchy the per-op calls are devirtualized
+ * through a typed fast path (Hierarchy is final), so the single-core
+ * configurations pay nothing for the indirection.
  */
 class SmtCore
 {
   public:
     /**
-     * @param hierarchy the shared memory hierarchy
+     * @param mem the memory system this core issues into
      * @param noise platform noise model
-     * @param rng run RNG (shared with the hierarchy's noise)
+     * @param rng run RNG (shared with the memory system's noise)
      */
-    SmtCore(Hierarchy &hierarchy, const NoiseModel &noise, Rng &rng);
+    SmtCore(MemorySystem &mem, const NoiseModel &noise, Rng &rng);
 
     /**
      * Register a thread.
@@ -219,6 +225,28 @@ class SmtCore
      * @return the largest thread time reached
      */
     Cycles run(Cycles horizon);
+
+    /**
+     * Execute one op of the earliest non-halted thread, provided its
+     * clock is below @p horizon. @return false when nothing ran
+     * (everything halted or past the horizon). This is the stepping
+     * primitive runCores() uses to interleave several cores'
+     * executions in global time order.
+     */
+    bool stepEarliest(Cycles horizon);
+
+    /**
+     * Virtual time of the next op this core would execute: the
+     * minimum clock over non-halted threads, or noPendingTime when
+     * every thread halted.
+     */
+    Cycles nextTime() const;
+
+    /** Largest thread time reached so far (halted threads included). */
+    Cycles maxTime() const;
+
+    /** nextTime() result when every thread has halted. */
+    static constexpr Cycles noPendingTime = ~Cycles(0);
 
     /** A thread's current virtual time. */
     Cycles threadTime(ThreadId tid) const;
@@ -238,6 +266,14 @@ class SmtCore
         bool halted = false;
         Cycles lastMemOpAt = 0;
         bool everIssuedMem = false;
+
+        /**
+         * Cached physical address of the spin-wait bookkeeping line
+         * (translated once instead of per SpinUntil, which keeps the
+         * shared-segment scan out of the spin hot path).
+         */
+        Addr spinStackPaddr = 0;
+        bool spinStackKnown = false;
     };
 
     /** Execute one op of thread @p tid. */
@@ -253,11 +289,56 @@ class SmtCore
     /** Quantize a cycle count to the TSC granularity. */
     Cycles quantize(Cycles t) const;
 
-    Hierarchy &hierarchy_;
+    // --- Devirtualized backend dispatch: when the backend is the
+    // (final) Hierarchy, per-op calls bind statically; only the
+    // multi-core ports go through the MemorySystem vtable. ---
+
+    AccessResult
+    memAccess(ThreadId tid, Addr paddr, bool isWrite)
+    {
+        return fastHier_ != nullptr
+                   ? fastHier_->access(tid, paddr, isWrite)
+                   : mem_.access(tid, paddr, isWrite);
+    }
+
+    BatchAccessResult
+    memAccessBatch(ThreadId tid, const AddressSpace &space,
+                   const Addr *vaddrs, std::size_t n, bool isWrite)
+    {
+        return fastHier_ != nullptr
+                   ? fastHier_->accessBatch(tid, space, vaddrs, n, isWrite)
+                   : mem_.accessBatch(tid, space, vaddrs, n, isWrite);
+    }
+
+    Cycles
+    memFlush(ThreadId tid, Addr paddr)
+    {
+        return fastHier_ != nullptr ? fastHier_->flush(tid, paddr)
+                                    : mem_.flush(tid, paddr);
+    }
+
+    PerfCounters &
+    memCounters(ThreadId tid)
+    {
+        return fastHier_ != nullptr ? fastHier_->counters(tid)
+                                    : mem_.counters(tid);
+    }
+
+    MemorySystem &mem_;
+    Hierarchy *fastHier_; //!< non-null when mem_ is a Hierarchy
     NoiseModel noise_;
     Rng &rng_;
     std::vector<ThreadCtx> threads_;
 };
+
+/**
+ * Interleave several cores' executions in global earliest-op-first
+ * order until every thread halted or every clock passed @p horizon —
+ * the multi-core generalization of SmtCore::run(). Deterministic:
+ * ties go to the lowest-indexed core, matching the intra-core rule.
+ * @return the largest thread time reached across all cores
+ */
+Cycles runCores(const std::vector<SmtCore *> &cores, Cycles horizon);
 
 } // namespace wb::sim
 

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * End-to-end cross-core experiments (chan/cross_core.hh, the
+ * cross-core sidechan variant, the cross-core Prime+Probe baseline):
+ * the shared inclusive LLC carries the dirty-state signal between
+ * cores, the non-inclusive LLC does not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/prime_probe.hh"
+#include "chan/cross_core.hh"
+#include "sidechan/attack.hh"
+
+namespace wb
+{
+namespace
+{
+
+TEST(CrossCoreChannel, UsePlatformResolvesCores)
+{
+    chan::CrossCoreChannelConfig cfg;
+    cfg.usePlatform("desktop-inclusive-4core");
+    EXPECT_EQ(cfg.cores, 4u);
+    EXPECT_TRUE(cfg.platform.inclusiveLlc);
+    cfg.usePlatform("xeonE5-2650"); // single-core preset: still 2
+    EXPECT_EQ(cfg.cores, 2u);
+}
+
+TEST(CrossCoreChannel, InclusiveLlcCarriesTheChannel)
+{
+    chan::CrossCoreChannelConfig cfg;
+    cfg.usePlatform("desktop-inclusive-4core");
+    cfg.protocol.frames = 2;
+    cfg.seed = 7;
+    const auto res = chan::runCrossCoreChannel(cfg);
+
+    EXPECT_TRUE(res.aligned);
+    EXPECT_LE(res.ber, 0.02);
+    EXPECT_EQ(res.framesScored, 2u);
+
+    // The calibrated signal gap is ~d_max drain penalties.
+    const unsigned top = cfg.protocol.encoding.maxLevel();
+    ASSERT_LT(top, res.calibrationMedians.size());
+    const double gap =
+        res.calibrationMedians[top] - res.calibrationMedians[0];
+    const double perLine =
+        static_cast<double>(cfg.platform.lat.llcDirtyEvictPenalty);
+    EXPECT_GT(gap, perLine * top * 0.6);
+    EXPECT_LT(gap, perLine * top * 1.4);
+
+    // The receiver observed the sender's dirty lines as LLC drains.
+    EXPECT_GT(res.receiverCounters.llcDirtyEvictions, 100u);
+}
+
+TEST(CrossCoreChannel, NonInclusiveLlcClosesTheChannel)
+{
+    chan::CrossCoreChannelConfig cfg;
+    cfg.usePlatform("xeonE5-2650-2core");
+    cfg.protocol.frames = 2;
+    cfg.seed = 7;
+    const auto res = chan::runCrossCoreChannel(cfg);
+
+    // No back-invalidation: the sender's dirty lines stay in its
+    // privates, the receiver's evictions never reach them.
+    const unsigned top = cfg.protocol.encoding.maxLevel();
+    ASSERT_LT(top, res.calibrationMedians.size());
+    const double gap =
+        res.calibrationMedians[top] - res.calibrationMedians[0];
+    EXPECT_LT(gap, 5.0);
+    EXPECT_EQ(res.receiverCounters.llcDirtyEvictions, 0u);
+    EXPECT_GE(res.ber, 0.3);
+}
+
+TEST(CrossCoreAttack, StoreGadgetRecoversSecrets)
+{
+    sidechan::AttackConfig cfg;
+    cfg.usePlatform("desktop-inclusive-4core");
+    cfg.crossCore = true;
+    EXPECT_EQ(cfg.cores, 4u); // adopted from the preset
+    cfg.scenario = sidechan::Scenario::DirtyProbe;
+    cfg.trials = 120;
+    cfg.calibration = 100;
+    cfg.seed = 9;
+    const auto res = sidechan::runAttack(cfg);
+    EXPECT_GE(res.accuracy, 0.95);
+    EXPECT_GT(res.meanLatency1, res.meanLatency0 + 5.0);
+}
+
+TEST(CrossCoreAttack, DirtyPrimeRecoversLoadSecrets)
+{
+    sidechan::AttackConfig cfg;
+    cfg.usePlatform("desktop-inclusive-4core");
+    cfg.crossCore = true;
+    cfg.cores = 4;
+    cfg.scenario = sidechan::Scenario::DirtyPrime;
+    cfg.trials = 120;
+    cfg.calibration = 100;
+    cfg.seed = 9;
+    const auto res = sidechan::runAttack(cfg);
+    EXPECT_GE(res.accuracy, 0.95);
+    // secret=1 evicts dirty prime lines: the probe gets *cheaper*.
+    EXPECT_LT(res.meanLatency1, res.meanLatency0);
+}
+
+TEST(CrossCorePrimeProbe, InclusiveLlcCarriesTheChannel)
+{
+    baselines::BaselineConfig cfg;
+    cfg.usePlatform("desktop-inclusive-4core");
+    cfg.ts = cfg.tr = 12000;
+    cfg.frames = 4;
+    cfg.targetSet = 37;
+    const auto res = baselines::runCrossCorePrimeProbe(cfg, 2, 4);
+    EXPECT_TRUE(res.aligned);
+    EXPECT_LE(res.ber, 0.1);
+}
+
+TEST(CrossCorePrimeProbe, NonInclusiveLlcClosesTheChannel)
+{
+    baselines::BaselineConfig cfg;
+    cfg.usePlatform("xeonE5-2650-2core");
+    cfg.ts = cfg.tr = 12000;
+    cfg.frames = 2;
+    cfg.targetSet = 37;
+    const auto res = baselines::runCrossCorePrimeProbe(cfg, 2, 2);
+    EXPECT_GE(res.ber, 0.3);
+}
+
+} // namespace
+} // namespace wb

@@ -24,6 +24,7 @@
 
 #include "common/rng.hh"
 #include "sim/hierarchy.hh"
+#include "sim/multicore.hh"
 #include "sim/platform.hh"
 
 namespace wb::sim
@@ -218,6 +219,109 @@ gridName(const ::testing::TestParamInfo<
 INSTANTIATE_TEST_SUITE_P(AllPresetsAndDefenses, HierarchyEquivalence,
                          ::testing::ValuesIn(equivalenceGrid()),
                          gridName);
+
+/**
+ * Cross-core batched-vs-scalar equivalence: MultiCoreSystem's
+ * accessBatch() runs the identical accessOne body the scalar access()
+ * runs, per core, including every coherence action (remote
+ * invalidations, snoop downgrades, inclusive back-invalidation) and
+ * the noise draw order. Randomized multi-core, multi-thread streams
+ * concentrated on a handful of shared-LLC sets must be bit-identical
+ * between the two execution styles.
+ */
+class MultiCoreEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>>
+{
+};
+
+TEST_P(MultiCoreEquivalence, BatchedMatchesScalarBitExactly)
+{
+    const auto &[platformName, seed] = GetParam();
+    const Platform &plat = platform(platformName);
+    const unsigned cores = std::max(2u, plat.cores);
+    const std::string label =
+        platformName + "/seed" + std::to_string(seed);
+
+    Rng rngScalar(seed * 6271 + 5);
+    Rng rngBatched(seed * 6271 + 5);
+    MultiCoreSystem scalar(plat.params, cores, &rngScalar);
+    MultiCoreSystem batched(plat.params, cores, &rngBatched);
+
+    // Chunks hop cores and threads, mix loads/stores, and concentrate
+    // on a few LLC sets so coherence actions and LLC evictions fire
+    // constantly (the cross-core channel regime).
+    const AddressLayout llcLayout(plat.params.llc.numSets());
+    Rng stream(seed ^ 0x5eed);
+    for (std::size_t c = 0; c < 300; ++c) {
+        const unsigned core = static_cast<unsigned>(stream.below(cores));
+        const ThreadId tid = static_cast<ThreadId>(stream.below(2));
+        const bool isWrite = stream.chance(0.45);
+        const std::size_t len = 1 + stream.below(24);
+        std::vector<Addr> paddrs;
+        paddrs.reserve(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            const unsigned set = static_cast<unsigned>(stream.below(3)) *
+                                 11 % llcLayout.numSets();
+            const Addr tag = 1 + stream.below(3 * plat.params.llc.ways);
+            paddrs.push_back(llcLayout.compose(set, tag));
+        }
+
+        BatchAccessResult viaScalar;
+        viaScalar.accesses = paddrs.size();
+        for (Addr paddr : paddrs) {
+            const AccessResult r =
+                scalar.access(core, tid, paddr, isWrite);
+            viaScalar.l1Hits += r.l1Hit ? 1 : 0;
+            viaScalar.l1DirtyEvictions += r.l1VictimDirty ? 1 : 0;
+            viaScalar.totalLatency += r.latency;
+        }
+        const BatchAccessResult viaBatch =
+            batched.accessBatch(core, tid, paddrs, isWrite);
+
+        ASSERT_EQ(viaScalar.l1Hits, viaBatch.l1Hits)
+            << label << " chunk " << c;
+        ASSERT_EQ(viaScalar.l1DirtyEvictions, viaBatch.l1DirtyEvictions)
+            << label << " chunk " << c;
+        ASSERT_EQ(viaScalar.totalLatency, viaBatch.totalLatency)
+            << label << " chunk " << c;
+    }
+
+    for (unsigned core = 0; core < cores; ++core) {
+        for (ThreadId tid = 0; tid < 2; ++tid) {
+            expectCountersEqual(
+                scalar.counters(core, tid), batched.counters(core, tid),
+                label + " core " + std::to_string(core) + " tid " +
+                    std::to_string(tid));
+            EXPECT_EQ(scalar.counters(core, tid).llcDirtyEvictions,
+                      batched.counters(core, tid).llcDirtyEvictions)
+                << label << " core " << core;
+            EXPECT_EQ(scalar.counters(core, tid).crossCoreSnoops,
+                      batched.counters(core, tid).crossCoreSnoops)
+                << label << " core " << core;
+        }
+        expectCacheStateEqual(scalar.l1(core), batched.l1(core),
+                              label + " L1 core " + std::to_string(core));
+        expectCacheStateEqual(scalar.l2(core), batched.l2(core),
+                              label + " L2 core " + std::to_string(core));
+    }
+    expectCacheStateEqual(scalar.llc(), batched.llc(), label + " LLC");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiCorePresets, MultiCoreEquivalence,
+    ::testing::Combine(::testing::Values(std::string("xeonE5-2650-2core"),
+                                         std::string(
+                                             "desktop-inclusive-4core")),
+                       ::testing::Values(1ULL, 2ULL)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, std::uint64_t>> &info) {
+        std::string name = std::get<0>(info.param) + "_s" +
+                           std::to_string(std::get<1>(info.param));
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
 
 /** The virtual-address overload translates identically. */
 TEST(HierarchyEquivalence, VirtualAddressOverloadMatches)

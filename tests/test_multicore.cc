@@ -1,0 +1,303 @@
+/**
+ * @file
+ * MultiCoreSystem tests (sim/multicore.hh): MESI-lite coherence on
+ * the dirty bits, inclusive back-invalidation into every core's
+ * privates, the dirty-drain latency signal the cross-core channels
+ * measure, and the resetAll() reseed-reproducibility contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/multicore.hh"
+#include "sim/platform.hh"
+
+namespace wb::sim
+{
+namespace
+{
+
+/** Deterministic (noise-free) parameters with a single-set LLC. */
+HierarchyParams
+tinyLlcParams(bool inclusive)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    hp.inclusiveLlc = inclusive;
+    hp.llc.sizeBytes = hp.llc.ways * lineBytes; // one LLC set
+    return hp;
+}
+
+TEST(MultiCoreSystem, RejectsWriteThroughCores)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.l1.writePolicy = WritePolicy::WriteThrough;
+    hp.l1.allocPolicy = AllocPolicy::NoWriteAllocate;
+    EXPECT_EXIT((MultiCoreSystem(hp, 2, nullptr)),
+                ::testing::ExitedWithCode(1), "write-back");
+}
+
+TEST(MultiCoreSystem, LlcEvictionBackInvalidatesEveryCore)
+{
+    MultiCoreSystem mc(tinyLlcParams(true), /*cores=*/3, nullptr);
+    const AddressLayout llcLayout(mc.llc().numSets());
+
+    // The line becomes resident in cores 0 and 1 (privates + LLC).
+    const Addr first = llcLayout.compose(0, 1);
+    mc.access(0, 0, first, false);
+    mc.access(1, 0, first, false);
+    ASSERT_TRUE(mc.llc().contains(first));
+    ASSERT_TRUE(mc.l1(0).contains(first));
+    ASSERT_TRUE(mc.l1(1).contains(first));
+
+    // Core 2 floods the (single) LLC set until `first` is evicted;
+    // back-invalidation must drop it from *all* cores' privates.
+    const unsigned ways = mc.llc().params().ways;
+    for (Addr t = 2; t <= 2 * ways + 1; ++t)
+        mc.access(2, 0, llcLayout.compose(0, t), false);
+    EXPECT_FALSE(mc.llc().contains(first));
+    for (unsigned core = 0; core < 3; ++core) {
+        EXPECT_FALSE(mc.l1(core).contains(first)) << "core " << core;
+        EXPECT_FALSE(mc.l2(core).contains(first)) << "core " << core;
+    }
+}
+
+TEST(MultiCoreSystem, NonInclusiveLlcEvictionSparesPrivates)
+{
+    MultiCoreSystem mc(tinyLlcParams(false), /*cores=*/2, nullptr);
+    const AddressLayout llcLayout(mc.llc().numSets());
+
+    const Addr first = llcLayout.compose(0, 1);
+    mc.access(0, 0, first, false);
+    ASSERT_TRUE(mc.llc().contains(first));
+
+    const unsigned ways = mc.llc().params().ways;
+    for (Addr t = 2; t <= 2 * ways + 1; ++t)
+        mc.access(1, 0, llcLayout.compose(0, t), false);
+    EXPECT_FALSE(mc.llc().contains(first));
+    // Non-inclusive: core 0's private copy survives the LLC eviction.
+    EXPECT_TRUE(mc.l1(0).contains(first));
+}
+
+TEST(MultiCoreSystem, RemoteStoreInvalidatesCleanCopies)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    MultiCoreSystem mc(hp, 2, nullptr);
+    const Addr a = mc.l1(0).layout().compose(5, 1);
+
+    mc.access(0, 0, a, false); // clean copy in core 0's privates
+    ASSERT_TRUE(mc.l1(0).contains(a));
+
+    mc.access(1, 0, a, true); // core 1 takes M state
+    EXPECT_FALSE(mc.l1(0).contains(a)) << "no invalidation message";
+    EXPECT_FALSE(mc.l2(0).contains(a)) << "no invalidation message";
+    EXPECT_TRUE(mc.l1(1).isDirty(a));
+}
+
+TEST(MultiCoreSystem, StoreHitUpgradeInvalidatesRemotes)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    MultiCoreSystem mc(hp, 2, nullptr);
+    const Addr a = mc.l1(0).layout().compose(5, 1);
+
+    // Both cores hold the line clean (shared).
+    mc.access(0, 0, a, false);
+    mc.access(1, 0, a, false);
+    ASSERT_TRUE(mc.l1(0).contains(a));
+    ASSERT_TRUE(mc.l1(1).contains(a));
+
+    // Core 0's store *hits* its clean L1 copy: the S->M upgrade must
+    // still invalidate core 1's copy.
+    const auto res = mc.access(0, 0, a, true);
+    EXPECT_TRUE(res.l1Hit);
+    EXPECT_TRUE(mc.l1(0).isDirty(a));
+    EXPECT_FALSE(mc.l1(1).contains(a));
+    EXPECT_FALSE(mc.l2(1).contains(a));
+}
+
+TEST(MultiCoreSystem, RemoteLoadDowngradesDirtyCopy)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    MultiCoreSystem mc(hp, 2, nullptr);
+    const Addr a = mc.l1(0).layout().compose(9, 1);
+
+    mc.access(0, 0, a, true); // M in core 0's L1
+    ASSERT_TRUE(mc.l1(0).isDirty(a));
+
+    const auto res = mc.access(1, 0, a, false);
+    EXPECT_EQ(res.servedBy, Level::LLC);
+    // The snoop pays the cross-core penalty on top of the LLC hit.
+    EXPECT_EQ(res.latency, hp.lat.llcHit + hp.lat.crossCoreSnoopPenalty);
+    // Core 0 keeps the line, but clean (M -> S); the dirty data moved
+    // into the shared LLC.
+    EXPECT_TRUE(mc.l1(0).contains(a));
+    EXPECT_FALSE(mc.l1(0).isDirty(a));
+    EXPECT_TRUE(mc.llc().isDirty(a));
+    EXPECT_EQ(mc.counters(1, 0).crossCoreSnoops, 1u);
+}
+
+/**
+ * The cross-core signal: an LLC eviction whose victim is dirty in the
+ * *sender's* privates stalls the *receiver's* access by exactly the
+ * drain penalty. Paired experiment: identical access sequences, the
+ * only difference being whether core 0's line was stored or loaded.
+ */
+TEST(MultiCoreSystem, DirtyDrainPenaltyChargesTheEvictingAccess)
+{
+    const HierarchyParams hp = tinyLlcParams(true);
+    MultiCoreSystem dirty(hp, 2, nullptr);
+    MultiCoreSystem clean(hp, 2, nullptr);
+    const AddressLayout llcLayout(dirty.llc().numSets());
+    const Addr a = llcLayout.compose(0, 1);
+
+    dirty.access(0, 0, a, true); // dirty in core 0's L1
+    clean.access(0, 0, a, false);
+
+    // Core 1 floods the single LLC set with the same line sequence.
+    std::vector<Addr> sweep;
+    const unsigned ways = hp.llc.ways;
+    for (Addr t = 2; t <= 2 * ways + 1; ++t)
+        sweep.push_back(llcLayout.compose(0, t));
+    const auto bDirty = dirty.accessBatch(1, 0, sweep, false);
+    const auto bClean = clean.accessBatch(1, 0, sweep, false);
+
+    // The dirty bit does not influence replacement decisions, so the
+    // two sweeps are identical except for exactly one drain.
+    EXPECT_EQ(bDirty.totalLatency,
+              bClean.totalLatency + hp.lat.llcDirtyEvictPenalty);
+    EXPECT_EQ(dirty.counters(1, 0).llcDirtyEvictions, 1u);
+    EXPECT_EQ(clean.counters(1, 0).llcDirtyEvictions, 0u);
+    // And the sender's dirty line is gone everywhere (drained).
+    EXPECT_FALSE(dirty.l1(0).contains(a));
+    EXPECT_FALSE(dirty.llc().contains(a));
+}
+
+TEST(MultiCoreSystem, FlushIsCoherentAcrossCores)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    MultiCoreSystem mc(hp, 2, nullptr);
+    const Addr a = mc.l1(0).layout().compose(3, 1);
+
+    mc.access(0, 0, a, true);
+    const Cycles cost = mc.flush(1, 0, a); // issued by the *other* core
+    EXPECT_EQ(cost, hp.lat.flushBase + hp.lat.flushPresentExtra +
+                        hp.lat.flushDirtyExtra);
+    EXPECT_FALSE(mc.l1(0).contains(a));
+    EXPECT_FALSE(mc.llc().contains(a));
+}
+
+/** Per-core counters are independent and auto-extend. */
+TEST(MultiCoreSystem, CountersArePerCoreAndThread)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    MultiCoreSystem mc(hp, 2, nullptr);
+    const Addr a = mc.l1(0).layout().compose(1, 1);
+    mc.access(0, 1, a, false);
+    mc.access(1, 0, a, false);
+    EXPECT_EQ(mc.counters(0, 1).loads, 1u);
+    EXPECT_EQ(mc.counters(0, 0).loads, 0u);
+    EXPECT_EQ(mc.counters(1, 0).loads, 1u);
+    EXPECT_EQ(mc.totalCounters().loads, 2u);
+}
+
+/**
+ * Regression (reseed reproducibility): resetAll() must drop the Rng's
+ * prefetched Gaussian block. A sweep that consumed part of a block,
+ * then reseeded the generator and resetAll()-ed the system, must
+ * reproduce its noise draws exactly — stale deviates from the
+ * previous stream would otherwise leak into the repetition.
+ */
+TEST(MultiCoreSystem, ResetAllMakesReseededSweepsReproducible)
+{
+    HierarchyParams hp = xeonE5_2650Params(); // noiseSigma 0.6: noisy
+    Rng rng(7);
+    MultiCoreSystem mc(hp, 2, &rng);
+    const AddressLayout layout(hp.l1.numSets());
+
+    auto sweep = [&]() {
+        std::vector<Cycles> lats;
+        for (Addr t = 1; t <= 100; ++t) // partially drains a block
+            lats.push_back(
+                mc.access(t % 2, 0, layout.compose(2, t), false).latency);
+        return lats;
+    };
+
+    const auto first = sweep();
+    rng.reseed(7);
+    mc.resetAll();
+    const auto second = sweep();
+    EXPECT_EQ(first, second);
+}
+
+/** Same contract on the single-core Hierarchy. */
+TEST(Hierarchy, ResetAllMakesReseededSweepsReproducible)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    Rng rng(7);
+    Hierarchy h(hp, &rng);
+    const AddressLayout layout(hp.l1.numSets());
+
+    auto sweep = [&]() {
+        std::vector<Cycles> lats;
+        for (Addr t = 1; t <= 100; ++t)
+            lats.push_back(h.access(0, layout.compose(2, t), false).latency);
+        return lats;
+    };
+
+    const auto first = sweep();
+    rng.reseed(7);
+    h.resetAll();
+    const auto second = sweep();
+    EXPECT_EQ(first, second);
+}
+
+/** Without resetAll, the stale prefetched deviates diverge the run. */
+TEST(Hierarchy, ReseedAloneIsNotReproducible)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    Rng rng(7);
+    Hierarchy h(hp, &rng);
+    const AddressLayout layout(hp.l1.numSets());
+
+    auto sweep = [&]() {
+        std::vector<Cycles> lats;
+        for (Addr t = 1; t <= 100; ++t)
+            lats.push_back(h.access(0, layout.compose(2, t), false).latency);
+        return lats;
+    };
+
+    const auto first = sweep();
+    rng.reseed(7);
+    h.reset();
+    h.resetCounters(); // everything except the deviate cache
+    const auto second = sweep();
+    EXPECT_NE(first, second)
+        << "expected stale cached deviates to diverge the repetition; "
+           "if this now matches, the resetAll() regression test above "
+           "no longer guards anything";
+}
+
+TEST(MultiCoreSystem, PortForwardsToTheBoundCore)
+{
+    HierarchyParams hp = xeonE5_2650Params();
+    hp.lat.noiseSigma = 0.0;
+    MultiCoreSystem mc(hp, 2, nullptr);
+    const Addr a = mc.l1(0).layout().compose(4, 1);
+
+    MemorySystem &port1 = mc.port(1);
+    port1.access(0, a, true);
+    EXPECT_TRUE(mc.l1(1).isDirty(a));
+    EXPECT_FALSE(mc.l1(0).contains(a));
+    EXPECT_EQ(port1.counters(0).stores, 1u);
+    EXPECT_EQ(mc.counters(1, 0).stores, 1u);
+}
+
+} // namespace
+} // namespace wb::sim

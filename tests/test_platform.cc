@@ -23,15 +23,27 @@ namespace
 TEST(Platform, ShipsTheDocumentedPresets)
 {
     const auto names = platformNames();
-    ASSERT_GE(names.size(), 4u);
+    ASSERT_GE(names.size(), 6u);
     for (const char *expected :
          {"xeonE5-2650", "cortexA53-wt", "desktop-inclusive",
-          "xeonE5-2650-dawg"}) {
+          "xeonE5-2650-dawg", "xeonE5-2650-2core",
+          "desktop-inclusive-4core"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << expected;
     }
     EXPECT_EQ(names.front(), kDefaultPlatform);
+}
+
+TEST(Platform, MultiCorePresetsDeclareTheirTopology)
+{
+    EXPECT_EQ(platform(kDefaultPlatform).cores, 1u);
+    const Platform &xeon2 = platform("xeonE5-2650-2core");
+    EXPECT_EQ(xeon2.cores, 2u);
+    EXPECT_FALSE(xeon2.params.inclusiveLlc); // the Xeon stays exclusive
+    const Platform &desk4 = platform("desktop-inclusive-4core");
+    EXPECT_EQ(desk4.cores, 4u);
+    EXPECT_TRUE(desk4.params.inclusiveLlc);
 }
 
 TEST(Platform, DefaultIsThePaperXeon)

@@ -178,5 +178,38 @@ TEST(Rng, FlipBalance)
     EXPECT_NEAR(heads / 20000.0, 0.5, 0.02);
 }
 
+TEST(Rng, ReseedMatchesFreshConstruction)
+{
+    Rng used(99);
+    for (int i = 0; i < 1000; ++i)
+        used.next();
+    (void)used.gaussian(); // leave a Marsaglia spare behind
+
+    used.reseed(99);
+    Rng fresh(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(used.next(), fresh.next()) << "draw " << i;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(used.gaussian(), fresh.gaussian()) << "gaussian " << i;
+}
+
+TEST(Rng, DiscardCachedDeviatesRefillsFromCurrentStream)
+{
+    // A reseeded generator paired with discardCachedDeviates() must
+    // reproduce the cached-deviate stream of a fresh Rng; without the
+    // discard, stale deviates from before the reseed leak through
+    // (the Hierarchy::resetAll() regression this API exists for).
+    Rng used(7);
+    for (int i = 0; i < 100; ++i)
+        used.gaussianCached(); // consume part of a prefetched block
+
+    used.reseed(7);
+    used.discardCachedDeviates();
+    Rng fresh(7);
+    for (int i = 0; i < 300; ++i)
+        EXPECT_EQ(used.gaussianCached(), fresh.gaussianCached())
+            << "deviate " << i;
+}
+
 } // namespace
 } // namespace wb

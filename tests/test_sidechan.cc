@@ -31,8 +31,8 @@ TEST(Victim, StoreGadgetDirtiesSetM)
     hp.lat.noiseSigma = 0.0;
     sim::Hierarchy h(hp, &rng);
     sim::NoiseModel noise = sim::NoiseModel::quiet();
-    Victim v(h, sim::AddressSpace(8), GadgetKind::StoreBranch, 13, 21,
-             1, noise);
+    Victim v(h, h.l1().layout(), sim::AddressSpace(8),
+             GadgetKind::StoreBranch, 13, 21, 1, noise);
     v.run(true);
     EXPECT_EQ(h.l1().dirtyCountInSet(13), 1u);
     EXPECT_EQ(h.l1().dirtyCountInSet(21), 0u);
@@ -43,8 +43,9 @@ TEST(Victim, StoreGadgetSecretZeroOnlyLoads)
     Rng rng(1);
     auto hp = sim::xeonE5_2650Params();
     sim::Hierarchy h(hp, &rng);
-    Victim v(h, sim::AddressSpace(8), GadgetKind::StoreBranch, 13, 21,
-             1, sim::NoiseModel::quiet());
+    Victim v(h, h.l1().layout(), sim::AddressSpace(8),
+             GadgetKind::StoreBranch, 13, 21, 1,
+             sim::NoiseModel::quiet());
     v.run(false);
     EXPECT_EQ(h.l1().dirtyCountInSet(13), 0u);
     EXPECT_EQ(h.l1().dirtyCountInSet(21), 0u);
@@ -56,7 +57,8 @@ TEST(Victim, LoadGadgetNeverDirties)
     Rng rng(1);
     auto hp = sim::xeonE5_2650Params();
     sim::Hierarchy h(hp, &rng);
-    Victim v(h, sim::AddressSpace(8), GadgetKind::LoadBranch, 13, 21, 2,
+    Victim v(h, h.l1().layout(), sim::AddressSpace(8),
+             GadgetKind::LoadBranch, 13, 21, 2,
              sim::NoiseModel::quiet());
     v.run(true);
     v.run(false);
