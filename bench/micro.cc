@@ -21,6 +21,8 @@
  *   multicore-access miss-heavy sweep through a 2-core shared LLC
  *   channel-frame    one 128-bit frame end to end (ops = bits)
  *   cross-core-frame one cross-core frame on the 4-core desktop
+ *   noise-frame      one frame under the OS-noise scheduler (2 mixed
+ *                    co-runners; ops = bits)
  *   calibration      offline threshold calibration (ops = measurements)
  *   edit-distance    128-bit Wagner-Fischer frame scoring
  *
@@ -490,6 +492,27 @@ benchCrossCoreFrame(double budgetSec)
                    [&]() { (void)chan::runCrossCoreChannel(cfg); });
 }
 
+/**
+ * noise-frame: one single-core frame under the OS-noise scheduler
+ * (two mixed co-runners time-sharing the core, context-switch
+ * pollution) — the Table-VII regime end to end; ops are payload
+ * bits. Tracks the scheduler layer's overhead trajectory.
+ */
+BenchResult
+benchNoiseFrame(double budgetSec)
+{
+    chan::ChannelConfig cfg;
+    cfg.protocol.frames = 1;
+    cfg.calibration.measurements = 20;
+    cfg.seed = 1;
+    cfg.scheduler = platform(kDefaultPlatform).noisePreset;
+    cfg.scheduler.coRunners = SchedulerConfig::mixOf(2);
+    return measure("noise-frame", "scheduler",
+                   "{\"frames\":1,\"coRunners\":2,\"unit\":\"bits\"}",
+                   budgetSec, cfg.protocol.frameBits,
+                   [&]() { (void)chan::runChannel(cfg); });
+}
+
 /** calibration: one offline calibrate() per call; ops = measurements. */
 BenchResult
 benchCalibration(double budgetSec)
@@ -582,6 +605,7 @@ main(int argc, char **argv)
     results.push_back(benchSpinStep(budget));
     results.push_back(benchChannelFrame(budget));
     results.push_back(benchCrossCoreFrame(budget));
+    results.push_back(benchNoiseFrame(budget));
     results.push_back(benchCalibration(budget));
     results.push_back(benchEditDistance(budget));
 

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * OS-noise sweep: the Table-VII-style robustness tables, produced by
+ * the sim::Scheduler subsystem on every platform registry preset.
+ *
+ *   $ ./example_noise_sweep [seeds]
+ *
+ * Three tables:
+ *
+ *  1. Single-core WB channel, BER vs co-runner count. Co-runners
+ *     time-share the channel's physical core in fixed slices with
+ *     context-switch pollution. An idle mix (spinners) leaves the
+ *     channel at 0% BER — the paper's claim that benign co-residency
+ *     does not break the WB channel — while the mixed workloads
+ *     (streaming / pointer-chase / random-store) degrade it
+ *     monotonically as more of them are added.
+ *
+ *  2. Cross-core side-channel attack, accuracy vs migration period:
+ *     every `period` trials the attacker is forcibly migrated to the
+ *     next victim-free core, leaving its warmed private caches
+ *     behind; the first probes after each hop mismeasure, so accuracy
+ *     falls as the period shrinks. Single-core presets run their
+ *     2-core cross-core instantiation, like usePlatform() does.
+ *
+ *  3. Cross-core WB channel, BER vs co-runner count on the multi-core
+ *     presets (co-runners fill the free cores first, then share the
+ *     parties' cores under timeslicing).
+ *
+ * CI uploads this output as the noise-sweep artifact; docs/PERF.md
+ * "Noise robustness" records a reference run.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chan/channel.hh"
+#include "chan/cross_core.hh"
+#include "common/table.hh"
+#include "sidechan/attack.hh"
+#include "sim/platform.hh"
+#include "sim/scheduler.hh"
+
+using namespace wb;
+
+namespace
+{
+
+unsigned gSeeds = 3;
+
+/** Average single-core channel BER over the seed pool. */
+double
+meanChannelBer(const std::string &platformName,
+               const std::vector<sim::CoRunnerKind> &mix)
+{
+    double sum = 0.0;
+    for (unsigned s = 0; s < gSeeds; ++s) {
+        chan::ChannelConfig cfg;
+        cfg.usePlatform(platformName);
+        cfg.noise = sim::NoiseModel::quiet();
+        cfg.platform.lat.noiseSigma = 0.0;
+        cfg.protocol.ts = cfg.protocol.tr = 5500;
+        cfg.protocol.encoding =
+            chan::Encoding::binary(std::min(4u, cfg.platform.l1.ways));
+        cfg.protocol.frames = 3;
+        cfg.calibration.measurements = 60;
+        cfg.seed = 1 + s;
+        cfg.scheduler = sim::platform(platformName).noisePreset;
+        cfg.scheduler.coRunners = mix;
+        sum += chan::runChannel(cfg).ber;
+    }
+    return sum / gSeeds;
+}
+
+/** Average cross-core attack accuracy over the seed pool. */
+double
+meanAttackAccuracy(const std::string &platformName, Cycles migrationPeriod)
+{
+    double sum = 0.0;
+    for (unsigned s = 0; s < gSeeds; ++s) {
+        sidechan::AttackConfig cfg;
+        cfg.usePlatform(platformName);
+        cfg.crossCore = true;
+        cfg.scenario = sidechan::Scenario::DirtyProbe;
+        cfg.trials = 96;
+        cfg.calibration = 80;
+        cfg.seed = 1 + s;
+        cfg.scheduler = sim::platform(platformName).noisePreset;
+        cfg.scheduler.migrationPeriod = migrationPeriod;
+        sum += sidechan::runAttack(cfg).accuracy;
+    }
+    return sum / gSeeds;
+}
+
+/** Average cross-core channel BER over the seed pool. */
+double
+meanCrossCoreBer(const std::string &platformName,
+                 const std::vector<sim::CoRunnerKind> &mix)
+{
+    double sum = 0.0;
+    for (unsigned s = 0; s < gSeeds; ++s) {
+        chan::CrossCoreChannelConfig cfg;
+        cfg.usePlatform(platformName);
+        cfg.protocol.frames = 2;
+        cfg.seed = 1 + s;
+        cfg.scheduler = sim::platform(platformName).noisePreset;
+        cfg.scheduler.coRunners = mix;
+        sum += chan::runCrossCoreChannel(cfg).ber;
+    }
+    return sum / gSeeds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1)
+        gSeeds = std::max(1u, unsigned(std::stoul(argv[1])));
+
+    using sim::CoRunnerKind;
+    using sim::SchedulerConfig;
+
+    // --- Table 1: single-core channel, BER vs co-runner count ---
+    Table t1("Single-core WB channel under OS noise: BER vs co-runners "
+             "(timesliced core sharing + context-switch pollution)");
+    t1.header({"platform", "none", "2 idle", "1 mixed", "2 mixed",
+               "4 mixed"});
+    for (const sim::Platform *p : sim::allPlatforms()) {
+        if (p->cores > 1)
+            continue; // the multi-core presets repeat their base machine
+        t1.row({p->name,
+                Table::pct(meanChannelBer(p->name, {}), 2),
+                Table::pct(meanChannelBer(
+                               p->name, {CoRunnerKind::Idle,
+                                         CoRunnerKind::Idle}),
+                           2),
+                Table::pct(meanChannelBer(p->name,
+                                          SchedulerConfig::mixOf(1)),
+                           2),
+                Table::pct(meanChannelBer(p->name,
+                                          SchedulerConfig::mixOf(2)),
+                           2),
+                Table::pct(meanChannelBer(p->name,
+                                          SchedulerConfig::mixOf(4)),
+                           2)});
+    }
+    t1.note("mixed co-runners cycle streaming -> pointer-chase -> "
+            "random-store -> idle (SchedulerConfig::mixOf).");
+    t1.note("cortexA53-wt (write-through) and xeonE5-2650-dawg "
+            "(partitioned) have no WB channel in any column.");
+    t1.note("seeds averaged per cell: " + std::to_string(gSeeds));
+    t1.print();
+    std::cout << "\n";
+
+    // --- Table 2: cross-core attack, accuracy vs migration period ---
+    Table t2("Cross-core store-gadget attack: accuracy vs attacker "
+             "migration period (trials between forced core hops)");
+    t2.header({"platform", "cores", "pinned", "every 48", "every 12",
+               "every 3"});
+    for (const sim::Platform *p : sim::allPlatforms()) {
+        if (!sim::multiCoreCapable(p->params))
+            continue; // no multi-core machine to migrate across
+        const unsigned cores = std::max(2u, p->cores);
+        t2.row({p->name, std::to_string(cores),
+                Table::pct(meanAttackAccuracy(p->name, 0), 1),
+                Table::pct(meanAttackAccuracy(p->name, 48), 1),
+                Table::pct(meanAttackAccuracy(p->name, 12), 1),
+                Table::pct(meanAttackAccuracy(p->name, 3), 1)});
+    }
+    t2.note("single-core presets run their 2-core cross-core "
+            "instantiation; non-inclusive LLCs have no cross-core "
+            "channel, so those rows sit at coin-flip accuracy.");
+    t2.print();
+    std::cout << "\n";
+
+    // --- Table 3: cross-core channel, BER vs co-runner count ---
+    Table t3("Cross-core WB channel under OS noise: BER vs co-runners "
+             "(multi-core presets; co-runners fill free cores first, "
+             "then share the parties' cores)");
+    t3.header({"platform", "none", "1", "2", "3", "4"});
+    for (const sim::Platform *p : sim::allPlatforms()) {
+        if (p->cores < 2)
+            continue;
+        std::vector<std::string> row{p->name};
+        for (unsigned n : {0u, 1u, 2u, 3u, 4u})
+            row.push_back(Table::pct(
+                meanCrossCoreBer(p->name, SchedulerConfig::mixOf(n)), 2));
+        t3.row(std::move(row));
+    }
+    t3.note("on the 4-core desktop, co-runners 1-2 land on the free "
+            "cores: their shared-LLC traffic is absorbed by the "
+            "multi-level encoding (the paper's noisy-line robustness). "
+            "Co-runner 3 starts time-sharing the sender's core: unlike "
+            "the SMT deployment, cross-core parties cannot co-schedule "
+            "through a deschedule, so the channel collapses.");
+    t3.note("the non-inclusive xeonE5-2650-2core row is the closed "
+            "channel (and its co-runners share party cores "
+            "immediately).");
+    t3.print();
+    return 0;
+}

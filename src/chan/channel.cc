@@ -1,11 +1,13 @@
 #include "chan/channel.hh"
 
 #include <memory>
+#include <optional>
 
 #include "common/log.hh"
 #include "chan/receiver.hh"
 #include "chan/sender.hh"
 #include "chan/set_mapping.hh"
+#include "sim/scheduler.hh"
 #include "sim/smt_core.hh"
 
 namespace wb::chan
@@ -49,22 +51,33 @@ runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
     for (unsigned f = 0; f < proto.frames; ++f)
         dSeq.insert(dSeq.end(), frameLevels.begin(), frameLevels.end());
 
-    // --- Platform ---
+    // --- Platform. Under an active OS-noise config the front-end is
+    // owned by a Scheduler (co-runners, timeslices, pollution); the
+    // inactive default takes the plain path, which the scheduler run
+    // loop degenerates to anyway (CoRunnerIsolation test). ---
     sim::Hierarchy hierarchy(cfg.platform, &runRng);
-    sim::SmtCore core(hierarchy, cfg.noise, runRng);
+    std::optional<sim::Scheduler> sched;
+    std::optional<sim::SmtCore> plainCore;
+    if (cfg.scheduler.active()) {
+        sched.emplace(static_cast<sim::MemorySystem &>(hierarchy),
+                      cfg.noise, runRng, cfg.scheduler, cfg.seed);
+    } else {
+        plainCore.emplace(hierarchy, cfg.noise, runRng);
+    }
+    sim::SmtCore &core = sched ? sched->party(0) : *plainCore;
     const auto &layout = hierarchy.l1().layout();
     const auto sets = makeChannelSets(layout, proto.targetSet,
                                       cfg.platform.l1.ways,
                                       proto.replacementSize);
 
-    const TransmissionSchedule sched = transmissionSchedule(
+    const TransmissionSchedule schedule = transmissionSchedule(
         dSeq.size(), proto.ts, cfg.senderStartSlots, cfg.sampleMargin);
     SenderProgram sender(sets.senderLines, dSeq, proto.ts);
     ReceiverProgram receiver(sets.replacementA, sets.replacementB,
-                             proto.tr, sched.sampleCount);
+                             proto.tr, schedule.sampleCount);
 
-    const ThreadId senderTid =
-        core.addThread(&sender, sim::AddressSpace(1), sched.senderStart);
+    const ThreadId senderTid = core.addThread(&sender, sim::AddressSpace(1),
+                                              schedule.senderStart);
     const ThreadId receiverTid =
         core.addThread(&receiver, sim::AddressSpace(2), 0);
 
@@ -80,7 +93,9 @@ runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
                        sim::AddressSpace(10 + i), /*startTime=*/500 * i);
     }
 
-    const Cycles end = core.run(sched.horizon);
+    const Cycles end =
+        sched ? sched->run(schedule.horizon * sched->horizonStretch())
+              : core.run(schedule.horizon);
 
     // --- Decode ---
     ChannelResult res;
@@ -100,6 +115,8 @@ runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
     res.senderCounters = hierarchy.counters(senderTid);
     res.receiverCounters = hierarchy.counters(receiverTid);
     res.simulatedCycles = end;
+    if (sched)
+        res.schedulerStats = sched->stats();
     return res;
 }
 

@@ -22,6 +22,7 @@
 #include "sim/hierarchy.hh"
 #include "sim/noise_model.hh"
 #include "sim/platform.hh"
+#include "sim/scheduler.hh"
 
 namespace wb::chan
 {
@@ -64,6 +65,16 @@ struct ChannelConfig
     /** Number of co-resident noise processes (Sec. VI experiments). */
     unsigned noiseProcesses = 0;
     NoiseProcessConfig noiseCfg; //!< their behaviour
+
+    /**
+     * OS-noise regime (Table VII): co-runner mix, timeslices with
+     * context-switch pollution, migration. Inactive by default — the
+     * run is then bit-identical to the schedulerless path. Platform
+     * presets carry a tuned default in Platform::noisePreset; opt in
+     * with cfg.scheduler = sim::platform(name).noisePreset (and set
+     * scheduler.coRunners, e.g. via SchedulerConfig::mixOf).
+     */
+    sim::SchedulerConfig scheduler;
 };
 
 /** Everything a transmission experiment produces. */
@@ -86,6 +97,9 @@ struct ChannelResult
     sim::PerfCounters senderCounters;   //!< sender process perf view
     sim::PerfCounters receiverCounters; //!< receiver process perf view
     Cycles simulatedCycles = 0;         //!< wall virtual time
+
+    /** What the OS-noise layer did (zeros when it was inactive). */
+    sim::SchedulerStats schedulerStats;
 };
 
 /** Run one complete covert-channel transmission experiment. */

@@ -1,6 +1,7 @@
 #include "chan/cross_core.hh"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "common/log.hh"
@@ -8,6 +9,7 @@
 #include "chan/receiver.hh"
 #include "chan/sender.hh"
 #include "chan/set_mapping.hh"
+#include "sim/scheduler.hh"
 #include "sim/smt_core.hh"
 
 namespace wb::chan
@@ -166,11 +168,27 @@ runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
     for (unsigned f = 0; f < proto.frames; ++f)
         dSeq.insert(dSeq.end(), frameLevels.begin(), frameLevels.end());
 
-    // --- Platform: one system, one SmtCore front-end per party ---
+    // --- Platform: one system, one SmtCore front-end per party.
+    // Under an active OS-noise config the front-ends come from a
+    // Scheduler (co-runners over the cores, timeslicing, migration of
+    // the receiver); the inactive default keeps the plain runCores
+    // interleave, which the scheduler loop degenerates to anyway. ---
     sim::MultiCoreSystem mc(cfg.platform, cfg.cores, &runRng);
-    sim::SmtCore senderCore(mc.port(cfg.senderCore), cfg.noise, runRng);
-    sim::SmtCore receiverCore(mc.port(cfg.receiverCore), cfg.noise,
+    std::optional<sim::Scheduler> os;
+    std::optional<sim::SmtCore> plainSender;
+    std::optional<sim::SmtCore> plainReceiver;
+    if (cfg.scheduler.active()) {
+        os.emplace(mc, cfg.noise, runRng, cfg.scheduler, cfg.seed);
+    } else {
+        plainSender.emplace(mc.port(cfg.senderCore), cfg.noise, runRng);
+        plainReceiver.emplace(mc.port(cfg.receiverCore), cfg.noise,
                               runRng);
+    }
+    sim::SmtCore &senderCore =
+        os ? os->party(cfg.senderCore) : *plainSender;
+    sim::SmtCore &receiverCore =
+        os ? os->party(cfg.receiverCore, /*migratable=*/true)
+           : *plainReceiver;
 
     const TransmissionSchedule sched = transmissionSchedule(
         dSeq.size(), proto.ts, cfg.senderStartSlots, cfg.sampleMargin);
@@ -184,7 +202,8 @@ runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
         receiverCore.addThread(&receiver, sim::AddressSpace(2), 0);
 
     const Cycles end =
-        sim::runCores({&senderCore, &receiverCore}, sched.horizon);
+        os ? os->run(sched.horizon * os->horizonStretch())
+           : sim::runCores({&senderCore, &receiverCore}, sched.horizon);
 
     // --- Decode ---
     ChannelResult res;
@@ -202,8 +221,18 @@ runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
     res.decodedBits = dec.bitstream;
     res.calibrationMedians = cal.medianByD;
     res.senderCounters = mc.counters(cfg.senderCore, senderTid);
-    res.receiverCounters = mc.counters(cfg.receiverCore, receiverTid);
+    if (os) {
+        // A migrated receiver charged counters on every core it
+        // visited; its scheduler-allocated tid is system-unique, so
+        // the merge picks up only its own accesses.
+        for (unsigned c = 0; c < mc.coreCount(); ++c)
+            res.receiverCounters.merge(mc.counters(c, receiverTid));
+    } else {
+        res.receiverCounters = mc.counters(cfg.receiverCore, receiverTid);
+    }
     res.simulatedCycles = end;
+    if (os)
+        res.schedulerStats = os->stats();
     return res;
 }
 

@@ -71,6 +71,14 @@ struct CrossCoreChannelConfig
     unsigned senderStartSlots = 8; //!< sender launch delay in slots
     unsigned sampleMargin = 96;    //!< extra receiver samples
 
+    /**
+     * OS-noise regime (Table VII): co-runners spread over the cores,
+     * timeslicing where they share a party's core, and — when
+     * migrationPeriod is set — periodic migration of the receiver
+     * front-end to the next party-free core. Inactive by default.
+     */
+    sim::SchedulerConfig scheduler;
+
     CrossCoreChannelConfig()
     {
         platform = sim::platform(platformName).params;

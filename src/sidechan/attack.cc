@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "chan/calibration.hh"
 #include "chan/pointer_chase.hh"
@@ -24,7 +25,7 @@ constexpr double victimCallSigma = 10.0;
 /** The attacker's working state for one experiment. */
 struct AttackerCtx
 {
-    sim::MemorySystem &mem;
+    sim::MemorySystem *mem; //!< rebindable: migration moves the port
     sim::AddressSpace space;
     sim::NoiseModel noise;
     std::vector<Addr> dirtyLines;   //!< attacker lines it can dirty
@@ -41,7 +42,7 @@ struct AttackerCtx
         chase.reshuffle(rng);
         useA = !useA;
         double lat = chan::measureChaseOffline(
-            mem, attackerTid, space, chase.order(), noise);
+            *mem, attackerTid, space, chase.order(), noise);
         if (noise.measBaseSigma > 0.0)
             lat += rng.gaussian(0.0, noise.measBaseSigma);
         return lat;
@@ -53,9 +54,66 @@ struct AttackerCtx
     {
         const std::size_t n =
             std::min<std::size_t>(d, dirtyLines.size());
-        mem.accessBatch(attackerTid, space, dirtyLines.data(), n,
-                        /*isWrite=*/true);
+        mem->accessBatch(attackerTid, space, dirtyLines.data(), n,
+                         /*isWrite=*/true);
     }
+};
+
+/**
+ * Per-trial OS-noise for the offline attack loop: co-runner bursts on
+ * their cores, OS pollution on the attacker's core, and periodic
+ * attacker migration (cross-core). A deterministic re-expression of
+ * the Scheduler's regime at trial granularity.
+ */
+struct TrialNoise
+{
+    TrialNoise(const AttackConfig &cfg, sim::MultiCoreSystem *mc,
+               sim::MemorySystem *fallback)
+        : cfg_(cfg.scheduler), mc_(mc),
+          pollution_(sim::coRunnerSeed(cfg.seed, 0x8000),
+                     AddressSpaceId(200))
+    {
+        for (unsigned i = 0; i < cfg_.coRunners.size(); ++i) {
+            runners_.push_back(std::make_unique<sim::CoRunnerProgram>(
+                cfg_.coRunners[i], cfg_.coRunnerLines, cfg_.coRunnerGap,
+                sim::coRunnerSeed(cfg.seed, i)));
+            // Cross-core: co-runners spread over the cores after the
+            // attacker's (core 1), wrapping onto the parties' cores —
+            // the same progression the Scheduler uses. Same-core:
+            // everything shares the one hierarchy.
+            sim::MemorySystem *m = fallback;
+            if (mc_ != nullptr)
+                m = &mc_->port((2 + i) % mc_->coreCount());
+            runnerMems_.push_back(m);
+            runnerSpaces_.emplace_back(AddressSpaceId(100 + i));
+        }
+    }
+
+    /** Interference between the victim's run and the probe. */
+    void
+    interfere(sim::MemorySystem &attackerMem)
+    {
+        for (unsigned i = 0; i < runners_.size(); ++i) {
+            runners_[i]->burst(*runnerMems_[i],
+                               sim::Scheduler::osTid - 2 - 2 * i,
+                               runnerSpaces_[i]);
+        }
+        // Tick pollution only under co-runner load, mirroring the
+        // Scheduler (which pollutes at context switches, and a core
+        // nobody shares never switches): a migration-only config
+        // measures the pure synchronization cost of migration.
+        if (!runners_.empty()) {
+            pollution_.burst(attackerMem, cfg_.pollutionLines,
+                             cfg_.pollutionStoreFraction);
+        }
+    }
+
+    const sim::SchedulerConfig &cfg_;
+    sim::MultiCoreSystem *mc_;
+    std::vector<std::unique_ptr<sim::CoRunnerProgram>> runners_;
+    std::vector<sim::MemorySystem *> runnerMems_;
+    std::vector<sim::AddressSpace> runnerSpaces_;
+    sim::PollutionStream pollution_;
 };
 
 } // namespace
@@ -103,7 +161,7 @@ runAttack(const AttackConfig &cfg)
     const unsigned primeLines = cfg.crossCore ? replacementSize : ways;
 
     AttackerCtx atk{
-        *atkMem,
+        atkMem,
         attackerSpace,
         cfg.noise,
         chan::linesForSet(layout, cfg.setM, primeLines, /*tagBase=*/1),
@@ -183,20 +241,52 @@ runAttack(const AttackConfig &cfg)
     res.threshold = (cal0.median() + cal1.median()) / 2.0;
     const bool oneIsSlow = cal1.median() >= cal0.median();
 
+    // --- Per-trial OS noise (co-runners, pollution, migration). ---
+    std::optional<TrialNoise> osNoise;
+    if (cfg.scheduler.active())
+        osNoise.emplace(cfg, mc.get(), atkMem);
+    unsigned atkCore = 1; //!< attacker placement (cross-core)
+
     // --- The attack proper. ---
     Samples lat0, lat1;
     unsigned correct = 0;
     for (unsigned t = 0; t < cfg.trials; ++t) {
+        // Mid-trial OS events, applied between the attacker's staging
+        // and its measurement (the window a real attack loop cannot
+        // shield): co-runner bursts and tick pollution every trial,
+        // plus — every migrationPeriod trials — a forced migration of
+        // the attacker to the next victim-free core. The victim keeps
+        // running during the migration gap, so the staged
+        // synchronization window is lost and that trial decays toward
+        // a coin flip; accuracy falls as the period shrinks.
+        const bool migrateNow = cfg.crossCore &&
+                                cfg.scheduler.migrationPeriod != 0 &&
+                                t != 0 &&
+                                t % cfg.scheduler.migrationPeriod == 0;
+        auto midTrial = [&]() {
+            if (migrateNow) {
+                do {
+                    atkCore = (atkCore + 1) % mc->coreCount();
+                } while (atkCore == 0);
+                atkMem = &mc->port(atkCore);
+                atk.mem = atkMem;
+                victim.run(rng.flip()); // the unobserved invocation
+            }
+            if (osNoise)
+                osNoise->interfere(*atkMem);
+        };
         const bool secret = rng.flip();
         double measured = 0.0;
         switch (cfg.scenario) {
           case Scenario::DirtyProbe:
             atk.probe(); // initialization: clean set m
+            midTrial();
             victim.run(secret);
             measured = atk.probe();
             break;
           case Scenario::DirtyPrime:
             atk.dirtyPrime(primeLines);
+            midTrial();
             victim.run(secret);
             measured = atk.probe();
             break;
@@ -204,6 +294,7 @@ runAttack(const AttackConfig &cfg)
             atk.dirtyPrime(primeLines);
             atkMem->accessBatch(attackerTid, attackerSpace, cleanLinesN,
                                 /*isWrite=*/false);
+            midTrial();
             Cycles vt = victim.run(secret);
             measured = static_cast<double>(vt);
             // Timing a whole function call carries call/ret, pipeline
@@ -249,7 +340,7 @@ recoverKeyDemo(unsigned keyBits, unsigned votes, std::uint64_t seed,
                   setM, setN, /*serialLines=*/1, noise);
 
     AttackerCtx atk{
-        hierarchy,
+        &hierarchy,
         attackerSpace,
         noise,
         chan::linesForSet(layout, setM, hp.l1.ways, 1),

@@ -25,6 +25,7 @@
 #include "common/rng.hh"
 #include "sidechan/victim.hh"
 #include "sim/platform.hh"
+#include "sim/scheduler.hh"
 
 namespace wb::sidechan
 {
@@ -65,6 +66,18 @@ struct AttackConfig
     std::string platformName = sim::kDefaultPlatform;
     sim::HierarchyParams platform = sim::xeonE5_2650Params();
     sim::NoiseModel noise;
+
+    /**
+     * OS-noise regime (Table VII) for the attack loop. The attack is
+     * an offline measurement loop (no SMT interleaving), so the
+     * scheduler knobs are applied per trial: each co-runner issues
+     * one burst between the victim's run and the attacker's probe,
+     * the OS pollutes the attacker's core with pollutionLines touches
+     * per trial, and — cross-core only — migrationPeriod counts the
+     * *trials* between forced attacker migrations to the next
+     * victim-free core. Inactive by default.
+     */
+    sim::SchedulerConfig scheduler;
 
     /**
      * Reconfigure for a named registry preset: hierarchy parameters,

@@ -41,6 +41,16 @@ CorePort::counters(ThreadId tid)
 
 // --------------------------------------------------------- MultiCoreSystem
 
+bool
+multiCoreCapable(const HierarchyParams &params)
+{
+    return params.l1.writePolicy == WritePolicy::WriteBack &&
+           params.l1.allocPolicy == AllocPolicy::WriteAllocate &&
+           params.randomFillWindow == 0 &&
+           params.prefetchGuardProb <= 0.0 && !params.llc.probeIsolated &&
+           params.llc.fillMaskPerThread.empty();
+}
+
 MultiCoreSystem::MultiCoreSystem(const HierarchyParams &params,
                                  unsigned cores, Rng *rng)
     : params_(params), rng_(rng), llc_(params.llc, rng)

@@ -44,6 +44,15 @@ namespace wb::sim
 class MultiCoreSystem;
 
 /**
+ * True when @p params describes a machine MultiCoreSystem can stand
+ * up: write-back write-allocate L1s, no hierarchy-level defenses, no
+ * per-thread LLC partitioning (the MultiCoreSystem constructor is
+ * fatal on each of these). Sweeps over the platform registry use this
+ * to skip presets that only exist single-core.
+ */
+bool multiCoreCapable(const HierarchyParams &params);
+
+/**
  * One core's view of a MultiCoreSystem: the MemorySystem interface
  * with the core id bound, so SmtCore front-ends, victims and offline
  * measurement helpers drive a core exactly as they drive a Hierarchy.

@@ -31,6 +31,24 @@ xeonE5_2650Params()
 namespace
 {
 
+/**
+ * Shared shape of every preset's OS-noise default: a timeslice short
+ * enough that simulated transmissions (a few hundred thousand cycles)
+ * see several switches — the compressed-timescale analogue of a
+ * millisecond timer tick — with a modest per-switch pollution burst.
+ */
+SchedulerConfig
+serverNoisePreset()
+{
+    SchedulerConfig s;
+    s.timeslice = 50000;
+    s.pollutionLines = 8;
+    s.pollutionStoreFraction = 0.25;
+    s.coRunnerLines = 192;
+    s.coRunnerGap = 2500;
+    return s;
+}
+
 Platform
 xeonPlatform()
 {
@@ -39,6 +57,7 @@ xeonPlatform()
     p.description = "Intel Xeon E5-2650, the paper's measured machine "
                     "(Table III geometry, Table IV latencies)";
     p.params = xeonE5_2650Params();
+    p.noisePreset = serverNoisePreset();
     return p;
 }
 
@@ -78,6 +97,14 @@ armWriteThroughPlatform()
     // The generic timer is far coarser than rdtscp.
     p.noise.tscReadCost = 20;
     p.noise.tscGranularity = 32;
+
+    // Mobile-class OS: shorter ticks, relatively heavier switch
+    // pollution into the small 4-way L1, smaller co-runner sets.
+    p.noisePreset = serverNoisePreset();
+    p.noisePreset.timeslice = 32000;
+    p.noisePreset.pollutionLines = 12;
+    p.noisePreset.coRunnerLines = 128;
+    p.noisePreset.coRunnerGap = 2000;
     return p;
 }
 
@@ -99,6 +126,13 @@ desktopInclusivePlatform()
     p.params.lat.l2Hit = 12;
     p.params.lat.llcHit = 42;
     p.params.lat.mem = 210;
+
+    // Desktop load: interactive processes switch more often and drag
+    // larger working sets through the inclusive LLC.
+    p.noisePreset = serverNoisePreset();
+    p.noisePreset.timeslice = 40000;
+    p.noisePreset.pollutionLines = 10;
+    p.noisePreset.coRunnerLines = 256;
     return p;
 }
 
@@ -111,6 +145,7 @@ dawgDefendedPlatform()
                     "on the L1D (Sec. VIII defense verdict: effective): "
                     "thread 0/1 each own half the ways, probes isolated";
     p.params = xeonE5_2650Params();
+    p.noisePreset = serverNoisePreset();
     const unsigned ways = p.params.l1.ways;
     p.params.l1.fillMaskPerThread = {
         wayMaskRange(0, ways / 2),

@@ -22,6 +22,7 @@
 
 #include "sim/hierarchy.hh"
 #include "sim/noise_model.hh"
+#include "sim/scheduler.hh"
 
 namespace wb::sim
 {
@@ -42,6 +43,16 @@ struct Platform
      * LLC evictions back-invalidate every core's privates.
      */
     unsigned cores = 1;
+
+    /**
+     * Default OS-noise regime for this machine (timeslice length,
+     * context-switch pollution, co-runner working-set sizing), tuned
+     * per platform. Co-runner list and migration period are left
+     * empty/zero — the *sweep* decides those — and configs do NOT
+     * adopt this automatically on usePlatform(): opt in with
+     * cfg.scheduler = sim::platform(name).noisePreset.
+     */
+    SchedulerConfig noisePreset;
 };
 
 /** Name of the paper's platform, the default everywhere. */

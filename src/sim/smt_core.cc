@@ -7,10 +7,33 @@
 namespace wb::sim
 {
 
-SmtCore::SmtCore(MemorySystem &mem, const NoiseModel &noise, Rng &rng)
-    : mem_(mem), fastHier_(dynamic_cast<Hierarchy *>(&mem)), noise_(noise),
-      rng_(rng)
+SmtCore::SmtCore(MemorySystem &mem, const NoiseModel &noise, Rng &rng,
+                 ThreadId tidBase, ThreadId tidSpan)
+    : mem_(&mem), fastHier_(dynamic_cast<Hierarchy *>(&mem)),
+      noise_(noise), rng_(rng), tidBase_(tidBase), tidSpan_(tidSpan)
 {
+}
+
+void
+SmtCore::rebind(MemorySystem &mem)
+{
+    mem_ = &mem;
+    fastHier_ = dynamic_cast<Hierarchy *>(&mem);
+    for (auto &ctx : threads_)
+        ctx.spinStackKnown = false;
+}
+
+void
+SmtCore::descheduleShift(Cycles from, Cycles resume, Cycles grace)
+{
+    for (auto &ctx : threads_) {
+        if (ctx.halted || ctx.time >= resume)
+            continue;
+        if (ctx.quiescent || ctx.time >= grace) {
+            const Cycles offset = ctx.time > from ? ctx.time - from : 0;
+            ctx.time = resume + offset;
+        }
+    }
 }
 
 ThreadId
@@ -18,12 +41,18 @@ SmtCore::addThread(Program *program, AddressSpace space, Cycles startTime)
 {
     if (program == nullptr)
         panic("SmtCore::addThread: null program");
+    if (tidSpan_ != 0 && threads_.size() >= tidSpan_) {
+        fatalf("SmtCore::addThread: front-end at tid base ", tidBase_,
+               " exceeds its ", tidSpan_,
+               "-thread reservation (next front-end's counters would "
+               "be silently shared)");
+    }
     ThreadCtx ctx;
     ctx.program = program;
     ctx.space = space;
     ctx.time = startTime;
     threads_.push_back(ctx);
-    return static_cast<ThreadId>(threads_.size() - 1);
+    return tidBase_ + static_cast<ThreadId>(threads_.size() - 1);
 }
 
 Cycles
@@ -109,24 +138,24 @@ runCores(const std::vector<SmtCore *> &cores, Cycles horizon)
 Cycles
 SmtCore::threadTime(ThreadId tid) const
 {
-    return threads_.at(tid).time;
+    return threads_.at(tid - tidBase_).time;
 }
 
 bool
 SmtCore::halted(ThreadId tid) const
 {
-    return threads_.at(tid).halted;
+    return threads_.at(tid - tidBase_).halted;
 }
 
 Cycles
-SmtCore::contentionDelay(const ThreadCtx &ctx, ThreadId tid)
+SmtCore::contentionDelay(const ThreadCtx &ctx, ThreadId idx)
 {
     // SMT port contention: if a sibling issued a memory op within the
     // coincidence window, this op (or batch: the burst issues back to
     // back, so the window is evaluated once at issue) may stall.
     Cycles delay = 0;
     for (ThreadId o = 0; o < threads_.size(); ++o) {
-        if (o == tid || !threads_[o].everIssuedMem)
+        if (o == idx || !threads_[o].everIssuedMem)
             continue;
         const Cycles ot = threads_[o].lastMemOpAt;
         const Cycles d = ot > ctx.time ? ot - ctx.time : ctx.time - ot;
@@ -139,8 +168,9 @@ SmtCore::contentionDelay(const ThreadCtx &ctx, ThreadId tid)
 }
 
 void
-SmtCore::step(ThreadCtx &ctx, ThreadId tid)
+SmtCore::step(ThreadCtx &ctx, ThreadId idx)
 {
+    const ThreadId tid = tidBase_ + idx; //!< system-wide hardware tid
     ProcView view(tid, ctx.time, rng_, noise_);
     auto maybeOp = ctx.program->next(view);
     if (!maybeOp || maybeOp->kind == MemOp::Kind::Halt) {
@@ -163,7 +193,7 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
         // Skipped entirely when contention is disabled (quiet noise
         // models) so the per-op sibling scan stays off the hot path.
         if (noise_.portContentionProb > 0.0)
-            lat += contentionDelay(ctx, tid);
+            lat += contentionDelay(ctx, idx);
         if (noise_.preemptProbPerOp > 0.0 &&
             rng_.chance(noise_.preemptProbPerOp)) {
             lat += static_cast<Cycles>(rng_.exponential(noise_.preemptMean));
@@ -192,7 +222,7 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
         Cycles lat = br.totalLatency +
                      noise_.opOverhead * static_cast<Cycles>(op.count);
         if (noise_.portContentionProb > 0.0)
-            lat += contentionDelay(ctx, tid);
+            lat += contentionDelay(ctx, idx);
         if (noise_.preemptProbPerOp > 0.0) {
             // Each element of the burst is individually preemptible,
             // as on the scalar path.
@@ -268,6 +298,8 @@ SmtCore::step(ThreadCtx &ctx, ThreadId tid)
         return;
     }
 
+    ctx.quiescent = op.kind == MemOp::Kind::SpinUntil ||
+                    op.kind == MemOp::Kind::Delay;
     res.tsc = quantize(ctx.time);
     ProcView after(tid, ctx.time, rng_, noise_);
     ctx.program->onResult(op, res, after);

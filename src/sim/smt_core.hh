@@ -207,8 +207,50 @@ class SmtCore
      * @param mem the memory system this core issues into
      * @param noise platform noise model
      * @param rng run RNG (shared with the memory system's noise)
+     * @param tidBase first hardware-thread id this front-end hands
+     *        out. Several front-ends time-sharing one memory system
+     *        (the Scheduler's co-runners) use disjoint bases so their
+     *        perf-counter views stay separate; the default 0 keeps
+     *        the single-front-end behaviour bit-identical.
+     * @param tidSpan thread ids this front-end may occupy starting at
+     *        tidBase; addThread is fatal past it. 0 = unlimited (the
+     *        standalone default). The Scheduler passes its allocation
+     *        stride so a party with too many legacy noise threads
+     *        fails loudly instead of silently sharing a co-runner's
+     *        counter slot.
      */
-    SmtCore(MemorySystem &mem, const NoiseModel &noise, Rng &rng);
+    SmtCore(MemorySystem &mem, const NoiseModel &noise, Rng &rng,
+            ThreadId tidBase = 0, ThreadId tidSpan = 0);
+
+    /**
+     * Re-point this front-end at another memory system — the core
+     * migration primitive. Clears every thread's cached spin-stack
+     * translation (the migrated process faults its bookkeeping line
+     * back in on the new core) and re-resolves the devirtualized
+     * Hierarchy fast path. Thread programs, clocks and ids persist:
+     * the process keeps running, only the machine under it changed.
+     */
+    void rebind(MemorySystem &mem);
+
+    /**
+     * Deschedule this front-end across the window [@p from, @p resume):
+     * every non-halted thread whose clock c lies below @p resume moves
+     * to resume + (c - from), i.e. the whole process group shifts
+     * rigidly, preserving the threads' relative phase (a sender/
+     * receiver pair slips slots together instead of collapsing onto
+     * the same instant and dropping a symbol). Two exceptions keep
+     * the shift honest at the compressed simulated timescale:
+     *
+     *  - a thread whose last op was not a spin-wait or delay is
+     *    mid-burst (e.g. between the two timestamp reads of one
+     *    measurement) and keeps running until it reaches a quiescent
+     *    point, unless its clock already passed @p grace (the overrun
+     *    budget) — on real hardware a tick is ~10^6 cycles and a
+     *    measurement ~10^3, so tick-split measurements are rare, and
+     *    at 50k-cycle simulated slices they would otherwise dominate;
+     *  - threads already at or beyond @p resume are untouched.
+     */
+    void descheduleShift(Cycles from, Cycles resume, Cycles grace);
 
     /**
      * Register a thread.
@@ -268,6 +310,13 @@ class SmtCore
         bool everIssuedMem = false;
 
         /**
+         * True when the last executed op was a spin-wait or delay —
+         * the thread sits between bursts and can be descheduled
+         * without splitting a timed sequence (descheduleShift).
+         */
+        bool quiescent = true;
+
+        /**
          * Cached physical address of the spin-wait bookkeeping line
          * (translated once instead of per SpinUntil, which keeps the
          * shared-segment scan out of the spin hot path).
@@ -276,8 +325,8 @@ class SmtCore
         bool spinStackKnown = false;
     };
 
-    /** Execute one op of thread @p tid. */
-    void step(ThreadCtx &ctx, ThreadId tid);
+    /** Execute one op of the thread with local index @p idx. */
+    void step(ThreadCtx &ctx, ThreadId idx);
 
     /**
      * Stall cycles from SMT port contention for an op (or batch)
@@ -298,7 +347,7 @@ class SmtCore
     {
         return fastHier_ != nullptr
                    ? fastHier_->access(tid, paddr, isWrite)
-                   : mem_.access(tid, paddr, isWrite);
+                   : mem_->access(tid, paddr, isWrite);
     }
 
     BatchAccessResult
@@ -307,27 +356,29 @@ class SmtCore
     {
         return fastHier_ != nullptr
                    ? fastHier_->accessBatch(tid, space, vaddrs, n, isWrite)
-                   : mem_.accessBatch(tid, space, vaddrs, n, isWrite);
+                   : mem_->accessBatch(tid, space, vaddrs, n, isWrite);
     }
 
     Cycles
     memFlush(ThreadId tid, Addr paddr)
     {
         return fastHier_ != nullptr ? fastHier_->flush(tid, paddr)
-                                    : mem_.flush(tid, paddr);
+                                    : mem_->flush(tid, paddr);
     }
 
     PerfCounters &
     memCounters(ThreadId tid)
     {
         return fastHier_ != nullptr ? fastHier_->counters(tid)
-                                    : mem_.counters(tid);
+                                    : mem_->counters(tid);
     }
 
-    MemorySystem &mem_;
+    MemorySystem *mem_;
     Hierarchy *fastHier_; //!< non-null when mem_ is a Hierarchy
     NoiseModel noise_;
     Rng &rng_;
+    ThreadId tidBase_;
+    ThreadId tidSpan_; //!< max threads (0 = unlimited)
     std::vector<ThreadCtx> threads_;
 };
 

@@ -4,6 +4,11 @@
  * programs on the simulated SMT platform, decode quality under quiet
  * and realistic noise, noise-process robustness (paper Fig. 8), and
  * reproducibility.
+ *
+ * Every BER claim is a pooled multi-seed statistical assertion
+ * (tests/stat_assert.hh): the Wilson bound of the error proportion
+ * over >= 16 seeds must clear the threshold, so no expectation rests
+ * on one lucky trajectory.
  */
 
 #include <gtest/gtest.h>
@@ -12,6 +17,7 @@
 #include "chan/receiver.hh"
 #include "chan/sender.hh"
 #include "chan/set_mapping.hh"
+#include "stat_assert.hh"
 
 namespace wb::chan
 {
@@ -30,6 +36,35 @@ quietConfig()
     return cfg;
 }
 
+/**
+ * One run's error proportion: edit errors over the payload bits the
+ * sender transmitted. Frames the decoder failed to locate count as
+ * half wrong — an unlocated frame carries no information, which is
+ * the 50%-BER regime — so a misaligned run cannot shrink the
+ * denominator and quietly pass.
+ */
+test::Proportion
+berProportion(const ChannelConfig &cfg)
+{
+    const ChannelResult res = runChannel(cfg);
+    const double payload = cfg.protocol.frameBits - 16;
+    const double expected = res.framesExpected * payload;
+    const double scored = res.framesScored * payload;
+    return {res.ber * scored + 0.5 * (expected - scored), expected};
+}
+
+/** Sweep a config over seeds, pooling the per-run error proportions. */
+test::ProportionSweep
+berSweep(ChannelConfig cfg, unsigned seeds = test::ProportionSweep::kMinRuns)
+{
+    return test::sweepSeeds(
+        [&cfg](std::uint64_t seed) {
+            cfg.seed = seed;
+            return berProportion(cfg);
+        },
+        seeds);
+}
+
 /** Quiet platform: the channel must be essentially error free. */
 class QuietChannel : public ::testing::TestWithParam<unsigned>
 {
@@ -39,11 +74,11 @@ TEST_P(QuietChannel, ZeroBerAtModerateRate)
 {
     ChannelConfig cfg = quietConfig();
     cfg.protocol.ts = cfg.protocol.tr = 5500;
+    cfg.protocol.frames = 2;
     cfg.protocol.encoding = Encoding::binary(GetParam());
-    auto res = runChannel(cfg);
-    EXPECT_TRUE(res.aligned);
-    EXPECT_EQ(res.framesScored, 4u);
-    EXPECT_DOUBLE_EQ(res.ber, 0.0) << "d=" << GetParam();
+    // 16 seeds x 2 frames x 112 payload bits with zero errors keeps
+    // the Wilson upper bound under ~0.3%.
+    EXPECT_BER_BELOW(berSweep(cfg), 0.005);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllD, QuietChannel,
@@ -56,9 +91,8 @@ TEST(Channel, QuietMultiBitZeroBer)
     cfg.protocol.ts = cfg.protocol.tr = 4000;
     cfg.protocol.encoding = Encoding::paperTwoBit();
     cfg.protocol.frameBits = 256;
-    auto res = runChannel(cfg);
-    EXPECT_TRUE(res.aligned);
-    EXPECT_DOUBLE_EQ(res.ber, 0.0);
+    cfg.protocol.frames = 2;
+    EXPECT_BER_BELOW(berSweep(cfg), 0.005);
 }
 
 TEST(Channel, RealisticNoiseLowRateIsClean)
@@ -66,31 +100,26 @@ TEST(Channel, RealisticNoiseLowRateIsClean)
     ChannelConfig cfg; // default realistic noise
     cfg.protocol.ts = cfg.protocol.tr = 11000; // 200 kbps
     cfg.protocol.encoding = Encoding::binary(4);
-    cfg.protocol.frames = 8;
+    cfg.protocol.frames = 4;
     cfg.calibration.measurements = 100;
-    cfg.seed = 23;
-    auto res = runChannel(cfg);
-    EXPECT_TRUE(res.aligned);
-    EXPECT_LT(res.ber, 0.05); // paper Fig. 6 low-rate band
+    EXPECT_BER_BELOW(berSweep(cfg), 0.05); // paper Fig. 6 low-rate band
 }
 
 TEST(Channel, BerGrowsWithRate)
 {
-    // Average over seeds: BER at 2750 kbps must exceed BER at 400
-    // kbps (paper Fig. 6's monotone trend).
-    double slow = 0, fast = 0;
-    for (std::uint64_t seed : {1, 2, 3}) {
-        ChannelConfig cfg;
-        cfg.protocol.encoding = Encoding::binary(1);
-        cfg.protocol.frames = 10;
-        cfg.calibration.measurements = 100;
-        cfg.seed = seed;
-        cfg.protocol.ts = cfg.protocol.tr = 5500;
-        slow += runChannel(cfg).ber;
-        cfg.protocol.ts = cfg.protocol.tr = 800;
-        fast += runChannel(cfg).ber;
-    }
-    EXPECT_LT(slow, fast);
+    // Pooled over the seed sweep: BER at 2750 kbps must exceed BER at
+    // 400 kbps (paper Fig. 6's monotone trend), by a margin the
+    // confidence intervals cannot bridge.
+    ChannelConfig cfg;
+    cfg.protocol.encoding = Encoding::binary(1);
+    cfg.protocol.frames = 5;
+    cfg.calibration.measurements = 100;
+    cfg.protocol.ts = cfg.protocol.tr = 5500;
+    const auto slow = berSweep(cfg);
+    cfg.protocol.ts = cfg.protocol.tr = 800;
+    const auto fast = berSweep(cfg);
+    EXPECT_LT(slow.ci().hi, fast.ci().lo)
+        << "slow " << slow << " vs fast " << fast;
 }
 
 TEST(Channel, SameSeedReproduces)
@@ -125,13 +154,12 @@ TEST(Channel, CleanNoiseProcessDoesNotBreakWb)
     ChannelConfig cfg = quietConfig();
     cfg.protocol.ts = cfg.protocol.tr = 5500;
     cfg.protocol.encoding = Encoding::binary(1);
+    cfg.protocol.frames = 2;
     cfg.noiseProcesses = 1;
     cfg.noiseCfg.period = 3 * 5500;
     cfg.noiseCfg.burstLines = 1;
     cfg.noiseCfg.storeFraction = 0.0;
-    auto res = runChannel(cfg);
-    EXPECT_TRUE(res.aligned);
-    EXPECT_LT(res.ber, 0.02);
+    EXPECT_BER_BELOW(berSweep(cfg), 0.02);
 }
 
 TEST(Channel, ManyCleanNoisyLinesStillFine)
@@ -141,22 +169,22 @@ TEST(Channel, ManyCleanNoisyLinesStillFine)
     ChannelConfig cfg = quietConfig();
     cfg.protocol.ts = cfg.protocol.tr = 5500;
     cfg.protocol.encoding = Encoding::binary(2);
+    cfg.protocol.frames = 2;
     cfg.noiseProcesses = 1;
     cfg.noiseCfg.period = 2 * 5500;
     cfg.noiseCfg.burstLines = 6;
-    auto res = runChannel(cfg);
-    EXPECT_TRUE(res.aligned);
-    EXPECT_LT(res.ber, 0.05);
+    EXPECT_BER_BELOW(berSweep(cfg), 0.05);
 }
 
 TEST(Channel, DirtyNoiseDoesHurt)
 {
     // The one interference the paper admits: another process *writing*
-    // lines in the target set.
+    // lines in the target set. Pooled over the sweep, the dirty-noise
+    // BER interval must sit clear above the clean one.
     ChannelConfig base = quietConfig();
     base.protocol.ts = base.protocol.tr = 5500;
     base.protocol.encoding = Encoding::binary(1);
-    base.protocol.frames = 6;
+    base.protocol.frames = 3;
 
     ChannelConfig noisy = base;
     noisy.noiseProcesses = 1;
@@ -164,9 +192,10 @@ TEST(Channel, DirtyNoiseDoesHurt)
     noisy.noiseCfg.burstLines = 2;
     noisy.noiseCfg.storeFraction = 1.0;
 
-    auto clean = runChannel(base);
-    auto dirty = runChannel(noisy);
-    EXPECT_GT(dirty.ber, clean.ber + 0.05);
+    const auto clean = berSweep(base);
+    const auto dirty = berSweep(noisy);
+    EXPECT_GT(dirty.ci().lo, clean.ci().hi + 0.05)
+        << "clean " << clean << " vs dirty " << dirty;
 }
 
 TEST(Channel, CountersArePopulated)
@@ -223,15 +252,17 @@ TEST(Channel, WorksOnRandomReplacement)
     // with a bigger margin (the paper suggests d=3, L=12 from gem5;
     // this model's leftover-dirt noise needs the stronger d=8, L=16
     // operating point for a stable channel — see EXPERIMENTS.md).
+    // The old single-seed expectation here was < 0.10; the pooled
+    // 16-seed rate is ~0.106, i.e. that bound only held on its magic
+    // seed. The honest claim: clearly transmitting (far below the
+    // 0.5 of a closed channel), at roughly 11% raw BER.
     ChannelConfig cfg = quietConfig();
     cfg.platform.l1.policy = sim::PolicyKind::RandomIid;
     cfg.protocol.ts = cfg.protocol.tr = 5500;
     cfg.protocol.encoding = Encoding::binary(8);
     cfg.protocol.replacementSize = 16;
-    cfg.protocol.frames = 6;
-    auto res = runChannel(cfg);
-    EXPECT_TRUE(res.aligned);
-    EXPECT_LT(res.ber, 0.10);
+    cfg.protocol.frames = 3;
+    EXPECT_BER_BELOW(berSweep(cfg), 0.15);
 }
 
 /** Direct program-level tests. */

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "sim/hierarchy.hh"
 #include "sim/multicore.hh"
 #include "sim/platform.hh"
+#include "sim/scheduler.hh"
 
 namespace wb::sim
 {
@@ -322,6 +324,151 @@ INSTANTIATE_TEST_SUITE_P(
                 ch = '_';
         return name;
     });
+
+/**
+ * Scheduler-interleaving equivalence: running the identical chunked
+ * workload under the OS-noise Scheduler — with idle co-runners on the
+ * other cores and periodic migration of the party — must be bit-exact
+ * between batched and scalar execution, like MultiCoreEquivalence is
+ * for the bare system. Chunks execute at fixed spin-aligned slots so
+ * the surrounding co-runner/migration events land identically in both
+ * runs; the chunk *interior* is where batched and scalar execution
+ * differ, and where they must not diverge.
+ */
+class SchedulerEquivalence
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    /** Slot pitch between chunks (longer than any chunk's latency). */
+    static constexpr Cycles kSlot = 20'000;
+
+    /** One chunked, spin-paced workload (batched or scalar ops). */
+    class ChunkProgram : public Program
+    {
+      public:
+        ChunkProgram(const std::vector<Chunk> &chunks, bool batched)
+            : chunks_(chunks), batched_(batched)
+        {
+        }
+
+        std::optional<MemOp>
+        next(ProcView &) override
+        {
+            if (chunk_ >= chunks_.size())
+                return std::nullopt;
+            const Chunk &c = chunks_[chunk_];
+            if (spinNext_) {
+                spinNext_ = false;
+                ++chunk_;
+                pos_ = 0;
+                return MemOp::spinUntil(Cycles(chunk_) * kSlot);
+            }
+            if (batched_) {
+                spinNext_ = true;
+                return c.isWrite
+                           ? MemOp::storeBatch(c.paddrs.data(),
+                                               c.paddrs.size())
+                           : MemOp::loadBatch(c.paddrs.data(),
+                                              c.paddrs.size());
+            }
+            const Addr va = c.paddrs[pos_++];
+            if (pos_ >= c.paddrs.size())
+                spinNext_ = true;
+            return c.isWrite ? MemOp::store(va) : MemOp::load(va);
+        }
+
+        void onResult(const MemOp &, const OpResult &, ProcView &) override
+        {
+        }
+
+      private:
+        const std::vector<Chunk> &chunks_;
+        bool batched_;
+        std::size_t chunk_ = 0;
+        std::size_t pos_ = 0;
+        bool spinNext_ = false;
+    };
+
+    /**
+     * Chunks over sets {7, 14, 21, 28}: away from L1 set 0, where
+     * every thread's spin-stack bookkeeping line lives, so co-runner
+     * spins cannot touch replacement state the chunks depend on.
+     */
+    static std::vector<Chunk>
+    makeChunks(std::uint64_t seed, std::size_t count)
+    {
+        Rng rng(seed);
+        std::vector<Chunk> chunks;
+        chunks.reserve(count);
+        for (std::size_t c = 0; c < count; ++c) {
+            Chunk chunk;
+            chunk.isWrite = rng.chance(0.45);
+            const std::size_t len = 1 + rng.below(24);
+            chunk.paddrs.reserve(len);
+            for (std::size_t i = 0; i < len; ++i) {
+                const unsigned set =
+                    7 * (1 + static_cast<unsigned>(rng.below(4)));
+                chunk.paddrs.push_back(
+                    AddressLayout(64).compose(set, 1 + rng.below(24)));
+            }
+            chunks.push_back(std::move(chunk));
+        }
+        return chunks;
+    }
+
+    /** Run one style, returning the system for state comparison. */
+    static std::unique_ptr<MultiCoreSystem>
+    runStyle(const Platform &plat, std::uint64_t seed, bool batched,
+             std::vector<Chunk> &chunks, Rng &rng, Cycles *end)
+    {
+        auto mc = std::make_unique<MultiCoreSystem>(plat.params,
+                                                    plat.cores, &rng);
+        SchedulerConfig cfg;
+        cfg.coRunners = {CoRunnerKind::Idle, CoRunnerKind::Idle};
+        cfg.timeslice = 0; // idle co-runners never slice anyway
+        cfg.migrationPeriod = 4 * kSlot;
+        Scheduler sched(*mc, NoiseModel::quiet(), rng, cfg, seed);
+        SmtCore &fe = sched.party(0, /*migratable=*/true);
+        ChunkProgram prog(chunks, batched);
+        fe.addThread(&prog, AddressSpace(3));
+        *end = sched.run(Cycles(chunks.size() + 2) * kSlot);
+        EXPECT_GE(sched.stats().migrations, 2u);
+        return mc;
+    }
+};
+
+TEST_P(SchedulerEquivalence, BatchedMatchesScalarBitExactly)
+{
+    const std::uint64_t seed = GetParam();
+    const Platform &plat = platform("desktop-inclusive-4core");
+    auto chunks = makeChunks(seed ^ 0xcafe, 24);
+
+    Cycles endScalar = 0, endBatched = 0;
+    Rng rngScalar(seed * 31 + 7), rngBatched(seed * 31 + 7);
+    auto scalar = runStyle(plat, seed, false, chunks, rngScalar,
+                           &endScalar);
+    auto batched = runStyle(plat, seed, true, chunks, rngBatched,
+                            &endBatched);
+
+    const std::string label = "sched/seed" + std::to_string(seed);
+    EXPECT_EQ(endScalar, endBatched) << label;
+    for (unsigned core = 0; core < plat.cores; ++core) {
+        for (ThreadId tid = 0; tid < 2; ++tid) {
+            expectCountersEqual(
+                scalar->counters(core, tid), batched->counters(core, tid),
+                label + " core " + std::to_string(core) + " tid " +
+                    std::to_string(tid));
+        }
+        expectCacheStateEqual(scalar->l1(core), batched->l1(core),
+                              label + " L1 core " + std::to_string(core));
+        expectCacheStateEqual(scalar->l2(core), batched->l2(core),
+                              label + " L2 core " + std::to_string(core));
+    }
+    expectCacheStateEqual(scalar->llc(), batched->llc(), label + " LLC");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerEquivalence,
+                         ::testing::Values(1ULL, 2ULL, 3ULL));
 
 /** The virtual-address overload translates identically. */
 TEST(HierarchyEquivalence, VirtualAddressOverloadMatches)
