@@ -23,6 +23,8 @@
  *   cross-core-frame one cross-core frame on the 4-core desktop
  *   noise-frame      one frame under the OS-noise scheduler (2 mixed
  *                    co-runners; ops = bits)
+ *   transport-frame  one transport session (framing + FrameSync + ARQ
+ *                    + adaptive rate; ops = payload bits)
  *   calibration      offline threshold calibration (ops = measurements)
  *   edit-distance    128-bit Wagner-Fischer frame scoring
  *
@@ -513,6 +515,33 @@ benchNoiseFrame(double budgetSec)
                    [&]() { (void)chan::runChannel(cfg); });
 }
 
+/**
+ * transport-frame: one full transport session (framing, FrameSync,
+ * selective-repeat ARQ, adaptive rate) over the single-core channel on
+ * a quiet platform; ops are delivered payload bits. Tracks the
+ * transport stack's overhead on top of the raw channel path.
+ */
+BenchResult
+benchTransportFrame(double budgetSec)
+{
+    chan::ChannelConfig cfg;
+    cfg.calibration.measurements = 20;
+    cfg.seed = 1;
+    cfg.transport.enabled = true;
+    cfg.transport.layout.seqBits = 4;
+    cfg.transport.layout.payloadBits = 24;
+    cfg.transport.layout.interleaveDepth = 2;
+    cfg.transport.messageFrames = 2;
+    cfg.transport.windowFrames = 2;
+    cfg.transport.maxRounds = 4;
+    const unsigned payloadBits =
+        cfg.transport.messageFrames * cfg.transport.layout.payloadBits;
+    return measure("transport-frame", "transport",
+                   "{\"frames\":2,\"payloadBits\":24,\"unit\":\"bits\"}",
+                   budgetSec, payloadBits,
+                   [&]() { (void)chan::runTransport(cfg); });
+}
+
 /** calibration: one offline calibrate() per call; ops = measurements. */
 BenchResult
 benchCalibration(double budgetSec)
@@ -606,6 +635,7 @@ main(int argc, char **argv)
     results.push_back(benchChannelFrame(budget));
     results.push_back(benchCrossCoreFrame(budget));
     results.push_back(benchNoiseFrame(budget));
+    results.push_back(benchTransportFrame(budget));
     results.push_back(benchCalibration(budget));
     results.push_back(benchEditDistance(budget));
 

@@ -1,0 +1,179 @@
+#include "chan/arq.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace wb::chan
+{
+
+std::uint32_t
+crcOf(const BitVec &bits, unsigned width)
+{
+    std::uint32_t poly, reg;
+    if (width == 8) {
+        poly = 0x07;
+        reg = 0x00;
+    } else if (width == 16) {
+        poly = 0x1021;
+        reg = 0xFFFF;
+    } else {
+        fatalf("crcOf: unsupported CRC width ", width, " (use 8 or 16)");
+        return 0;
+    }
+    const std::uint32_t top = 1u << (width - 1);
+    const std::uint32_t mask = (1u << width) - 1;
+    for (bool bit : bits) {
+        const bool msb = (reg & top) != 0;
+        reg = (reg << 1) & mask;
+        if (msb != bit)
+            reg ^= poly;
+    }
+    return reg;
+}
+
+BitVec
+appendCrc(const BitVec &data, unsigned width)
+{
+    const std::uint32_t crc = crcOf(data, width);
+    BitVec out = data;
+    for (unsigned b = width; b-- > 0;)
+        out.push_back(((crc >> b) & 1u) != 0);
+    return out;
+}
+
+bool
+checkCrc(const BitVec &dataWithCrc, unsigned width)
+{
+    if (dataWithCrc.size() < width)
+        return false;
+    const BitVec data(dataWithCrc.begin(),
+                      dataWithCrc.end() -
+                          static_cast<std::ptrdiff_t>(width));
+    std::uint32_t got = 0;
+    for (std::size_t i = dataWithCrc.size() - width;
+         i < dataWithCrc.size(); ++i)
+        got = (got << 1) | (dataWithCrc[i] ? 1u : 0u);
+    return crcOf(data, width) == got;
+}
+
+std::size_t
+FrameLayout::codedBodyBits() const
+{
+    return HammingCode(interleaveDepth).codedLength(bodyDataBits());
+}
+
+BitVec
+buildTransportFrame(const FrameLayout &layout, unsigned seq,
+                    const BitVec &payload)
+{
+    if (payload.size() != layout.payloadBits)
+        fatalf("buildTransportFrame: payload is ", payload.size(),
+               " bits, layout says ", layout.payloadBits);
+    if (seq >= layout.seqSpace())
+        fatalf("buildTransportFrame: seq ", seq, " exceeds ",
+               layout.seqBits, "-bit space");
+
+    BitVec body = fromUint(seq, layout.seqBits);
+    body.insert(body.end(), payload.begin(), payload.end());
+    body = appendCrc(body, layout.crcWidth);
+
+    BitVec frame = preamble16();
+    const BitVec coded = HammingCode(layout.interleaveDepth).encode(body);
+    frame.insert(frame.end(), coded.begin(), coded.end());
+    // bodyDataBits is a multiple of 4 only by luck; encode() pads, so
+    // the coded length must match the layout's fixed frame size.
+    if (frame.size() != layout.frameBits())
+        fatalf("buildTransportFrame: built ", frame.size(),
+               " bits, layout says ", layout.frameBits());
+    return frame;
+}
+
+ParsedFrame
+parseTransportFrame(const FrameLayout &layout, const BitVec &codedBody)
+{
+    ParsedFrame out;
+    const HammingCode code(layout.interleaveDepth);
+    BitVec body = code.decode(codedBody, &out.fec);
+    // decode() returns the padded data length; trim to the real body.
+    if (body.size() < layout.bodyDataBits())
+        return out; // cut short by the end of the stream: unusable
+    body.resize(layout.bodyDataBits());
+    if (!checkCrc(body, layout.crcWidth))
+        return out;
+    out.crcOk = true;
+    out.seq = static_cast<unsigned>(
+        toUint(BitVec(body.begin(),
+                      body.begin() +
+                          static_cast<std::ptrdiff_t>(layout.seqBits))));
+    out.payload.assign(
+        body.begin() + static_cast<std::ptrdiff_t>(layout.seqBits),
+        body.begin() +
+            static_cast<std::ptrdiff_t>(layout.seqBits +
+                                        layout.payloadBits));
+    return out;
+}
+
+SelectiveRepeatArq::SelectiveRepeatArq(unsigned chunks, unsigned maxRetries)
+    : maxRetries_(maxRetries), state_(chunks, State::Pending),
+      tries_(chunks, 0)
+{
+}
+
+std::vector<unsigned>
+SelectiveRepeatArq::pending() const
+{
+    std::vector<unsigned> out;
+    for (unsigned c = 0; c < state_.size(); ++c)
+        if (state_[c] == State::Pending)
+            out.push_back(c);
+    return out;
+}
+
+void
+SelectiveRepeatArq::onDelivered(unsigned chunk)
+{
+    if (chunk >= state_.size())
+        fatalf("SelectiveRepeatArq::onDelivered: chunk ", chunk,
+               " out of range");
+    if (state_[chunk] != State::Pending)
+        return; // duplicate or late delivery of a failed chunk
+    state_[chunk] = State::Delivered;
+    ++delivered_;
+}
+
+void
+SelectiveRepeatArq::onRoundEnd(const std::vector<unsigned> &sent)
+{
+    for (unsigned chunk : sent) {
+        if (chunk >= state_.size())
+            fatalf("SelectiveRepeatArq::onRoundEnd: chunk ", chunk,
+                   " out of range");
+        ++attempts_;
+        if (tries_[chunk] > 0)
+            ++retransmissions_;
+        ++tries_[chunk];
+        if (state_[chunk] != State::Pending)
+            continue;
+        if (tries_[chunk] > maxRetries_) {
+            state_[chunk] = State::Failed;
+            ++failed_;
+        }
+    }
+}
+
+bool
+SelectiveRepeatArq::done() const
+{
+    return std::none_of(state_.begin(), state_.end(), [](State s) {
+        return s == State::Pending;
+    });
+}
+
+bool
+SelectiveRepeatArq::isDelivered(unsigned chunk) const
+{
+    return chunk < state_.size() && state_[chunk] == State::Delivered;
+}
+
+} // namespace wb::chan

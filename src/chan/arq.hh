@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Reliable framing for the transport layer: CRC-protected,
+ * sequence-numbered frames and selective-repeat ARQ bookkeeping.
+ *
+ * The paper's protocol (Algorithm 3) transmits a fixed frame over and
+ * over and scores whatever arrives; residual errors stay errors. The
+ * transport stack instead splits a message into payload chunks, wraps
+ * each in a frame the receiver can *validate* — sync preamble, sequence
+ * number, payload, CRC, all but the preamble run through the Hamming
+ * FEC — and retransmits the chunks whose frames never validated. ARQ
+ * feedback rides the parties' out-of-band control channel (the same
+ * pre-agreed channel that carries the target-set agreement); only the
+ * forward direction crosses the cache.
+ */
+
+#ifndef WB_CHAN_ARQ_HH
+#define WB_CHAN_ARQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "chan/fec.hh"
+
+namespace wb::chan
+{
+
+/**
+ * CRC over a bit sequence, MSB first. Width 8 uses CRC-8/ATM
+ * (poly 0x07, init 0); width 16 uses CRC-16/CCITT-FALSE (poly 0x1021,
+ * init 0xFFFF).
+ */
+std::uint32_t crcOf(const BitVec &bits, unsigned width);
+
+/** Append the @p width-bit CRC of @p data to it. */
+BitVec appendCrc(const BitVec &data, unsigned width);
+
+/** Validate a data||CRC sequence produced by appendCrc. */
+bool checkCrc(const BitVec &dataWithCrc, unsigned width);
+
+/**
+ * Bit-level layout of one transport frame:
+ *
+ *   [ 16-bit sync preamble | Hamming( seq | payload | CRC ) ]
+ *
+ * The preamble stays outside the FEC so the receiver's sliding
+ * correlation sees it raw; everything behind it is interleaved
+ * Hamming(7,4). Frame length is independent of the symbol encoding —
+ * encodings change symbols per frame, not bits.
+ */
+struct FrameLayout
+{
+    unsigned seqBits = 6;       //!< sequence-number field width
+    unsigned payloadBits = 48;  //!< message bits per frame
+    unsigned crcWidth = 8;      //!< 8 or 16
+    unsigned interleaveDepth = 4; //!< FEC burst-spreading depth
+
+    /** Data bits behind the preamble, before FEC. */
+    unsigned
+    bodyDataBits() const
+    {
+        return seqBits + payloadBits + crcWidth;
+    }
+
+    /** FEC-coded body length in bits. */
+    std::size_t codedBodyBits() const;
+
+    /** Whole frame length in bits (preamble + coded body). */
+    std::size_t frameBits() const { return 16 + codedBodyBits(); }
+
+    /** Number of distinct sequence numbers. */
+    unsigned seqSpace() const { return 1u << seqBits; }
+};
+
+/** Build one frame: preamble + FEC(seq | payload | crc). */
+BitVec buildTransportFrame(const FrameLayout &layout, unsigned seq,
+                           const BitVec &payload);
+
+/** Outcome of parsing one coded frame body. */
+struct ParsedFrame
+{
+    unsigned seq = 0;      //!< decoded sequence number
+    BitVec payload;        //!< decoded payload bits
+    bool crcOk = false;    //!< header+payload validated
+    FecStats fec;          //!< corrections/truncation the FEC reported
+};
+
+/**
+ * Parse a received coded frame body (the codedBodyBits() bits behind a
+ * located preamble; shorter slices decode as far as they reach and are
+ * CRC-rejected).
+ */
+ParsedFrame parseTransportFrame(const FrameLayout &layout,
+                                const BitVec &codedBody);
+
+/**
+ * Selective-repeat ARQ bookkeeping over a fixed set of payload chunks.
+ *
+ * Each round the sender transmits a batch of pending chunks (the
+ * session enforces the sequence-collision-free window); afterwards the
+ * receiver's feedback marks chunks delivered. A chunk undelivered
+ * after a round costs one retry; a chunk out of retries is *failed* —
+ * dropped honestly rather than retried forever, which is what bounds
+ * every transmission (no livelock on a dead link).
+ */
+class SelectiveRepeatArq
+{
+  public:
+    /**
+     * @param chunks total payload chunks in the message
+     * @param maxRetries retransmissions allowed per chunk beyond the
+     *        first attempt
+     */
+    SelectiveRepeatArq(unsigned chunks, unsigned maxRetries);
+
+    /** Chunks still needing transmission (not delivered, not failed). */
+    std::vector<unsigned> pending() const;
+
+    /** Record a validated delivery (duplicate deliveries are no-ops). */
+    void onDelivered(unsigned chunk);
+
+    /**
+     * Close one round: every chunk of @p sent that is still
+     * undelivered consumed an attempt; attempts beyond the first count
+     * as retransmissions, and a chunk whose retries are exhausted
+     * moves to failed.
+     */
+    void onRoundEnd(const std::vector<unsigned> &sent);
+
+    /** True when no chunk is pending (all delivered or failed). */
+    bool done() const;
+
+    unsigned delivered() const { return delivered_; }
+    unsigned failed() const { return failed_; }
+    std::uint64_t retransmissions() const { return retransmissions_; }
+    std::uint64_t attempts() const { return attempts_; }
+    bool isDelivered(unsigned chunk) const;
+
+  private:
+    enum class State : std::uint8_t
+    {
+        Pending,
+        Delivered,
+        Failed
+    };
+
+    unsigned maxRetries_;
+    std::vector<State> state_;
+    std::vector<unsigned> tries_; //!< attempts consumed per chunk
+    unsigned delivered_ = 0;
+    unsigned failed_ = 0;
+    std::uint64_t retransmissions_ = 0;
+    std::uint64_t attempts_ = 0;
+};
+
+} // namespace wb::chan
+
+#endif // WB_CHAN_ARQ_HH

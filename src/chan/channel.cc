@@ -7,6 +7,7 @@
 #include "chan/receiver.hh"
 #include "chan/sender.hh"
 #include "chan/set_mapping.hh"
+#include "chan/transport.hh"
 #include "sim/scheduler.hh"
 #include "sim/smt_core.hh"
 
@@ -16,15 +17,28 @@ namespace wb::chan
 namespace
 {
 
-/** Shared implementation: run the platform with a given frame. */
-ChannelResult
-runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
+/**
+ * One physical pass through the simulated platform: everything below
+ * the bit level. Both the legacy single-shot path and the transport
+ * link run through here, so the two stay in lockstep — same RNG
+ * splits, same calibration, same thread wiring.
+ */
+struct RawRun
+{
+    std::vector<double> latencies;      //!< receiver raw observations
+    Cycles simulatedCycles = 0;
+    sim::PerfCounters senderCounters;
+    sim::PerfCounters receiverCounters;
+    sim::SchedulerStats schedulerStats;
+    Calibration calibration;
+};
+
+/** Run the platform once, modulating the per-slot levels @p dSeq. */
+RawRun
+runRawSequence(const ChannelConfig &cfg, const std::vector<unsigned> &dSeq)
 {
     const ProtocolConfig &proto = cfg.protocol;
     const Encoding &enc = proto.encoding;
-    if (frame.size() % enc.bitsPerSymbol() != 0)
-        fatalf("runChannel: frame bits ", frame.size(),
-               " not divisible by bits/symbol ", enc.bitsPerSymbol());
     if (enc.maxLevel() > cfg.platform.l1.ways)
         fatalf("runChannel: encoding level ", enc.maxLevel(),
                " exceeds associativity ", cfg.platform.l1.ways);
@@ -42,14 +56,6 @@ runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
     calCfg.targetSet = proto.targetSet;
     calCfg.replacementSize = proto.replacementSize;
     Calibration cal = calibrate(cfg.platform, cfg.noise, calCfg, calRng);
-    Classifier classifier = cal.classifierFor(enc);
-
-    // --- Per-slot dirty-line levels for all frame repetitions ---
-    const auto frameLevels = frameToLevels(frame, enc);
-    std::vector<unsigned> dSeq;
-    dSeq.reserve(frameLevels.size() * proto.frames);
-    for (unsigned f = 0; f < proto.frames; ++f)
-        dSeq.insert(dSeq.end(), frameLevels.begin(), frameLevels.end());
 
     // --- Platform. Under an active OS-noise config the front-end is
     // owned by a Scheduler (co-runners, timeslices, pollution); the
@@ -97,9 +103,40 @@ runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
         sched ? sched->run(schedule.horizon * sched->horizonStretch())
               : core.run(schedule.horizon);
 
+    RawRun raw;
+    raw.latencies = receiver.latencies();
+    raw.simulatedCycles = end;
+    raw.senderCounters = hierarchy.counters(senderTid);
+    raw.receiverCounters = hierarchy.counters(receiverTid);
+    if (sched)
+        raw.schedulerStats = sched->stats();
+    raw.calibration = std::move(cal);
+    return raw;
+}
+
+/** Shared implementation: run the platform with a given frame. */
+ChannelResult
+runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
+{
+    const ProtocolConfig &proto = cfg.protocol;
+    const Encoding &enc = proto.encoding;
+    if (frame.size() % enc.bitsPerSymbol() != 0)
+        fatalf("runChannel: frame bits ", frame.size(),
+               " not divisible by bits/symbol ", enc.bitsPerSymbol());
+
+    // --- Per-slot dirty-line levels for all frame repetitions ---
+    const auto frameLevels = frameToLevels(frame, enc);
+    std::vector<unsigned> dSeq;
+    dSeq.reserve(frameLevels.size() * proto.frames);
+    for (unsigned f = 0; f < proto.frames; ++f)
+        dSeq.insert(dSeq.end(), frameLevels.begin(), frameLevels.end());
+
+    RawRun raw = runRawSequence(cfg, dSeq);
+    Classifier classifier = raw.calibration.classifierFor(enc);
+
     // --- Decode ---
     ChannelResult res;
-    res.latencies = receiver.latencies();
+    res.latencies = std::move(raw.latencies);
     DecodeResult dec = decodeTransmission(res.latencies, classifier, enc,
                                           frame, proto.frames);
     res.ber = dec.ber;
@@ -111,13 +148,48 @@ runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
     res.goodputKbps = res.rateKbps * (1.0 - std::min(1.0, res.ber));
     res.sentFrame = frame;
     res.decodedBits = dec.bitstream;
-    res.calibrationMedians = cal.medianByD;
-    res.senderCounters = hierarchy.counters(senderTid);
-    res.receiverCounters = hierarchy.counters(receiverTid);
-    res.simulatedCycles = end;
-    if (sched)
-        res.schedulerStats = sched->stats();
+    res.calibrationMedians = raw.calibration.medianByD;
+    res.senderCounters = raw.senderCounters;
+    res.receiverCounters = raw.receiverCounters;
+    res.simulatedCycles = raw.simulatedCycles;
+    res.schedulerStats = raw.schedulerStats;
     return res;
+}
+
+/**
+ * Bind one transport burst to the single-core platform: reconfigure
+ * protocol pacing/encoding for the rate rung, modulate the frame
+ * stream once (no repetitions — the ARQ layer owns redundancy), and
+ * hand back the receiver's classified bit stream.
+ */
+LinkRun
+channelLinkRun(const ChannelConfig &base, const BitVec &stream,
+               const RateStep &rate, std::uint64_t seed)
+{
+    ChannelConfig cfg = base;
+    cfg.seed = seed;
+    // The ladder only widens Ts by powers of two, so the Tr:Ts ratio
+    // survives the integer arithmetic exactly.
+    cfg.protocol.tr =
+        base.protocol.tr * (rate.ts / base.protocol.ts);
+    cfg.protocol.ts = rate.ts;
+    cfg.protocol.encoding = rate.encoding;
+    const Encoding &enc = cfg.protocol.encoding;
+
+    BitVec padded = stream;
+    while (padded.size() % enc.bitsPerSymbol() != 0)
+        padded.push_back(false);
+
+    const std::vector<unsigned> dSeq = frameToLevels(padded, enc);
+    RawRun raw = runRawSequence(cfg, dSeq);
+
+    LinkRun run;
+    run.bits = symbolsToBits(
+        classifyAll(raw.latencies, raw.calibration.classifierFor(enc)),
+        enc);
+    run.simulatedCycles = raw.simulatedCycles;
+    run.schedulerStats = raw.schedulerStats;
+    return run;
 }
 
 } // namespace
@@ -129,6 +201,67 @@ runChannel(const ChannelConfig &cfg)
     const BitVec frame =
         randomFrame(cfg.protocol.frameBits - 16, frameRng);
     return runWithFrame(cfg, frame);
+}
+
+TransportResult
+legacyTransportResult(const ChannelResult &r, const ProtocolConfig &proto)
+{
+    TransportResult t;
+    t.framesTotal = r.framesExpected;
+    t.framesDelivered = r.framesScored;
+    t.framesFailed = r.framesExpected - std::min(r.framesExpected,
+                                                 r.framesScored);
+    t.framesSent = r.framesExpected;
+    const unsigned payloadBits =
+        proto.frameBits >= 16 ? proto.frameBits - 16 : 0;
+    t.payloadBitsTotal = std::uint64_t(r.framesExpected) * payloadBits;
+    t.payloadBitsDelivered = std::uint64_t(r.framesScored) * payloadBits;
+    t.residualBitErrors = static_cast<std::uint64_t>(
+        r.ber * double(t.payloadBitsDelivered) + 0.5);
+    t.residualBer = r.ber;
+    t.goodputKbps = r.goodputKbps;
+    t.rawRateKbps = r.rateKbps;
+    t.rounds = 1;
+    t.rateLevelByRound.push_back(0);
+    t.ferByRound.push_back(
+        r.framesExpected
+            ? 1.0 - double(r.framesScored) / double(r.framesExpected)
+            : 0.0);
+    t.simulatedCycles = r.simulatedCycles;
+    t.schedulerStats = r.schedulerStats;
+    return t;
+}
+
+TransportResult
+runTransport(const ChannelConfig &cfg, const BitVec &message)
+{
+    if (!cfg.transport.enabled) {
+        // Transport off: the legacy single-shot path, untouched —
+        // same RNG draws, same schedule, bit-identical results
+        // (TransportOffEquivalence test).
+        return legacyTransportResult(runChannel(cfg), cfg.protocol);
+    }
+    const TransportLink link = [&cfg](const BitVec &stream,
+                                      const RateStep &rate,
+                                      std::uint64_t seed) {
+        return channelLinkRun(cfg, stream, rate, seed);
+    };
+    return runTransportSession(cfg.transport, cfg.protocol, message, link,
+                               cfg.seed);
+}
+
+TransportResult
+runTransport(const ChannelConfig &cfg)
+{
+    Rng msgRng(cfg.seed ^ 0x7ea45007ULL);
+    const std::size_t bits =
+        std::size_t(cfg.transport.messageFrames) *
+        cfg.transport.layout.payloadBits;
+    BitVec message;
+    message.reserve(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        message.push_back(msgRng.flip());
+    return runTransport(cfg, message);
 }
 
 std::string

@@ -19,6 +19,7 @@
 #include "chan/calibration.hh"
 #include "chan/noise_process.hh"
 #include "chan/protocol.hh"
+#include "chan/transport.hh"
 #include "sim/hierarchy.hh"
 #include "sim/noise_model.hh"
 #include "sim/platform.hh"
@@ -75,6 +76,15 @@ struct ChannelConfig
      * scheduler.coRunners, e.g. via SchedulerConfig::mixOf).
      */
     sim::SchedulerConfig scheduler;
+
+    /**
+     * Resilient transport layer (resync + adaptive rate + ARQ), used
+     * by runTransport(). Disabled by default — runChannel() never
+     * reads it, and a disabled runTransport() degenerates to the
+     * legacy single-shot path, bit-identical to the pre-transport
+     * runner (same guarantee SchedulerConfig makes).
+     */
+    TransportConfig transport;
 };
 
 /** Everything a transmission experiment produces. */
@@ -104,6 +114,32 @@ struct ChannelResult
 
 /** Run one complete covert-channel transmission experiment. */
 ChannelResult runChannel(const ChannelConfig &cfg);
+
+/**
+ * Run a transport session (resync + adaptive rate + ARQ) over the
+ * single-core channel: @p message is chunked into sequence-numbered
+ * CRC frames, each round is one physical burst through the simulated
+ * platform at the controller's current rate rung, and lost frames are
+ * selectively retransmitted within cfg.transport's retry budget.
+ *
+ * With cfg.transport.enabled == false this degenerates to the legacy
+ * runChannel() path — same RNG draws, same operation order — and
+ * repackages its result via legacyTransportResult().
+ */
+TransportResult runTransport(const ChannelConfig &cfg,
+                             const BitVec &message);
+
+/** runTransport over a seed-derived random message of
+ *  cfg.transport.messageFrames * layout.payloadBits bits. */
+TransportResult runTransport(const ChannelConfig &cfg);
+
+/**
+ * Map a legacy single-shot ChannelResult into transport terms (used by
+ * the transport-off degenerate path): one "frame" per protocol frame
+ * scored, goodput and BER carried over verbatim.
+ */
+TransportResult legacyTransportResult(const ChannelResult &r,
+                                      const ProtocolConfig &proto);
 
 /**
  * Convenience: transmit an arbitrary byte string once (no frame

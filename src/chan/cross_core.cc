@@ -133,20 +133,29 @@ calibrateCrossCore(const CrossCoreChannelConfig &cfg,
     return out;
 }
 
-} // namespace
+/**
+ * One physical pass through the multi-core platform: everything below
+ * the bit level. The legacy single-shot path and the transport link
+ * both run through here, so the two stay in lockstep — same RNG
+ * splits, same calibration, same thread wiring.
+ */
+struct CrossRawRun
+{
+    std::vector<double> latencies;
+    Cycles simulatedCycles = 0;
+    sim::PerfCounters senderCounters;
+    sim::PerfCounters receiverCounters;
+    sim::SchedulerStats schedulerStats;
+    Calibration calibration;
+};
 
-ChannelResult
-runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
+/** Run the platform once, modulating the per-slot levels @p dSeq. */
+CrossRawRun
+runCrossCoreRaw(const CrossCoreChannelConfig &cfg,
+                const std::vector<unsigned> &dSeq)
 {
     validate(cfg);
     const ProtocolConfig &proto = cfg.protocol;
-    const Encoding &enc = proto.encoding;
-
-    Rng frameRng(cfg.seed ^ 0xf00dULL);
-    const BitVec frame = randomFrame(proto.frameBits - 16, frameRng);
-    if (frame.size() % enc.bitsPerSymbol() != 0)
-        fatalf("runCrossCoreChannel: frame bits ", frame.size(),
-               " not divisible by bits/symbol ", enc.bitsPerSymbol());
 
     Rng rootRng(cfg.seed);
     Rng calRng = rootRng.split();
@@ -158,15 +167,7 @@ runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
     const CrossCoreSets sets = makeCrossCoreSets(llcLayout, cfg);
 
     // --- Offline calibration -> classifier centroids ---
-    const Calibration cal = calibrateCrossCore(cfg, sets, calRng);
-    const Classifier classifier = cal.classifierFor(enc);
-
-    // --- Per-slot dirty-line levels for all frame repetitions ---
-    const auto frameLevels = frameToLevels(frame, enc);
-    std::vector<unsigned> dSeq;
-    dSeq.reserve(frameLevels.size() * proto.frames);
-    for (unsigned f = 0; f < proto.frames; ++f)
-        dSeq.insert(dSeq.end(), frameLevels.begin(), frameLevels.end());
+    Calibration cal = calibrateCrossCore(cfg, sets, calRng);
 
     // --- Platform: one system, one SmtCore front-end per party.
     // Under an active OS-noise config the front-ends come from a
@@ -205,9 +206,81 @@ runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
         os ? os->run(sched.horizon * os->horizonStretch())
            : sim::runCores({&senderCore, &receiverCore}, sched.horizon);
 
+    CrossRawRun raw;
+    raw.latencies = receiver.latencies();
+    raw.simulatedCycles = end;
+    raw.senderCounters = mc.counters(cfg.senderCore, senderTid);
+    if (os) {
+        // A migrated receiver charged counters on every core it
+        // visited; its scheduler-allocated tid is system-unique, so
+        // the merge picks up only its own accesses.
+        for (unsigned c = 0; c < mc.coreCount(); ++c)
+            raw.receiverCounters.merge(mc.counters(c, receiverTid));
+        raw.schedulerStats = os->stats();
+    } else {
+        raw.receiverCounters = mc.counters(cfg.receiverCore, receiverTid);
+    }
+    raw.calibration = std::move(cal);
+    return raw;
+}
+
+/** Bind one transport burst to the multi-core platform. */
+LinkRun
+crossCoreLinkRun(const CrossCoreChannelConfig &base, const BitVec &stream,
+                 const RateStep &rate, std::uint64_t seed)
+{
+    CrossCoreChannelConfig cfg = base;
+    cfg.seed = seed;
+    // The ladder only widens Ts by powers of two, so the Tr:Ts ratio
+    // survives the integer arithmetic exactly.
+    cfg.protocol.tr = base.protocol.tr * (rate.ts / base.protocol.ts);
+    cfg.protocol.ts = rate.ts;
+    cfg.protocol.encoding = rate.encoding;
+    const Encoding &enc = cfg.protocol.encoding;
+
+    BitVec padded = stream;
+    while (padded.size() % enc.bitsPerSymbol() != 0)
+        padded.push_back(false);
+
+    const std::vector<unsigned> dSeq = frameToLevels(padded, enc);
+    CrossRawRun raw = runCrossCoreRaw(cfg, dSeq);
+
+    LinkRun run;
+    run.bits = symbolsToBits(
+        classifyAll(raw.latencies, raw.calibration.classifierFor(enc)),
+        enc);
+    run.simulatedCycles = raw.simulatedCycles;
+    run.schedulerStats = raw.schedulerStats;
+    return run;
+}
+
+} // namespace
+
+ChannelResult
+runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
+{
+    const ProtocolConfig &proto = cfg.protocol;
+    const Encoding &enc = proto.encoding;
+
+    Rng frameRng(cfg.seed ^ 0xf00dULL);
+    const BitVec frame = randomFrame(proto.frameBits - 16, frameRng);
+    if (frame.size() % enc.bitsPerSymbol() != 0)
+        fatalf("runCrossCoreChannel: frame bits ", frame.size(),
+               " not divisible by bits/symbol ", enc.bitsPerSymbol());
+
+    // --- Per-slot dirty-line levels for all frame repetitions ---
+    const auto frameLevels = frameToLevels(frame, enc);
+    std::vector<unsigned> dSeq;
+    dSeq.reserve(frameLevels.size() * proto.frames);
+    for (unsigned f = 0; f < proto.frames; ++f)
+        dSeq.insert(dSeq.end(), frameLevels.begin(), frameLevels.end());
+
+    CrossRawRun raw = runCrossCoreRaw(cfg, dSeq);
+    const Classifier classifier = raw.calibration.classifierFor(enc);
+
     // --- Decode ---
     ChannelResult res;
-    res.latencies = receiver.latencies();
+    res.latencies = std::move(raw.latencies);
     DecodeResult dec = decodeTransmission(res.latencies, classifier, enc,
                                           frame, proto.frames);
     res.ber = dec.ber;
@@ -219,21 +292,43 @@ runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
     res.goodputKbps = res.rateKbps * (1.0 - std::min(1.0, res.ber));
     res.sentFrame = frame;
     res.decodedBits = dec.bitstream;
-    res.calibrationMedians = cal.medianByD;
-    res.senderCounters = mc.counters(cfg.senderCore, senderTid);
-    if (os) {
-        // A migrated receiver charged counters on every core it
-        // visited; its scheduler-allocated tid is system-unique, so
-        // the merge picks up only its own accesses.
-        for (unsigned c = 0; c < mc.coreCount(); ++c)
-            res.receiverCounters.merge(mc.counters(c, receiverTid));
-    } else {
-        res.receiverCounters = mc.counters(cfg.receiverCore, receiverTid);
-    }
-    res.simulatedCycles = end;
-    if (os)
-        res.schedulerStats = os->stats();
+    res.calibrationMedians = raw.calibration.medianByD;
+    res.senderCounters = raw.senderCounters;
+    res.receiverCounters = raw.receiverCounters;
+    res.simulatedCycles = raw.simulatedCycles;
+    res.schedulerStats = raw.schedulerStats;
     return res;
+}
+
+TransportResult
+runCrossCoreTransport(const CrossCoreChannelConfig &cfg,
+                      const BitVec &message)
+{
+    if (!cfg.transport.enabled) {
+        return legacyTransportResult(runCrossCoreChannel(cfg),
+                                     cfg.protocol);
+    }
+    const TransportLink link = [&cfg](const BitVec &stream,
+                                      const RateStep &rate,
+                                      std::uint64_t seed) {
+        return crossCoreLinkRun(cfg, stream, rate, seed);
+    };
+    return runTransportSession(cfg.transport, cfg.protocol, message, link,
+                               cfg.seed);
+}
+
+TransportResult
+runCrossCoreTransport(const CrossCoreChannelConfig &cfg)
+{
+    Rng msgRng(cfg.seed ^ 0x7ea45007ULL);
+    const std::size_t bits =
+        std::size_t(cfg.transport.messageFrames) *
+        cfg.transport.layout.payloadBits;
+    BitVec message;
+    message.reserve(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        message.push_back(msgRng.flip());
+    return runCrossCoreTransport(cfg, message);
 }
 
 } // namespace wb::chan

@@ -24,7 +24,7 @@ HammingCode::encodeNibble(const bool d[4], bool out[7])
     out[6] = d[0] ^ d[1] ^ d[3];
 }
 
-void
+bool
 HammingCode::decodeWord(const bool c[7], bool out[4])
 {
     bool w[7];
@@ -55,6 +55,7 @@ HammingCode::decodeWord(const bool c[7], bool out[4])
     out[1] = w[1];
     out[2] = w[2];
     out[3] = w[3];
+    return flip >= 0;
 }
 
 std::size_t
@@ -102,10 +103,17 @@ HammingCode::encode(const BitVec &data) const
 }
 
 BitVec
-HammingCode::decode(const BitVec &coded) const
+HammingCode::decode(const BitVec &coded, FecStats *stats) const
 {
     // Deinterleave back to codeword-major order.
     const std::size_t wordsTotal = coded.size() / 7;
+    const std::size_t truncated = coded.size() - wordsTotal * 7;
+    if (truncated != 0 && stats == nullptr)
+        fatalf("HammingCode::decode: ", truncated,
+               " trailing bit(s) do not form a whole codeword; pass a "
+               "FecStats sink to acknowledge the truncation");
+    if (stats != nullptr)
+        stats->truncatedBits = truncated;
     BitVec flat(wordsTotal * 7, false);
     if (depth_ == 1) {
         flat.assign(coded.begin(),
@@ -128,15 +136,19 @@ HammingCode::decode(const BitVec &coded) const
 
     BitVec out;
     out.reserve(wordsTotal * 4);
+    std::size_t corrected = 0;
     for (std::size_t w = 0; w < wordsTotal; ++w) {
         bool c[7];
         for (int i = 0; i < 7; ++i)
             c[i] = flat[w * 7 + static_cast<std::size_t>(i)];
         bool d[4];
-        decodeWord(c, d);
+        if (decodeWord(c, d))
+            ++corrected;
         for (bool b : d)
             out.push_back(b);
     }
+    if (stats != nullptr)
+        stats->correctedBits = corrected;
     return out;
 }
 

@@ -25,6 +25,20 @@
 namespace wb::chan
 {
 
+/**
+ * Decode-quality accounting. Syndrome corrections count channel bits
+ * the code absorbed; truncated bits are received bits dropped because
+ * they do not fill a whole codeword (a slipped or cut-short burst).
+ * Both are link-quality signals: the transport layer's rate controller
+ * treats a high corrected-bit density as a degrading link even while
+ * every CRC still passes.
+ */
+struct FecStats
+{
+    std::size_t correctedBits = 0; //!< single-bit syndrome corrections
+    std::size_t truncatedBits = 0; //!< trailing bits of a partial block
+};
+
 /** Hamming(7,4) + block interleaver. */
 class HammingCode
 {
@@ -42,10 +56,20 @@ class HammingCode
 
     /**
      * Decode (deinterleave + per-codeword syndrome correction).
-     * @param coded received code bits (truncated to whole blocks)
+     *
+     * A trailing partial block cannot be decoded; its bits are
+     * dropped. Silent truncation is misuse: passing a stream whose
+     * length is not a multiple of 7 without @p stats to report the
+     * loss through is fatal, so no caller can lose bits without
+     * noticing (the transport layer reads both counts as its
+     * link-quality signal).
+     *
+     * @param coded received code bits
+     * @param stats corrected/truncated counts (required when
+     *        coded.size() is not a whole number of codewords)
      * @return corrected data bits (including any encode padding)
      */
-    BitVec decode(const BitVec &coded) const;
+    BitVec decode(const BitVec &coded, FecStats *stats = nullptr) const;
 
     /** Code rate (4/7). */
     static constexpr double rate() { return 4.0 / 7.0; }
@@ -60,8 +84,11 @@ class HammingCode
     /** Encode one 4-bit nibble into a 7-bit codeword. */
     static void encodeNibble(const bool d[4], bool out[7]);
 
-    /** Correct and extract one codeword into 4 data bits. */
-    static void decodeWord(const bool c[7], bool out[4]);
+    /**
+     * Correct and extract one codeword into 4 data bits.
+     * @return true when a nonzero syndrome flipped a bit
+     */
+    static bool decodeWord(const bool c[7], bool out[4]);
 
     unsigned depth_;
 };

@@ -34,6 +34,7 @@
 #include "sim/stats_dump.hh"
 
 // The WB channel and its extensions.
+#include "chan/arq.hh"
 #include "chan/calibration.hh"
 #include "chan/channel.hh"
 #include "chan/fec.hh"
@@ -46,6 +47,7 @@
 #include "chan/receiver.hh"
 #include "chan/sender.hh"
 #include "chan/set_mapping.hh"
+#include "chan/transport.hh"
 
 // Baseline channels.
 #include "baselines/flush_channels.hh"

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include "chan/protocol.hh"
+#include "chan/transport.hh"
 #include "common/rng.hh"
+#include "stat_assert.hh"
 
 namespace wb::chan
 {
@@ -117,6 +119,160 @@ TEST(ProtocolFuzz, SurvivesPathologicalStreams)
         EXPECT_LE(dec.ber, 1.0);
     }
 }
+
+// ------------------------------------------ transport-layer fuzzing
+//
+// The transport session is driven through a synthetic link that
+// applies every corruption class the OS-noise scheduler produces in
+// the real platform — bit flips, spurious insertions, dropped bits,
+// gang freezes (a contiguous span of the burst vanishes while both
+// parties are descheduled) and migrations (a freeze plus a permanent
+// phase slip from the re-warmed receiver) — at rates far beyond the
+// design point. The claims are bounded-resource claims: the session
+// always terminates within its round cap, never exceeds the per-chunk
+// retry budget, and never hands over a payload that fails its CRC;
+// and pooled over >= 16 seeds per mix (Wilson, z = 2.576), light
+// corruption still delivers while pure noise still fails honestly.
+
+struct TransportFuzzSpec
+{
+    const char *name;
+    double flipProb;
+    double insertProb;
+    double dropProb;
+    unsigned freezes;      //!< gang freezes injected per burst
+    std::size_t freezeSpan; //!< bits each freeze swallows
+    double slipProb;       //!< migration: freeze + lasting phase slip
+};
+
+/** Apply the spec's corruption model to one burst. */
+BitVec
+corruptBurst(const BitVec &stream, const TransportFuzzSpec &spec,
+             Rng &rng)
+{
+    BitVec bits;
+    bits.reserve(stream.size());
+    for (bool b : stream) {
+        if (rng.chance(spec.dropProb))
+            continue;
+        if (rng.chance(spec.insertProb))
+            bits.push_back(rng.flip());
+        bits.push_back(rng.chance(spec.flipProb) ? !b : b);
+    }
+    for (unsigned f = 0; f < spec.freezes; ++f) {
+        if (bits.size() <= spec.freezeSpan)
+            break;
+        const std::size_t at = rng.below(bits.size() - spec.freezeSpan);
+        bits.erase(bits.begin() + static_cast<std::ptrdiff_t>(at),
+                   bits.begin() +
+                       static_cast<std::ptrdiff_t>(at + spec.freezeSpan));
+    }
+    if (rng.chance(spec.slipProb) && bits.size() > 100) {
+        // Migration: everything after a random point arrives late by
+        // a burst of junk bits (cold caches re-warming) on top of a
+        // swallowed span.
+        const std::size_t at = rng.below(bits.size() / 2);
+        BitVec junk;
+        for (int i = 0; i < 37; ++i)
+            junk.push_back(rng.flip());
+        bits.insert(bits.begin() + static_cast<std::ptrdiff_t>(at),
+                    junk.begin(), junk.end());
+    }
+    return bits;
+}
+
+TransportConfig
+fuzzTransport()
+{
+    TransportConfig cfg;
+    cfg.enabled = true;
+    cfg.layout.seqBits = 4;
+    cfg.layout.payloadBits = 24;
+    cfg.layout.crcWidth = 16; // fuzz streams are CRC-check heavy
+    cfg.layout.interleaveDepth = 2;
+    cfg.guardBits = 8;
+    cfg.messageFrames = 5;
+    cfg.windowFrames = 4;
+    cfg.maxRetries = 4;
+    cfg.maxRounds = 12;
+    return cfg;
+}
+
+class TransportFuzz : public ::testing::TestWithParam<TransportFuzzSpec>
+{
+};
+
+TEST_P(TransportFuzz, BoundedAndHonestUnderEveryMix)
+{
+    const TransportFuzzSpec spec = GetParam();
+    const TransportConfig cfg = fuzzTransport();
+    ProtocolConfig proto;
+
+    const auto sweep = test::sweepSeeds([&](std::uint64_t seed) {
+        Rng msgRng(seed ^ 0xabcdULL);
+        BitVec msg;
+        for (unsigned i = 0;
+             i < cfg.messageFrames * cfg.layout.payloadBits; ++i)
+            msg.push_back(msgRng.flip());
+
+        const TransportLink link = [&spec](const BitVec &stream,
+                                           const RateStep &rate,
+                                           std::uint64_t linkSeed) {
+            Rng rng(linkSeed);
+            LinkRun run;
+            run.bits = corruptBurst(stream, spec, rng);
+            run.simulatedCycles = stream.size() * rate.ts;
+            return run;
+        };
+        const TransportResult res =
+            runTransportSession(cfg, proto, msg, link, seed);
+
+        // Bounded resources, whatever the corruption did.
+        EXPECT_LE(res.rounds, cfg.maxRounds);
+        EXPECT_LE(res.framesSent,
+                  std::uint64_t(res.framesTotal) * (cfg.maxRetries + 1));
+        EXPECT_EQ(res.framesDelivered + res.framesFailed,
+                  res.framesTotal);
+        // Honesty: every delivered payload was CRC-validated.
+        EXPECT_EQ(res.residualBitErrors, 0u);
+        return test::Proportion{double(res.framesDelivered),
+                                double(res.framesTotal)};
+    });
+
+    const bool light = spec.flipProb <= 0.01 && spec.insertProb <= 0.01 &&
+                       spec.dropProb <= 0.01 && spec.freezes <= 1;
+    if (light) {
+        // Light corruption: the ARQ must push most frames through.
+        EXPECT_ACCURACY_ABOVE(sweep, 0.5);
+    }
+    if (spec.flipProb >= 0.45) {
+        // Pure noise: deliveries must stay rare — a transport that
+        // "delivers" from garbage is lying about validation.
+        EXPECT_ACCURACY_BELOW(sweep, 0.1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, TransportFuzz,
+    ::testing::Values(
+        TransportFuzzSpec{"clean", 0.0, 0.0, 0.0, 0, 0, 0.0},
+        TransportFuzzSpec{"flips", 0.01, 0.0, 0.0, 0, 0, 0.0},
+        TransportFuzzSpec{"inserts", 0.0, 0.01, 0.0, 0, 0, 0.0},
+        TransportFuzzSpec{"drops", 0.0, 0.0, 0.01, 0, 0, 0.0},
+        TransportFuzzSpec{"one-freeze", 0.002, 0.0, 0.0, 1, 50, 0.0},
+        TransportFuzzSpec{"gang-freezes", 0.005, 0.001, 0.001, 3, 80,
+                          0.0},
+        TransportFuzzSpec{"migrations", 0.005, 0.001, 0.001, 1, 60,
+                          0.5},
+        TransportFuzzSpec{"everything", 0.03, 0.01, 0.01, 2, 70, 0.3},
+        TransportFuzzSpec{"pure-noise", 0.5, 0.05, 0.05, 2, 100, 0.5}),
+    [](const ::testing::TestParamInfo<TransportFuzzSpec> &info) {
+        std::string name = info.param.name;
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
 
 } // namespace
 } // namespace wb::chan
