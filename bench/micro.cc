@@ -17,7 +17,11 @@
  *   hierarchy-dirty-evict  store stream exercising the WB-channel path
  *   pointer-chase    replacement-set traversal measurement (receiver)
  *   smt-step         two-thread SMT core stepping (ops = cycles)
+ *   trace-step       smt-step as a flat/reference pair: trace-compiled
+ *                    engine vs forced per-op virtual stepping
  *   spin-step        spin-wait-dominated stepping (ops = cycles)
+ *   sweep-scaling-Nt fixed 8-cell channel work-list through a
+ *                    SweepRunner pool with N workers (ops = cells)
  *   multicore-access miss-heavy sweep through a 2-core shared LLC
  *   channel-frame    one 128-bit frame end to end (ops = bits)
  *   cross-core-frame one cross-core frame on the 4-core desktop
@@ -56,6 +60,7 @@
 #include "sim/multicore.hh"
 #include "sim/ref_cache.hh"
 #include "sim/smt_core.hh"
+#include "sim/sweep_runner.hh"
 
 using namespace wb;
 using namespace wb::sim;
@@ -370,6 +375,66 @@ benchPointerChase(double budgetSec)
     return res;
 }
 
+/**
+ * trace-step: the smt-step workload measured as a pair. "flat" runs
+ * the trace-compiled engine (NoiseModel::traceExecution on, the
+ * production default): each program's MemOps execute as whole
+ * compiled slices. "reference" forces per-op stepping through the
+ * virtual Program::next()/onResult() protocol — the pre-trace
+ * engine. Both paths are bit-identical (tests/test_trace_equivalence)
+ * so the ratio is pure dispatch overhead.
+ */
+BenchResult
+benchTraceStep(const std::string &impl, double budgetSec)
+{
+    Rng rng(8);
+    HierarchyParams hp = xeonE5_2650Params();
+    Hierarchy h(hp, &rng);
+    NoiseModel noise;
+    noise.traceExecution = impl == "flat";
+    SmtCore core(h, noise, rng);
+    TraceProgram a({MemOp::load(0x1000), MemOp::store(0x2000)}, true);
+    TraceProgram b({MemOp::load(0x3000)}, true);
+    core.addThread(&a, AddressSpace(1));
+    core.addThread(&b, AddressSpace(2));
+    const Cycles step = 10000;
+    Cycles horizon = step;
+    return measure("trace-step", impl,
+                   "{\"threads\":2,\"unit\":\"cycles\"}", budgetSec,
+                   step, [&]() {
+                       core.run(horizon);
+                       horizon += step;
+                   });
+}
+
+/**
+ * sweep-scaling-<N>t: a fixed 8-cell channel work-list fanned over a
+ * SweepRunner pool with N workers; ops are cells. The 1t/2t/4t/8t
+ * family tracks the thread-pool's wall-clock scaling on the build
+ * machine (ideal on idle multi-core hosts, flat on single-CPU CI
+ * runners — docs/PERF.md records both).
+ */
+BenchResult
+benchSweepScaling(unsigned threads, double budgetSec)
+{
+    const std::size_t cells = 8;
+    SweepRunner pool(threads);
+    return measure(
+        "sweep-scaling-" + std::to_string(threads) + "t", "sweep",
+        "{\"cells\":" + std::to_string(cells) +
+            ",\"threads\":" + std::to_string(threads) +
+            ",\"unit\":\"cells\"}",
+        budgetSec, cells, [&]() {
+            pool.run(cells, [](std::size_t i) {
+                chan::ChannelConfig cfg;
+                cfg.protocol.frames = 1;
+                cfg.calibration.measurements = 10;
+                cfg.seed = 1 + i;
+                (void)chan::runChannel(cfg);
+            });
+        });
+}
+
 /** smt-step: two looping trace threads; ops are simulated cycles. */
 BenchResult
 benchSmtStep(double budgetSec)
@@ -631,6 +696,8 @@ main(int argc, char **argv)
     results.push_back(benchHierarchyDirtyEvict(budget));
     results.push_back(benchPointerChase(budget));
     results.push_back(benchSmtStep(budget));
+    results.push_back(benchTraceStep("flat", budget));
+    results.push_back(benchTraceStep("reference", budget));
     results.push_back(benchSpinStep(budget));
     results.push_back(benchChannelFrame(budget));
     results.push_back(benchCrossCoreFrame(budget));
@@ -638,6 +705,10 @@ main(int argc, char **argv)
     results.push_back(benchTransportFrame(budget));
     results.push_back(benchCalibration(budget));
     results.push_back(benchEditDistance(budget));
+    // Last on purpose: the multi-threaded windows can exhaust a
+    // burstable host's CPU credits and throttle whatever runs next.
+    for (unsigned threads : {1u, 2u, 4u, 8u})
+        results.push_back(benchSweepScaling(threads, budget));
 
     for (const auto &r : results) {
         std::cout << r.name << " [" << r.impl << "]: " << std::fixed

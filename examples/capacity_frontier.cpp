@@ -24,8 +24,13 @@
  *
  * CI uploads this output as the capacity-frontier artifact; the
  * reference run is summarized in docs/TRANSPORT.md.
+ *
+ * `-j N` fans the frontier cells over a sim::SweepRunner pool; cells
+ * are assembled in fixed (platform, mix, migration) order, so the
+ * output is byte-identical at any -j.
  */
 
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -36,6 +41,7 @@
 #include "common/table.hh"
 #include "sim/platform.hh"
 #include "sim/scheduler.hh"
+#include "sim/sweep_runner.hh"
 
 using namespace wb;
 
@@ -131,8 +137,14 @@ fixed(double v, int prec)
 int
 main(int argc, char **argv)
 {
-    if (argc > 1)
-        gSeeds = std::max(1u, unsigned(std::stoul(argv[1])));
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc)
+            jobs = unsigned(std::stoul(argv[++i]));
+        else
+            gSeeds = std::max(1u, unsigned(std::stoul(argv[i])));
+    }
+    sim::SweepRunner pool(jobs);
 
     using sim::SchedulerConfig;
 
@@ -152,19 +164,37 @@ main(int argc, char **argv)
         {"400k", 400'000},
     };
 
-    for (const sim::Platform *p : sim::allPlatforms()) {
-        if (p->cores < 2)
-            continue; // the frontier is a cross-core story
+    // Flat (platform x mix x migration) work-list: every cell is an
+    // independent seed-pool average, fanned over the pool and read
+    // back by grid index.
+    std::vector<const sim::Platform *> frontier;
+    for (const sim::Platform *p : sim::allPlatforms())
+        if (p->cores >= 2) // the frontier is a cross-core story
+            frontier.push_back(p);
+    const std::size_t cellsPerPlatform = mixes.size() * migrations.size();
+    const auto points = pool.map<FrontierPoint>(
+        frontier.size() * cellsPerPlatform, [&](std::size_t i) {
+            const sim::Platform *p = frontier[i / cellsPerPlatform];
+            const std::size_t cell = i % cellsPerPlatform;
+            const MixSpec &m = mixes[cell / migrations.size()];
+            const Cycles period =
+                migrations[cell % migrations.size()].second;
+            return measure(p->name, m.mix, period);
+        });
+
+    for (std::size_t pi = 0; pi < frontier.size(); ++pi) {
+        const sim::Platform *p = frontier[pi];
         Table t("Capacity frontier on " + p->name +
                 ": single-shot protocol vs resilient transport "
                 "(rate x error x goodput per co-runner mix and "
                 "migration period)");
         t.header({"co-runners", "migr", "raw kbps", "1shot BER",
                   "1shot good", "xport good", "dlvr", "rung", "sync"});
+        std::size_t cell = pi * cellsPerPlatform;
         for (const MixSpec &m : mixes) {
             for (const auto &[migLabel, period] : migrations) {
-                const FrontierPoint pt =
-                    measure(p->name, m.mix, period);
+                (void)period;
+                const FrontierPoint &pt = points[cell++];
                 t.row({m.label, migLabel, fixed(pt.rawKbps, 1),
                        Table::pct(pt.singleShotBer, 1),
                        fixed(pt.singleShotGoodput, 1),

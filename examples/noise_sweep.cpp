@@ -28,8 +28,14 @@
  *
  * CI uploads this output as the noise-sweep artifact; docs/PERF.md
  * "Noise robustness" records a reference run.
+ *
+ * `-j N` fans the sweep cells over a sim::SweepRunner thread pool
+ * (N = 0 picks the hardware concurrency). Every cell is an
+ * independent shared-nothing simulation and results are assembled in
+ * fixed grid order, so the output is byte-identical at any -j.
  */
 
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -40,6 +46,7 @@
 #include "sidechan/attack.hh"
 #include "sim/platform.hh"
 #include "sim/scheduler.hh"
+#include "sim/sweep_runner.hh"
 
 using namespace wb;
 
@@ -115,35 +122,46 @@ meanCrossCoreBer(const std::string &platformName,
 int
 main(int argc, char **argv)
 {
-    if (argc > 1)
-        gSeeds = std::max(1u, unsigned(std::stoul(argv[1])));
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc)
+            jobs = unsigned(std::stoul(argv[++i]));
+        else
+            gSeeds = std::max(1u, unsigned(std::stoul(argv[i])));
+    }
+    sim::SweepRunner pool(jobs);
 
     using sim::CoRunnerKind;
     using sim::SchedulerConfig;
 
     // --- Table 1: single-core channel, BER vs co-runner count ---
+    const std::vector<std::vector<CoRunnerKind>> t1Mixes = {
+        {},
+        {CoRunnerKind::Idle, CoRunnerKind::Idle},
+        SchedulerConfig::mixOf(1),
+        SchedulerConfig::mixOf(2),
+        SchedulerConfig::mixOf(4),
+    };
+    std::vector<const sim::Platform *> t1Platforms;
+    for (const sim::Platform *p : sim::allPlatforms())
+        if (p->cores <= 1) // the multi-core presets repeat their base
+            t1Platforms.push_back(p);
+    const auto t1Bers = pool.map<double>(
+        t1Platforms.size() * t1Mixes.size(), [&](std::size_t i) {
+            return meanChannelBer(t1Platforms[i / t1Mixes.size()]->name,
+                                  t1Mixes[i % t1Mixes.size()]);
+        });
+
     Table t1("Single-core WB channel under OS noise: BER vs co-runners "
              "(timesliced core sharing + context-switch pollution)");
     t1.header({"platform", "none", "2 idle", "1 mixed", "2 mixed",
                "4 mixed"});
-    for (const sim::Platform *p : sim::allPlatforms()) {
-        if (p->cores > 1)
-            continue; // the multi-core presets repeat their base machine
-        t1.row({p->name,
-                Table::pct(meanChannelBer(p->name, {}), 2),
-                Table::pct(meanChannelBer(
-                               p->name, {CoRunnerKind::Idle,
-                                         CoRunnerKind::Idle}),
-                           2),
-                Table::pct(meanChannelBer(p->name,
-                                          SchedulerConfig::mixOf(1)),
-                           2),
-                Table::pct(meanChannelBer(p->name,
-                                          SchedulerConfig::mixOf(2)),
-                           2),
-                Table::pct(meanChannelBer(p->name,
-                                          SchedulerConfig::mixOf(4)),
-                           2)});
+    for (std::size_t r = 0; r < t1Platforms.size(); ++r) {
+        std::vector<std::string> row{t1Platforms[r]->name};
+        for (std::size_t c = 0; c < t1Mixes.size(); ++c)
+            row.push_back(
+                Table::pct(t1Bers[r * t1Mixes.size() + c], 2));
+        t1.row(std::move(row));
     }
     t1.note("mixed co-runners cycle streaming -> pointer-chase -> "
             "random-store -> idle (SchedulerConfig::mixOf).");
@@ -154,19 +172,30 @@ main(int argc, char **argv)
     std::cout << "\n";
 
     // --- Table 2: cross-core attack, accuracy vs migration period ---
+    const std::vector<Cycles> t2Periods = {0, 48, 12, 3};
+    std::vector<const sim::Platform *> t2Platforms;
+    for (const sim::Platform *p : sim::allPlatforms())
+        if (sim::multiCoreCapable(p->params))
+            t2Platforms.push_back(p);
+    const auto t2Accs = pool.map<double>(
+        t2Platforms.size() * t2Periods.size(), [&](std::size_t i) {
+            return meanAttackAccuracy(
+                t2Platforms[i / t2Periods.size()]->name,
+                t2Periods[i % t2Periods.size()]);
+        });
+
     Table t2("Cross-core store-gadget attack: accuracy vs attacker "
              "migration period (trials between forced core hops)");
     t2.header({"platform", "cores", "pinned", "every 48", "every 12",
                "every 3"});
-    for (const sim::Platform *p : sim::allPlatforms()) {
-        if (!sim::multiCoreCapable(p->params))
-            continue; // no multi-core machine to migrate across
-        const unsigned cores = std::max(2u, p->cores);
-        t2.row({p->name, std::to_string(cores),
-                Table::pct(meanAttackAccuracy(p->name, 0), 1),
-                Table::pct(meanAttackAccuracy(p->name, 48), 1),
-                Table::pct(meanAttackAccuracy(p->name, 12), 1),
-                Table::pct(meanAttackAccuracy(p->name, 3), 1)});
+    for (std::size_t r = 0; r < t2Platforms.size(); ++r) {
+        const sim::Platform *p = t2Platforms[r];
+        std::vector<std::string> row{
+            p->name, std::to_string(std::max(2u, p->cores))};
+        for (std::size_t c = 0; c < t2Periods.size(); ++c)
+            row.push_back(
+                Table::pct(t2Accs[r * t2Periods.size() + c], 1));
+        t2.row(std::move(row));
     }
     t2.note("single-core presets run their 2-core cross-core "
             "instantiation; non-inclusive LLCs have no cross-core "
@@ -179,13 +208,22 @@ main(int argc, char **argv)
              "(multi-core presets; co-runners fill free cores first, "
              "then share the parties' cores)");
     t3.header({"platform", "none", "1", "2", "3", "4"});
-    for (const sim::Platform *p : sim::allPlatforms()) {
-        if (p->cores < 2)
-            continue;
-        std::vector<std::string> row{p->name};
-        for (unsigned n : {0u, 1u, 2u, 3u, 4u})
-            row.push_back(Table::pct(
-                meanCrossCoreBer(p->name, SchedulerConfig::mixOf(n)), 2));
+    const std::vector<unsigned> t3Counts = {0, 1, 2, 3, 4};
+    std::vector<const sim::Platform *> t3Platforms;
+    for (const sim::Platform *p : sim::allPlatforms())
+        if (p->cores >= 2)
+            t3Platforms.push_back(p);
+    const auto t3Bers = pool.map<double>(
+        t3Platforms.size() * t3Counts.size(), [&](std::size_t i) {
+            return meanCrossCoreBer(
+                t3Platforms[i / t3Counts.size()]->name,
+                SchedulerConfig::mixOf(t3Counts[i % t3Counts.size()]));
+        });
+    for (std::size_t r = 0; r < t3Platforms.size(); ++r) {
+        std::vector<std::string> row{t3Platforms[r]->name};
+        for (std::size_t c = 0; c < t3Counts.size(); ++c)
+            row.push_back(
+                Table::pct(t3Bers[r * t3Counts.size() + c], 2));
         t3.row(std::move(row));
     }
     t3.note("on the 4-core desktop, co-runners 1-2 land on the free "

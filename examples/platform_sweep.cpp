@@ -20,55 +20,84 @@
  * inclusive desktop part leaks through back-invalidation drains, the
  * non-inclusive Xeon does not. CI uploads this output as the
  * cross-core sweep artifact.
+ *
+ * `-j N` fans the per-platform runs over a sim::SweepRunner pool;
+ * rows are emitted in registry order regardless of completion order,
+ * so the output is byte-identical at any -j.
  */
 
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "chan/channel.hh"
 #include "chan/cross_core.hh"
 #include "common/table.hh"
 #include "sim/platform.hh"
+#include "sim/sweep_runner.hh"
 
 using namespace wb;
+
+namespace
+{
+
+/** Calibrated signal gap: top-level median minus d=0 median. */
+double
+signalGapOf(const chan::ChannelResult &res, unsigned top)
+{
+    if (top >= res.calibrationMedians.size())
+        return 0.0;
+    return res.calibrationMedians[top] - res.calibrationMedians[0];
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    const unsigned frames =
-        argc > 1 ? static_cast<unsigned>(std::stoul(argv[1])) : 1;
+    unsigned frames = 1;
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc)
+            jobs = unsigned(std::stoul(argv[++i]));
+        else
+            frames = static_cast<unsigned>(std::stoul(argv[i]));
+    }
+    sim::SweepRunner pool(jobs);
 
     Table table("WB covert channel, one configuration on every "
                 "registered platform");
     table.header({"platform", "description", "BER", "goodput kbps",
                   "signal gap", "dirty WBs"});
 
-    for (const sim::Platform *platform : sim::allPlatforms()) {
-        chan::ChannelConfig cfg;
-        cfg.usePlatform(platform->name);
-        cfg.protocol.ts = cfg.protocol.tr = 5500;
-        cfg.protocol.encoding = chan::Encoding::binary(
-            std::min(4u, cfg.platform.l1.ways));
-        cfg.protocol.frames = frames;
-        cfg.calibration.measurements = 80;
-        cfg.seed = 7;
+    const auto platforms = sim::allPlatforms();
+    const auto rows = pool.map<std::vector<std::string>>(
+        platforms.size(), [&](std::size_t i) {
+            const sim::Platform *platform = platforms[i];
+            chan::ChannelConfig cfg;
+            cfg.usePlatform(platform->name);
+            cfg.protocol.ts = cfg.protocol.tr = 5500;
+            cfg.protocol.encoding = chan::Encoding::binary(
+                std::min(4u, cfg.platform.l1.ways));
+            cfg.protocol.frames = frames;
+            cfg.calibration.measurements = 80;
+            cfg.seed = 7;
 
-        const chan::ChannelResult res = chan::runChannel(cfg);
-
-        double signalGap = 0.0;
-        const unsigned top = cfg.protocol.encoding.maxLevel();
-        if (top < res.calibrationMedians.size())
-            signalGap =
-                res.calibrationMedians[top] - res.calibrationMedians[0];
-
-        table.row({platform->name,
-                   platform->description.substr(0, 40),
-                   Table::pct(res.ber, 2),
-                   Table::num(res.goodputKbps, 0),
-                   Table::num(signalGap, 1),
-                   std::to_string(res.receiverCounters.l1DirtyWritebacks +
-                                  res.senderCounters.l1DirtyWritebacks)});
-    }
+            const chan::ChannelResult res = chan::runChannel(cfg);
+            const double signalGap =
+                signalGapOf(res, cfg.protocol.encoding.maxLevel());
+            return std::vector<std::string>{
+                platform->name,
+                platform->description.substr(0, 40),
+                Table::pct(res.ber, 2),
+                Table::num(res.goodputKbps, 0),
+                Table::num(signalGap, 1),
+                std::to_string(res.receiverCounters.l1DirtyWritebacks +
+                               res.senderCounters.l1DirtyWritebacks)};
+        });
+    for (auto row : rows)
+        table.row(std::move(row));
 
     table.note("signal gap: calibrated median latency difference "
                "between d=0 and the top encoding level (cycles); ~0 "
@@ -82,31 +111,36 @@ main(int argc, char **argv)
     xc.header({"platform", "cores", "BER", "goodput kbps", "signal gap",
                "LLC dirty evicts", "median lat d=0"});
 
-    for (const sim::Platform *platform : sim::allPlatforms()) {
-        if (platform->cores < 2)
-            continue;
-        chan::CrossCoreChannelConfig cfg;
-        cfg.usePlatform(platform->name);
-        cfg.protocol.frames = std::max(1u, frames);
-        cfg.seed = 7;
+    std::vector<const sim::Platform *> multiCore;
+    for (const sim::Platform *platform : platforms)
+        if (platform->cores >= 2)
+            multiCore.push_back(platform);
+    const auto xcRows = pool.map<std::vector<std::string>>(
+        multiCore.size(), [&](std::size_t i) {
+            const sim::Platform *platform = multiCore[i];
+            chan::CrossCoreChannelConfig cfg;
+            cfg.usePlatform(platform->name);
+            cfg.protocol.frames = std::max(1u, frames);
+            cfg.seed = 7;
 
-        const chan::ChannelResult res = chan::runCrossCoreChannel(cfg);
-
-        double signalGap = 0.0;
-        const unsigned top = cfg.protocol.encoding.maxLevel();
-        if (top < res.calibrationMedians.size())
-            signalGap =
-                res.calibrationMedians[top] - res.calibrationMedians[0];
-
-        xc.row({platform->name, std::to_string(platform->cores),
-                Table::pct(res.ber, 2), Table::num(res.goodputKbps, 0),
+            const chan::ChannelResult res =
+                chan::runCrossCoreChannel(cfg);
+            const double signalGap =
+                signalGapOf(res, cfg.protocol.encoding.maxLevel());
+            return std::vector<std::string>{
+                platform->name,
+                std::to_string(platform->cores),
+                Table::pct(res.ber, 2),
+                Table::num(res.goodputKbps, 0),
                 Table::num(signalGap, 1),
                 std::to_string(res.receiverCounters.llcDirtyEvictions),
                 Table::num(res.calibrationMedians.empty()
                                ? 0.0
                                : res.calibrationMedians[0],
-                           0)});
-    }
+                           0)};
+        });
+    for (auto row : xcRows)
+        xc.row(std::move(row));
 
     xc.note("LLC dirty evicts: receiver-charged LLC evictions that "
             "drained dirty data (the back-invalidation channel); 0 on "

@@ -58,20 +58,56 @@ class Rng
         gaussFill_ = 0;
     }
 
-    /** Next raw 64-bit value. */
-    std::uint64_t next();
+    /**
+     * Next raw 64-bit value. Inline: this sits under every per-access
+     * noise draw, preempt roll and burst-order shuffle of the hot
+     * simulation loops, where the out-of-line call was measurable.
+     */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound). @pre bound > 0. */
-    std::uint64_t below(std::uint64_t bound);
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Debiased via rejection sampling on the top of the range.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
     std::int64_t range(std::int64_t lo, std::int64_t hi);
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform() { return (next() >> 11) * 0x1.0p-53; }
 
     /** Bernoulli draw: true with probability p (clamped to [0,1]). */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /** Standard normal draw (Marsaglia polar method). */
     double gaussian();
@@ -81,12 +117,15 @@ class Rng
 
     /**
      * Standard normal draw served from a refill-on-demand block of
-     * precomputed deviates. Hot paths that charge per-access Gaussian
-     * noise (Hierarchy::accessBatch) use this instead of gaussian():
-     * the polar rejection loop runs once per gaussianBlockSize draws
-     * instead of once per access, and the common case is a single
-     * indexed read. Draw values match gaussian() called back to back;
-     * only the interleaving with other draws on this Rng differs.
+     * deviates precomputed by the ziggurat method. Hot paths that
+     * charge per-access Gaussian noise (Hierarchy::accessBatch) use
+     * this instead of gaussian(): a ziggurat draw is one raw draw, a
+     * table compare and a multiply in the ~98% common case, where the
+     * polar method pays a log+sqrt rejection loop per pair. The two
+     * samplers produce different values from the same stream but the
+     * identical standard-normal distribution; anything consuming
+     * cached deviates must treat them as exchangeable with gaussian()
+     * draws, not equal to them.
      */
     double
     gaussianCached()
@@ -120,6 +159,13 @@ class Rng
     Rng split() { return Rng(next()); }
 
   private:
+    /** Bit-rotate left (the xoshiro256** scrambler primitive). */
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     /** Refill the gaussianCached() block (out of line, cold). */
     void refillGaussians();
 

@@ -77,14 +77,6 @@ Hierarchy::resetCounters()
         c = PerfCounters{};
 }
 
-PerfCounters &
-Hierarchy::counters(ThreadId tid)
-{
-    if (tid >= counters_.size())
-        counters_.resize(tid + 1);
-    return counters_[tid];
-}
-
 PerfCounters
 Hierarchy::totalCounters() const
 {

@@ -364,8 +364,18 @@ class Hierarchy final : public MemorySystem
     /** Last-level cache. */
     Cache &llc() { return llc_; }
 
-    /** Counters for one thread (auto-extends). */
-    PerfCounters &counters(ThreadId tid) override;
+    /**
+     * Counters for one thread (auto-extends). Inline: the scalar
+     * access path looks the stripe up per access, and the out-of-line
+     * call was visible in the smt-step profile.
+     */
+    PerfCounters &
+    counters(ThreadId tid) override
+    {
+        if (tid >= counters_.size()) [[unlikely]]
+            counters_.resize(tid + 1);
+        return counters_[tid];
+    }
 
     /** Counters summed over all threads. */
     PerfCounters totalCounters() const;
@@ -385,7 +395,9 @@ class Hierarchy final : public MemorySystem
         if (rng_ == nullptr || params_.lat.noiseSigma <= 0.0)
             return 0;
         const double n = params_.lat.noiseSigma * rng_->gaussianCached();
-        return n > 0.0 ? static_cast<Cycles>(std::lround(n)) : 0;
+        // max() instead of a sign test: the deviate's sign is a coin
+        // flip, so a branch here mispredicts every other access.
+        return static_cast<Cycles>(std::lround(std::max(n, 0.0)));
     }
 
     /**

@@ -89,6 +89,16 @@ struct NoiseModel
     double measBaseSigma = 1.2;
     double measRateSigma = 1800.0;
 
+    /**
+     * Execute compiled traces (Program::nextTrace) when a program
+     * offers them, instead of forcing per-op next()/onResult dispatch.
+     * The two execution modes are bit-exact by contract
+     * (tests/test_trace_equivalence.cc); the flag exists so that suite
+     * can run the per-op reference path, and as an escape hatch while
+     * debugging a program's trace emitter.
+     */
+    bool traceExecution = true;
+
     /** Measurement sigma for a given sampling period in cycles. */
     double
     measSigma(Cycles samplingPeriod) const

@@ -85,7 +85,9 @@ CoRunnerProgram::prepareBurst()
         break;
       case CoRunnerKind::Streaming:
         // A sequential sweep of the whole working set (memcpy-style).
-        pass_ = buffer_;
+        // The pass never changes, so copy it once and reuse.
+        if (pass_.size() != buffer_.size())
+            pass_ = buffer_;
         break;
       case CoRunnerKind::PointerChase:
         // The whole working set in a fresh dependent-load order.
@@ -124,6 +126,36 @@ CoRunnerProgram::next(ProcView &view)
 void
 CoRunnerProgram::onResult(const MemOp &, const OpResult &, ProcView &)
 {
+}
+
+const Trace *
+CoRunnerProgram::nextTrace(ProcView &view)
+{
+    // Idle spinners re-base each wait on the current time, so they
+    // stay on the per-op path (one spin per step is not a hot loop).
+    if (kind_ == CoRunnerKind::Idle)
+        return nullptr;
+    if (inGap_) {
+        // Only reachable if trace execution was toggled mid-run; emit
+        // the pending gap so the op sequence stays identical.
+        inGap_ = false;
+        traceOps_[0] = MemOp::delay(gap_);
+        trace_ = {traceOps_.data(), 1, nullptr, 0};
+        return &trace_;
+    }
+    (void)view;
+    // Same pick moment as the per-op next(), so the burst preparation
+    // consumes this program's private Rng at the identical stream
+    // position; the trailing gap delay draws nothing. No result hooks:
+    // nothing downstream depends on a co-runner's op results.
+    prepareBurst();
+    accesses_ += pass_.size();
+    traceOps_[0] = kind_ == CoRunnerKind::RandomStore
+                       ? MemOp::storeBatch(pass_.data(), pass_.size())
+                       : MemOp::loadBatch(pass_.data(), pass_.size());
+    traceOps_[1] = MemOp::delay(gap_);
+    trace_ = {traceOps_.data(), 2, nullptr, 0};
+    return &trace_;
 }
 
 std::uint64_t
@@ -333,14 +365,17 @@ Cycles
 Scheduler::run(Cycles horizon)
 {
     materialize();
+    const std::size_t nFe = frontEnds_.size();
     for (;;) {
         FrontEnd *pick = nullptr;
+        std::size_t pickIdx = 0;
         Cycles t = SmtCore::noPendingTime;
-        for (auto &fe : frontEnds_) {
-            const Cycles n = fe->core->nextTime();
+        for (std::size_t i = 0; i < nFe; ++i) {
+            const Cycles n = frontEnds_[i]->core->nextTime();
             if (n < t) {
                 t = n;
-                pick = fe.get();
+                pick = frontEnds_[i].get();
+                pickIdx = i;
             }
         }
         if (pick == nullptr || t >= horizon)
@@ -350,6 +385,15 @@ Scheduler::run(Cycles horizon)
             migrate();
             nextMigrationAt_ += cfg_.migrationPeriod;
         }
+
+        // The picked front-end may run a whole trace slice, but only
+        // up to the next point where this loop's per-pick decisions
+        // (migration, slice ownership, pollution, the global earliest-
+        // op-first order) could go differently — so batching is
+        // invisible to the simulated machine.
+        Cycles bound = horizon;
+        if (cfg_.migrationPeriod != 0)
+            bound = std::min(bound, nextMigrationAt_);
 
         const unsigned core = pick->homeCore;
         auto &share = coreShare_[core];
@@ -372,14 +416,34 @@ Scheduler::run(Cycles horizon)
                 if (pick->core->nextTime() != t)
                     continue; // frozen (or moved): re-pick globally
                 // The earliest thread is mid-burst within its grace
-                // budget: fall through and let it finish.
-            } else if (slice != lastSlice_[core]) {
+                // budget: let it finish exactly one op, then re-check
+                // ownership — the grace overrun is per-op by design.
+                pick->core->stepEarliest(horizon);
+                continue;
+            }
+            if (slice != lastSlice_[core]) {
                 lastSlice_[core] = slice;
                 ++stats_.contextSwitches;
                 pollute(core);
             }
+            // Stop at the slice boundary so ownership is re-evaluated
+            // (and switch pollution charged) exactly on the tick.
+            bound = std::min(bound, (slice + 1) * cfg_.timeslice);
         }
-        pick->core->stepEarliest(horizon);
+
+        // Front-end ties resolve to the lowest index, as in the pick
+        // scan above: the pick keeps winning while strictly earlier
+        // than lower-indexed peers and no later than higher-indexed
+        // ones.
+        for (std::size_t i = 0; i < nFe; ++i) {
+            if (i == pickIdx)
+                continue;
+            const Cycles n = frontEnds_[i]->core->nextTime();
+            if (n == SmtCore::noPendingTime)
+                continue;
+            bound = std::min(bound, i < pickIdx ? n : n + 1);
+        }
+        pick->core->runUntil(bound);
     }
 
     Cycles maxTime = 0;

@@ -38,6 +38,7 @@
 #ifndef WB_SIM_SCHEDULER_HH
 #define WB_SIM_SCHEDULER_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -151,6 +152,7 @@ class CoRunnerProgram final : public Program
     std::optional<MemOp> next(ProcView &view) override;
     void onResult(const MemOp &op, const OpResult &res,
                   ProcView &view) override;
+    const Trace *nextTrace(ProcView &view) override;
 
     /**
      * Restart the interference stream from @p seed exactly as a
@@ -186,6 +188,8 @@ class CoRunnerProgram final : public Program
     std::vector<Addr> pass_;   //!< current burst order (subset)
     bool inGap_ = false;       //!< next op is the inter-burst delay
     std::uint64_t accesses_ = 0;
+    std::array<MemOp, 2> traceOps_{}; //!< [burst, gap delay]
+    Trace trace_;                     //!< compiled burst+gap pair
 };
 
 /**

@@ -58,7 +58,9 @@ SmtCore::addThread(Program *program, AddressSpace space, Cycles startTime)
 Cycles
 SmtCore::quantize(Cycles t) const
 {
-    const Cycles g = noise_.tscGranularity ? noise_.tscGranularity : 1;
+    const Cycles g = noise_.tscGranularity;
+    if (g <= 1)
+        return t; // per-op hot path: skip the division entirely
     return (t / g) * g;
 }
 
@@ -97,8 +99,64 @@ SmtCore::stepEarliest(Cycles horizon)
     }
     if (!found || threads_[pick].time >= horizon)
         return false;
-    step(threads_[pick], pick);
+    step(threads_[pick], pick, /*bound=*/0);
     return true;
+}
+
+void
+SmtCore::runUntil(Cycles bound)
+{
+    const ThreadId n = static_cast<ThreadId>(threads_.size());
+    if (n == 2 && !threads_[0].halted && !threads_[1].halted) {
+        // The SMT pair: same pick/tie/bound rules as the generic loop
+        // below, hand-specialized because this comparison runs once
+        // per simulated op in every two-thread deployment.
+        ThreadCtx &t0 = threads_[0];
+        ThreadCtx &t1 = threads_[1];
+        do {
+            if (t0.time <= t1.time) {
+                if (t0.time >= bound)
+                    return;
+                step(t0, 0, std::min(bound, t1.time + 1));
+            } else {
+                if (t1.time >= bound)
+                    return;
+                step(t1, 1, std::min(bound, t0.time));
+            }
+        } while (!t0.halted && !t1.halted);
+        // A thread halted: the generic loop handles the remainder.
+    }
+    for (;;) {
+        // Pick the earliest non-halted thread (ties: lowest id).
+        ThreadId pick = 0;
+        bool found = false;
+        for (ThreadId t = 0; t < n; ++t) {
+            if (threads_[t].halted)
+                continue;
+            if (!found || threads_[t].time < threads_[pick].time) {
+                pick = t;
+                found = true;
+            }
+        }
+        if (!found || threads_[pick].time >= bound)
+            return;
+
+        // The picked thread keeps winning this pick while, for every
+        // lower-indexed sibling j, time < t_j (a tie goes to j) and,
+        // for every higher-indexed one, time <= t_j (the tie is ours).
+        // Running it up to that limit in one go preserves the global
+        // earliest-op-first order exactly while letting compiled
+        // traces execute as whole slices.
+        Cycles tb = bound;
+        for (ThreadId t = 0; t < n; ++t) {
+            if (t == pick || threads_[t].halted)
+                continue;
+            const Cycles lim =
+                t < pick ? threads_[t].time : threads_[t].time + 1;
+            tb = std::min(tb, lim);
+        }
+        step(threads_[pick], pick, tb);
+    }
 }
 
 Cycles
@@ -106,28 +164,41 @@ SmtCore::run(Cycles horizon)
 {
     if (threads_.empty())
         return 0;
-    while (stepEarliest(horizon)) {
-    }
+    runUntil(horizon);
     return maxTime();
 }
 
 Cycles
 runCores(const std::vector<SmtCore *> &cores, Cycles horizon)
 {
+    const std::size_t n = cores.size();
     for (;;) {
         SmtCore *pick = nullptr;
+        std::size_t pickIdx = 0;
         Cycles pickTime = SmtCore::noPendingTime;
-        for (SmtCore *core : cores) {
-            const Cycles t = core->nextTime();
+        for (std::size_t i = 0; i < n; ++i) {
+            const Cycles t = cores[i]->nextTime();
             if (t < pickTime) {
                 pickTime = t;
-                pick = core;
+                pick = cores[i];
+                pickIdx = i;
             }
         }
-        if (pick == nullptr || pickTime >= horizon ||
-            !pick->stepEarliest(horizon)) {
+        if (pick == nullptr || pickTime >= horizon)
             break;
+        // Same tie rule across cores as across threads: a lower-
+        // indexed core wins a tie, so the picked core may run while
+        // strictly earlier than those and not later than the rest.
+        Cycles bound = horizon;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == pickIdx)
+                continue;
+            const Cycles t = cores[i]->nextTime();
+            if (t == SmtCore::noPendingTime)
+                continue;
+            bound = std::min(bound, i < pickIdx ? t : t + 1);
         }
+        pick->runUntil(bound);
     }
     Cycles maxTime = 0;
     for (const SmtCore *core : cores)
@@ -167,19 +238,41 @@ SmtCore::contentionDelay(const ThreadCtx &ctx, ThreadId idx)
     return delay;
 }
 
-void
-SmtCore::step(ThreadCtx &ctx, ThreadId idx)
+std::uint64_t
+SmtCore::drawPreemptGap()
 {
-    const ThreadId tid = tidBase_ + idx; //!< system-wide hardware tid
-    ProcView view(tid, ctx.time, rng_, noise_);
-    auto maybeOp = ctx.program->next(view);
-    if (!maybeOp || maybeOp->kind == MemOp::Kind::Halt) {
-        ctx.halted = true;
-        return;
-    }
-    const MemOp op = *maybeOp;
-    OpResult res;
+    const double p = noise_.preemptProbPerOp;
+    if (p >= 1.0)
+        return 0;
+    double u;
+    do {
+        u = rng_.uniform();
+    } while (u <= 0.0);
+    // Geometric(p): failures before the first success.
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
 
+unsigned
+SmtCore::preemptHits(std::size_t trials)
+{
+    if (!preemptGapValid_) {
+        preemptCountdown_ = drawPreemptGap();
+        preemptGapValid_ = true;
+    }
+    unsigned hits = 0;
+    while (preemptCountdown_ < trials) {
+        trials -= preemptCountdown_ + 1;
+        ++hits;
+        preemptCountdown_ = drawPreemptGap();
+    }
+    preemptCountdown_ -= trials;
+    return hits;
+}
+
+bool
+SmtCore::execOp(ThreadCtx &ctx, ThreadId tid, ThreadId idx,
+                const MemOp &op, OpResult &res)
+{
     switch (op.kind) {
       case MemOp::Kind::Load:
       case MemOp::Kind::Store: {
@@ -194,10 +287,8 @@ SmtCore::step(ThreadCtx &ctx, ThreadId idx)
         // models) so the per-op sibling scan stays off the hot path.
         if (noise_.portContentionProb > 0.0)
             lat += contentionDelay(ctx, idx);
-        if (noise_.preemptProbPerOp > 0.0 &&
-            rng_.chance(noise_.preemptProbPerOp)) {
+        if (noise_.preemptProbPerOp > 0.0 && preemptHits(1) != 0)
             lat += static_cast<Cycles>(rng_.exponential(noise_.preemptMean));
-        }
 
         ctx.time += lat;
         ctx.lastMemOpAt = ctx.time;
@@ -225,12 +316,12 @@ SmtCore::step(ThreadCtx &ctx, ThreadId idx)
             lat += contentionDelay(ctx, idx);
         if (noise_.preemptProbPerOp > 0.0) {
             // Each element of the burst is individually preemptible,
-            // as on the scalar path.
-            for (std::size_t i = 0; i < op.count; ++i) {
-                if (rng_.chance(noise_.preemptProbPerOp)) {
-                    lat += static_cast<Cycles>(
-                        rng_.exponential(noise_.preemptMean));
-                }
+            // as on the scalar path; the geometric countdown consumes
+            // all of the burst's trials in one call.
+            const unsigned hits = preemptHits(op.count);
+            for (unsigned i = 0; i < hits; ++i) {
+                lat += static_cast<Cycles>(
+                    rng_.exponential(noise_.preemptMean));
             }
         }
         ctx.time += lat;
@@ -295,14 +386,72 @@ SmtCore::step(ThreadCtx &ctx, ThreadId idx)
       }
       case MemOp::Kind::Halt:
         ctx.halted = true;
-        return;
+        return false;
     }
 
     ctx.quiescent = op.kind == MemOp::Kind::SpinUntil ||
                     op.kind == MemOp::Kind::Delay;
     res.tsc = quantize(ctx.time);
-    ProcView after(tid, ctx.time, rng_, noise_);
-    ctx.program->onResult(op, res, after);
+    return true;
+}
+
+void
+SmtCore::step(ThreadCtx &ctx, ThreadId idx, Cycles bound)
+{
+    const ThreadId tid = tidBase_ + idx; //!< system-wide hardware tid
+
+    if (ctx.trace == nullptr && noise_.traceExecution) {
+        ProcView view(tid, ctx.time, rng_, noise_);
+        if (const Trace *tr = ctx.program->nextTrace(view)) {
+            ctx.trace = tr;
+            ctx.tracePos = 0;
+            ctx.traceNextResult = 0;
+        }
+    }
+
+    if (ctx.trace == nullptr) {
+        // Per-op reference path: one next()/onResult round trip.
+        ProcView view(tid, ctx.time, rng_, noise_);
+        auto maybeOp = ctx.program->next(view);
+        if (!maybeOp || maybeOp->kind == MemOp::Kind::Halt) {
+            ctx.halted = true;
+            return;
+        }
+        const MemOp op = *maybeOp;
+        OpResult res;
+        if (!execOp(ctx, tid, idx, op, res))
+            return;
+        ProcView after(tid, ctx.time, rng_, noise_);
+        ctx.program->onResult(op, res, after);
+        return;
+    }
+
+    // Trace slice: run ops back to back, pausing (with resume state in
+    // the ThreadCtx) when the bound is reached, so a sibling or the
+    // scheduler gets control exactly where the per-op loop would have
+    // handed it over.
+    const Trace &tr = *ctx.trace;
+    for (;;) {
+        const MemOp &op = tr.ops[ctx.tracePos];
+        OpResult res;
+        if (!execOp(ctx, tid, idx, op, res)) {
+            ctx.trace = nullptr;
+            return;
+        }
+        const auto opIdx = static_cast<std::uint32_t>(ctx.tracePos++);
+        if (ctx.traceNextResult < tr.resultCount &&
+            tr.resultPoints[ctx.traceNextResult] == opIdx) {
+            ++ctx.traceNextResult;
+            ProcView after(tid, ctx.time, rng_, noise_);
+            ctx.program->onTraceResult(opIdx, op, res, after);
+        }
+        if (ctx.tracePos >= tr.count) {
+            ctx.trace = nullptr;
+            return;
+        }
+        if (bound == 0 || ctx.time >= bound)
+            return;
+    }
 }
 
 } // namespace wb::sim

@@ -34,6 +34,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/sweep_runner.hh"
+
 namespace wb::test
 {
 
@@ -118,15 +120,23 @@ class ProportionSweep
 /**
  * Run @p fn(seed) for @p n consecutive seeds starting at @p base and
  * pool the returned proportions. @p fn returns a Proportion.
+ *
+ * Runs are fanned over a SweepRunner thread pool (hardware
+ * concurrency) and pooled in seed order, so the sweep's totals are
+ * identical at any thread count. @p fn must be shared-nothing:
+ * capture configs by value and build the whole simulation inside.
  */
 template <typename Fn>
 ProportionSweep
 sweepSeeds(Fn &&fn, unsigned n = ProportionSweep::kMinRuns,
            std::uint64_t base = 1)
 {
+    wb::sim::SweepRunner pool;
+    const auto results = pool.map<Proportion>(
+        n, [&](std::size_t i) { return fn(base + i); });
     ProportionSweep sweep;
-    for (unsigned i = 0; i < n; ++i)
-        sweep.add(fn(base + i));
+    for (const Proportion &p : results)
+        sweep.add(p);
     return sweep;
 }
 

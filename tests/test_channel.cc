@@ -58,7 +58,7 @@ test::ProportionSweep
 berSweep(ChannelConfig cfg, unsigned seeds = test::ProportionSweep::kMinRuns)
 {
     return test::sweepSeeds(
-        [&cfg](std::uint64_t seed) {
+        [cfg](std::uint64_t seed) mutable {
             cfg.seed = seed;
             return berProportion(cfg);
         },

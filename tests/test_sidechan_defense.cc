@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "sidechan/attack.hh"
+#include "stat_assert.hh"
 
 namespace wb::sidechan
 {
@@ -39,10 +40,18 @@ TEST(SideChanDefense, PlCacheProtectsTheVictim)
 {
     // PLcache locks written lines: the victim's dirty line cannot be
     // evicted by the attacker's probe, so its write-back never shows.
-    auto cfg = base(Scenario::DirtyProbe);
-    cfg.platform.l1.lockOnWrite = true;
-    auto res = runAttack(cfg);
-    EXPECT_LT(res.accuracy, 0.62);
+    // Per-seed accuracy is bimodal (the threshold calibration lands
+    // above or below the residual noise), so assert the pooled rate
+    // over a seed sweep: it must stay near chance.
+    const auto sweep = test::sweepSeeds([](std::uint64_t seed) {
+        auto cfg = base(Scenario::DirtyProbe);
+        cfg.platform.l1.lockOnWrite = true;
+        cfg.seed = seed;
+        auto res = runAttack(cfg);
+        return test::Proportion{res.accuracy * cfg.trials,
+                                double(cfg.trials)};
+    });
+    EXPECT_ACCURACY_BELOW(sweep, 0.62);
 }
 
 TEST(SideChanDefense, UndefendedBaselineStillPerfect)
