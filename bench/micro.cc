@@ -23,7 +23,12 @@
  *   sweep-scaling-Nt fixed 8-cell channel work-list through a
  *                    SweepRunner pool with N workers (ops = cells)
  *   multicore-access miss-heavy sweep through a 2-core shared LLC
+ *   llc-slice-evict  back-invalidation-heavy dirty sweep on the sliced
+ *                    16-core LLC as a flat/reference pair: per-slice
+ *                    sharer directory vs the all-core scan
  *   channel-frame    one 128-bit frame end to end (ops = bits)
+ *   tenant-frame     one small many-tenant sweep (discovery through
+ *                    decode) on the sliced 16-core preset (ops = bits)
  *   cross-core-frame one cross-core frame on the 4-core desktop
  *   noise-frame      one frame under the OS-noise scheduler (2 mixed
  *                    co-runners; ops = bits)
@@ -53,6 +58,7 @@
 #include "chan/channel.hh"
 #include "chan/cross_core.hh"
 #include "chan/set_mapping.hh"
+#include "chan/tenant.hh"
 #include "common/edit_distance.hh"
 #include "common/rng.hh"
 #include "sim/cache.hh"
@@ -483,6 +489,72 @@ benchMulticoreAccess(double budgetSec)
                    });
 }
 
+/**
+ * llc-slice-evict: a dirty 4W-per-set sweep over eight LLC sets of the
+ * sliced 16-core preset while three other cores keep sharer copies
+ * resident, so every LLC eviction runs the inclusive back-invalidation
+ * path. Measured as a pair: "flat" uses the per-slice sharer directory
+ * (the production default, ~O(sharers) per event), "reference" forces
+ * the pre-directory scan over all 16 cores' private hierarchies
+ * (setDirectoryCoherence(false)). Both are bit-identical
+ * (tests/test_sliced_llc) so the ratio is pure coherence-walk cost.
+ */
+BenchResult
+benchLlcSliceEvict(const std::string &impl, double budgetSec)
+{
+    const Platform &plat = platform("dc-sliced-16core");
+    Rng rng(10);
+    MultiCoreSystem mc(plat.params, plat.cores, &rng);
+    if (impl == "reference")
+        mc.setDirectoryCoherence(false);
+    const AddressLayout llcLayout(plat.params.llc.numSets());
+    const unsigned ways = plat.params.llc.ways;
+    const unsigned sets = 8;
+    const unsigned sharers = 3;
+    std::vector<Addr> held;   // one W-deep pool per set, kept shared
+    std::vector<Addr> sweep;  // 4W distinct tags per set, written dirty
+    for (unsigned set = 0; set < sets; ++set) {
+        for (Addr a : chan::linesForSet(llcLayout, set, ways, 1))
+            held.push_back(a);
+        for (Addr a : chan::linesForSet(llcLayout, set, 4 * ways, 0x200))
+            sweep.push_back(a);
+    }
+    return measure("llc-slice-evict", impl,
+                   "{\"platform\":\"dc-sliced-16core\",\"cores\":16,"
+                   "\"sets\":8,\"sharers\":3,\"asDirty\":true}",
+                   budgetSec, sweep.size(), [&]() {
+                       // Re-establish the sharer copies the previous
+                       // pass back-invalidated, then evict them again.
+                       for (unsigned c = 1; c <= sharers; ++c)
+                           (void)mc.accessBatch(c, 0, held,
+                                                /*isWrite=*/false);
+                       (void)mc.accessBatch(0, 0, sweep,
+                                            /*isWrite=*/true);
+                   });
+}
+
+/**
+ * tenant-frame: one small many-tenant sweep end to end — slice-blind
+ * eviction-set discovery, cooperative sender-line search, training and
+ * payload slots — on the sliced 16-core preset; ops are payload bits
+ * across the pairs. Tracks the tenant harness's full-pipeline cost
+ * (the scaling curves live in examples/tenant_scaling.cpp).
+ */
+BenchResult
+benchTenantFrame(double budgetSec)
+{
+    chan::TenantSweepConfig cfg;
+    cfg.usePlatform("dc-sliced-16core");
+    cfg.pairs = 2;
+    cfg.payloadBits = 64;
+    cfg.seed = 1;
+    return measure("tenant-frame", "multicore",
+                   "{\"platform\":\"dc-sliced-16core\",\"pairs\":2,"
+                   "\"unit\":\"bits\"}",
+                   budgetSec, cfg.pairs * cfg.payloadBits,
+                   [&]() { (void)chan::runTenantSweep(cfg); });
+}
+
 /** A program that does nothing but paced spin-waits. */
 class SpinProgram : public Program
 {
@@ -693,6 +765,8 @@ main(int argc, char **argv)
     results.push_back(benchHierarchyAccess("flat", budget));
     results.push_back(benchHierarchyAccess("reference", budget));
     results.push_back(benchMulticoreAccess(budget));
+    results.push_back(benchLlcSliceEvict("flat", budget));
+    results.push_back(benchLlcSliceEvict("reference", budget));
     results.push_back(benchHierarchyDirtyEvict(budget));
     results.push_back(benchPointerChase(budget));
     results.push_back(benchSmtStep(budget));
@@ -703,6 +777,7 @@ main(int argc, char **argv)
     results.push_back(benchCrossCoreFrame(budget));
     results.push_back(benchNoiseFrame(budget));
     results.push_back(benchTransportFrame(budget));
+    results.push_back(benchTenantFrame(budget));
     results.push_back(benchCalibration(budget));
     results.push_back(benchEditDistance(budget));
     // Last on purpose: the multi-threaded windows can exhaust a

@@ -168,8 +168,11 @@ main(int argc, char **argv)
     // independent seed-pool average, fanned over the pool and read
     // back by grid index.
     std::vector<const sim::Platform *> frontier;
+    // The frontier is a cross-core story; sliced-LLC presets need
+    // runtime eviction-set discovery first and are swept by
+    // example_tenant_scaling instead.
     for (const sim::Platform *p : sim::allPlatforms())
-        if (p->cores >= 2) // the frontier is a cross-core story
+        if (p->cores >= 2 && p->params.llcSlices <= 1)
             frontier.push_back(p);
     const std::size_t cellsPerPlatform = mixes.size() * migrations.size();
     const auto points = pool.map<FrontierPoint>(

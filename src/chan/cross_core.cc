@@ -231,8 +231,9 @@ crossCoreLinkRun(const CrossCoreChannelConfig &base, const BitVec &stream,
 {
     CrossCoreChannelConfig cfg = base;
     cfg.seed = seed;
-    // The ladder only widens Ts by powers of two, so the Tr:Ts ratio
-    // survives the integer arithmetic exactly.
+    // The ladder only ever keeps Ts (binary fallback and the
+    // d-shrink footprint rungs) or widens it by powers of two, so
+    // the Tr:Ts ratio survives the integer arithmetic exactly.
     cfg.protocol.tr = base.protocol.tr * (rate.ts / base.protocol.ts);
     cfg.protocol.ts = rate.ts;
     cfg.protocol.encoding = rate.encoding;

@@ -1,0 +1,173 @@
+#include "chan/eviction_finder.hh"
+
+#include <algorithm>
+
+namespace wb::chan
+{
+
+namespace
+{
+
+/** Median of a small latency sample (copies; samples are tiny). */
+Cycles
+medianOf(std::vector<Cycles> v)
+{
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+} // namespace
+
+EvictionSetFinder::EvictionSetFinder(sim::MemorySystem &mem, ThreadId tid,
+                                     const EvictionFinderConfig &cfg)
+    : mem_(mem), tid_(tid), cfg_(cfg), threshold_(cfg.threshold)
+{
+}
+
+Cycles
+EvictionSetFinder::calibrate(const std::vector<Addr> &candidates,
+                             EvictionSetResult &stats)
+{
+    const std::size_t n =
+        std::min<std::size_t>(cfg_.calibrationSamples, candidates.size());
+    std::vector<Cycles> cold, hot;
+    cold.reserve(n);
+    hot.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Spread the samples across the pool so a partially warm
+        // prefix cannot skew the cold side.
+        const Addr line = candidates[i * candidates.size() / n];
+        cold.push_back(mem_.access(tid_, line, false).latency);
+        hot.push_back(mem_.access(tid_, line, false).latency);
+        stats.accesses += 2;
+    }
+    if (cold.empty())
+        return 1;
+    return (medianOf(std::move(cold)) + medianOf(std::move(hot))) / 2;
+}
+
+bool
+EvictionSetFinder::evicts(Addr victim, const std::vector<Addr> &set,
+                          EvictionSetResult &stats)
+{
+    ++stats.timingTests;
+    // Prime the candidate set first: it flushes pool lines left
+    // resident by earlier tests, so the fills after the victim touch
+    // are (mostly) the set's own lines and sub-W sets stop evicting
+    // the victim through sheer PLRU pressure (see file comment).
+    mem_.accessBatch(tid_, set, false);
+    stats.accesses += set.size();
+    // Install the victim...
+    mem_.access(tid_, victim, false);
+    ++stats.accesses;
+    // ...traverse the candidate set (twice by default: tree-PLRU can
+    // survive one pass with the victim recently touched)...
+    for (unsigned s = 0; s < cfg_.sweeps; ++s) {
+        mem_.accessBatch(tid_, set, false);
+        stats.accesses += set.size();
+    }
+    // ...and re-time the victim: a DRAM-latency reload means the set
+    // pushed it out of the whole hierarchy.
+    const Cycles reload = mem_.access(tid_, victim, false).latency;
+    ++stats.accesses;
+    return reload >= threshold_;
+}
+
+EvictionSetResult
+EvictionSetFinder::findFor(Addr victim, std::vector<Addr> candidates,
+                           Rng &rng)
+{
+    EvictionSetResult res;
+    if (threshold_ == 0)
+        threshold_ = calibrate(candidates, res);
+
+    const unsigned w = std::max(1u, cfg_.associativity);
+    if (!evicts(victim, candidates, res)) {
+        // The pool never evicted the victim: too small, wrong set
+        // index, or the victim is pinned. Nothing to reduce.
+        res.set = std::move(candidates);
+        return res;
+    }
+
+    // --- Group-testing reduction (Vila et al.) ---
+    std::vector<Addr> trimmed;              // scratch for S \ group
+    std::vector<std::vector<Addr>> history; // removed groups (LIFO)
+    unsigned stuck = 0, backtracks = 0;
+    while (candidates.size() > w) {
+        const unsigned groups =
+            std::min<unsigned>(w + 1, unsigned(candidates.size()));
+        // Contiguous chunks of a (re)shuffled pool are random groups;
+        // reshuffling on every round is what makes a stuck round's
+        // retry a genuinely different partition.
+        for (std::size_t i = candidates.size(); i > 1; --i) {
+            const std::size_t j = rng.below(i);
+            std::swap(candidates[i - 1], candidates[j]);
+        }
+        bool removed = false;
+        for (unsigned g = 0; g < groups && !removed; ++g) {
+            const std::size_t lo = g * candidates.size() / groups;
+            const std::size_t hi = (g + 1) * candidates.size() / groups;
+            if (lo == hi)
+                continue;
+            trimmed.clear();
+            trimmed.insert(trimmed.end(), candidates.begin(),
+                           candidates.begin() + lo);
+            trimmed.insert(trimmed.end(), candidates.begin() + hi,
+                           candidates.end());
+            // A removal must pass twice: one flaky positive would
+            // permanently discard a (possibly congruent) group.
+            if (evicts(victim, trimmed, res) &&
+                evicts(victim, trimmed, res)) {
+                history.emplace_back(candidates.begin() + lo,
+                                     candidates.begin() + hi);
+                candidates.swap(trimmed);
+                removed = true;
+            }
+        }
+        if (!removed) {
+            // Pigeonhole says some group was removable, so this is
+            // replacement-policy flakiness — retry with fresh
+            // partitions, then restore the most recently removed
+            // group (a false positive may have taken a congruent
+            // line with it), and only then give up honestly.
+            if (++stuck > cfg_.maxStuckRetries) {
+                if (history.empty() ||
+                    ++backtracks > cfg_.maxBacktracks) {
+                    res.set = std::move(candidates);
+                    return res;
+                }
+                candidates.insert(candidates.end(),
+                                  history.back().begin(),
+                                  history.back().end());
+                history.pop_back();
+                stuck = 0;
+            }
+        } else {
+            stuck = 0;
+        }
+    }
+
+    // --- Self-verification: still evicting, and minimal ---
+    bool minimal = candidates.size() == w &&
+                   evicts(victim, candidates, res);
+    if (minimal) {
+        std::vector<Addr> probe;
+        probe.reserve(candidates.size() - 1);
+        for (std::size_t drop = 0; drop < candidates.size() && minimal;
+             ++drop) {
+            probe.clear();
+            for (std::size_t i = 0; i < candidates.size(); ++i)
+                if (i != drop)
+                    probe.push_back(candidates[i]);
+            // Dropping any single line must break eviction; if it
+            // does not, a non-congruent straggler survived.
+            if (evicts(victim, probe, res))
+                minimal = false;
+        }
+    }
+    res.verifiedMinimal = minimal;
+    res.set = std::move(candidates);
+    return res;
+}
+
+} // namespace wb::chan

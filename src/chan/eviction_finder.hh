@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Runtime minimal-eviction-set discovery for sliced LLCs.
+ *
+ * A tenant landing on a slice-hashed LLC (sim/slice_hash.hh) cannot
+ * build an eviction set by address arithmetic: lines sharing a set
+ * index scatter across slices, and the hash is not architecturally
+ * visible. What it *can* do is what "The Spy in the Sandbox" (Oren et
+ * al.) and Vila et al. do on real hardware — start from a candidate
+ * pool of same-set-index lines and shrink it with timing tests alone:
+ *
+ *   evicts(v, S): prime S, load v, sweep S a couple of times,
+ *                 re-time v. A slow reload means S still evicts v.
+ *
+ * The priming pass before the victim touch matters: without it, pool
+ * lines left resident by earlier tests put the victim's set under
+ * extra fill pressure, and tree-PLRU then evicts the victim even when
+ * S holds fewer than W congruent lines — false positives that strip
+ * congruent lines out of the reduction.
+ *
+ * The reduction is Vila et al.'s group-testing algorithm: while the
+ * set is larger than the associativity W, split it into W + 1 groups;
+ * at most W of them can contain a line congruent with v, so at least
+ * one group is removable without breaking eviction. Each round drops
+ * |S|/(W+1) lines, giving the O(W^2 n) total the thousand-pair tenant
+ * sweep needs (the naive one-line-at-a-time reduction is O(n^2)).
+ * Against the replacement-policy flakiness that survives priming, a
+ * removal must pass the eviction test twice, and removed groups are
+ * kept on a history stack so a stalled reduction can backtrack — the
+ * standard hardening of the algorithm on real machines.
+ *
+ * Everything here runs through a sim::MemorySystem port and the
+ * latencies it returns — no access to the slice hash, the directory,
+ * or any cache introspection. Ground-truth verification (is the
+ * result *really* the W lines congruent with the victim?) lives in
+ * tests/test_eviction_finder.cc, which is allowed to peek.
+ */
+
+#ifndef WB_CHAN_EVICTION_FINDER_HH
+#define WB_CHAN_EVICTION_FINDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/hierarchy.hh"
+
+namespace wb::chan
+{
+
+/** Tuning knobs of EvictionSetFinder. */
+struct EvictionFinderConfig
+{
+    /**
+     * Target (LLC) associativity W: the reduction stops when the set
+     * reaches this size, and verification checks minimality at it.
+     */
+    unsigned associativity = 16;
+
+    /**
+     * Reload-latency threshold separating "still cached somewhere"
+     * from "evicted to DRAM". 0 auto-calibrates: a fresh line's first
+     * touch times a memory access, its immediate second touch a cache
+     * hit, and the threshold is the midpoint of the two medians.
+     */
+    Cycles threshold = 0;
+
+    /** Candidate-set traversals per eviction test (PLRU reliability). */
+    unsigned sweeps = 2;
+
+    /**
+     * Rounds a reduction may fail to remove any group (re-partitioned
+     * randomly each retry) before backtracking. Pigeonhole guarantees
+     * a removable group exists, so retries only absorb
+     * replacement-policy flakiness.
+     */
+    unsigned maxStuckRetries = 3;
+
+    /**
+     * Removed groups a stalled reduction may restore (most recent
+     * first) before giving up unverified. Backtracking is what
+     * recovers a congruent line lost to a false-positive removal.
+     */
+    unsigned maxBacktracks = 16;
+
+    /** Measurement samples per threshold auto-calibration side. */
+    unsigned calibrationSamples = 9;
+};
+
+/** Outcome of one discovery run. */
+struct EvictionSetResult
+{
+    /** The discovered eviction set (addresses from the candidates). */
+    std::vector<Addr> set;
+
+    /**
+     * True when the final set still evicts the victim, has exactly W
+     * lines, and dropping any single line breaks eviction — minimal
+     * by the finder's own timing tests (not by ground truth).
+     */
+    bool verifiedMinimal = false;
+
+    std::uint64_t timingTests = 0; //!< evicts() evaluations performed
+    std::uint64_t accesses = 0;    //!< demand accesses issued
+};
+
+/**
+ * Timing-only minimal-eviction-set discovery over a MemorySystem
+ * port (see file comment). The finder issues plain loads and reads
+ * the returned latencies; it never flushes (an eviction-only
+ * observer) and never inspects simulator internals.
+ */
+class EvictionSetFinder
+{
+  public:
+    /**
+     * @param mem the port discovery runs through (a core's view)
+     * @param tid hardware thread issuing the accesses
+     * @param cfg tuning knobs (associativity must match the LLC)
+     */
+    EvictionSetFinder(sim::MemorySystem &mem, ThreadId tid,
+                      const EvictionFinderConfig &cfg);
+
+    /**
+     * Reduce @p candidates to a minimal eviction set for @p victim.
+     * @p rng shuffles the group partitions (and nothing else).
+     * Returns an unverified result with the best-effort set when the
+     * pool does not evict the victim at all or the reduction stalls.
+     */
+    EvictionSetResult findFor(Addr victim,
+                              std::vector<Addr> candidates, Rng &rng);
+
+    /**
+     * The resolved reload threshold: the configured value, or after
+     * the first findFor() the auto-calibrated midpoint (0 before).
+     * Introspection for tests and the tenant harness logs.
+     */
+    Cycles threshold() const { return threshold_; }
+
+  private:
+    /** One timing test: does @p set still evict @p victim? */
+    bool evicts(Addr victim, const std::vector<Addr> &set,
+                EvictionSetResult &stats);
+
+    /**
+     * Midpoint of a cold-miss and a hot-hit latency median, sampled
+     * off the (still untouched) candidate pool: each sampled line's
+     * first touch times a DRAM access, its immediate re-touch a cache
+     * hit. Assumes cold candidates — callers that re-run discovery
+     * over warm pools must set cfg.threshold explicitly.
+     */
+    Cycles calibrate(const std::vector<Addr> &candidates,
+                     EvictionSetResult &stats);
+
+    sim::MemorySystem &mem_;
+    ThreadId tid_;
+    EvictionFinderConfig cfg_;
+    Cycles threshold_ = 0; //!< resolved lazily on first use
+};
+
+} // namespace wb::chan
+
+#endif // WB_CHAN_EVICTION_FINDER_HH

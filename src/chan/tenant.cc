@@ -1,0 +1,289 @@
+#include "chan/tenant.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "chan/eviction_finder.hh"
+#include "chan/set_mapping.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "sim/address.hh"
+
+namespace wb::chan
+{
+
+namespace
+{
+
+Cycles
+medianOf(std::vector<Cycles> v)
+{
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+/** Binary-symmetric-channel rate 1 - H2(p), p folded into [0, 1/2]. */
+double
+bscRate(double ber)
+{
+    double p = std::min(ber, 1.0 - ber);
+    if (p <= 0.0)
+        return 1.0;
+    if (p >= 0.5)
+        return 0.0;
+    return 1.0 + p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p);
+}
+
+/** Everything one tenant pair carries through the sweep. */
+struct PairState
+{
+    unsigned senderCore = 0;
+    unsigned receiverCore = 0;
+    ThreadId tid = 0;
+    unsigned targetSet = 0;
+    Addr victim = 0;                //!< physical victim line
+    std::vector<Addr> evictionSet;  //!< receiver's discovered set (phys)
+    std::vector<Addr> senderLines;  //!< sender's congruent lines (phys)
+    std::vector<std::uint8_t> bits; //!< payload bits to transmit
+    std::vector<Cycles> slotLats;   //!< receiver sweep latency per slot
+    TenantPairResult out;
+};
+
+/** Translate a pool of virtual lines through @p space. */
+std::vector<Addr>
+toPhysical(const sim::AddressSpace &space, const std::vector<Addr> &vas)
+{
+    std::vector<Addr> pas;
+    pas.reserve(vas.size());
+    for (Addr va : vas)
+        pas.push_back(space.translate(va));
+    return pas;
+}
+
+} // namespace
+
+TenantSweepResult
+runTenantSweep(const TenantSweepConfig &cfg)
+{
+    if (cfg.cores < 2)
+        fatalf("runTenantSweep: needs >= 2 cores, got ", cfg.cores);
+    if (cfg.trainingSlots < 2 || cfg.payloadBits == 0)
+        fatalf("runTenantSweep: needs >= 2 training slots and "
+               "payload bits");
+
+    TenantSweepResult result;
+    if (cfg.pairs == 0)
+        return result;
+
+    Rng root(cfg.seed);
+    Rng noiseRng = root.split();
+    sim::MultiCoreSystem mc(cfg.platform, cfg.cores, &noiseRng);
+
+    const sim::AddressLayout llcLayout(cfg.platform.llc.numSets());
+    const unsigned ways = cfg.platform.llc.ways;
+    const unsigned setRange = std::min<unsigned>(
+        std::max(1u, cfg.targetSetRange), cfg.platform.llc.numSets());
+    // Congruence-probe margin: a conflicting candidate costs the
+    // timed sweep at least one LLC-miss-instead-of-hit. The parties
+    // know the platform's latency corners from calibration.
+    const Cycles hitLat = cfg.platform.lat.llcHit;
+    const Cycles memLat = cfg.platform.lat.mem;
+    const Cycles probeMargin = memLat > hitLat ? (memLat - hitLat) / 2 : 1;
+
+    // --- Per-pair setup: discovery, then the conflict search ---
+    std::vector<PairState> pairs(cfg.pairs);
+    for (unsigned p = 0; p < cfg.pairs; ++p) {
+        PairState &st = pairs[p];
+        Rng prng = root.split();
+        Rng bitsRng = root.split();
+
+        // Senders land on even cores, receivers on odd cores (the
+        // preset core counts are even); pairs beyond the core count
+        // time-share, which is exactly the load axis under study.
+        st.senderCore = (2 * p) % cfg.cores;
+        st.receiverCore = (2 * p + 1) % cfg.cores;
+        st.tid = ThreadId(2 * p / cfg.cores);
+        st.targetSet = unsigned(prng.below(setRange));
+        st.out.senderCore = st.senderCore;
+        st.out.receiverCore = st.receiverCore;
+        st.out.targetSet = st.targetSet;
+
+        // Disjoint address spaces per tenant: physical lines never
+        // overlap across pairs, and the asid bits feed the slice
+        // hash, so every pool scatters independently.
+        const sim::AddressSpace receiverSpace(2 * p + 2);
+        const sim::AddressSpace senderSpace(2 * p + 3);
+
+        const Addr victimVa =
+            linesForSet(llcLayout, st.targetSet, 1, /*tagBase=*/1)[0];
+        st.victim = receiverSpace.translate(victimVa);
+        st.out.slice = mc.sliceOf(st.victim);
+
+        // 1. Receiver: reduce the candidate pool to a minimal
+        //    eviction set with timing tests only.
+        EvictionFinderConfig fc;
+        fc.associativity = ways;
+        EvictionSetFinder finder(mc.port(st.receiverCore), st.tid, fc);
+        EvictionSetResult found = finder.findFor(
+            st.victim,
+            toPhysical(receiverSpace,
+                       linesForSet(llcLayout, st.targetSet,
+                                   cfg.candidatePool, /*tagBase=*/0x100)),
+            prng);
+        st.out.discoveryTests = found.timingTests;
+        st.out.discoveryAccesses = found.accesses;
+        // A failed reduction leaves a large set; truncating keeps the
+        // slot loop cheap and the pair honestly near coin-flip.
+        if (found.set.size() > ways)
+            found.set.resize(ways);
+        st.evictionSet = std::move(found.set);
+
+        // 2. Sender: cooperative conflict search. The receiver times
+        //    a sweep of its set while the sender dirties a candidate;
+        //    congruent candidates push one set line out of the slice.
+        const std::vector<Addr> senderPool = toPhysical(
+            senderSpace, linesForSet(llcLayout, st.targetSet,
+                                     cfg.candidatePool, /*tagBase=*/0x100));
+        auto sweep = [&] {
+            return mc.accessBatch(st.receiverCore, st.tid, st.evictionSet,
+                                  false)
+                .totalLatency;
+        };
+        for (int warm = 0; warm < 3; ++warm)
+            sweep();
+        std::vector<Cycles> baseSamples;
+        for (int s = 0; s < 5; ++s)
+            baseSamples.push_back(sweep());
+        const Cycles base = medianOf(std::move(baseSamples));
+        for (Addr cand : senderPool) {
+            if (st.senderLines.size() >= cfg.d)
+                break;
+            sweep(); // restore steady state after the previous probe
+            sweep();
+            mc.access(st.senderCore, st.tid, cand, /*isWrite=*/true);
+            if (sweep() >= base + probeMargin)
+                st.senderLines.push_back(cand);
+        }
+        st.out.senderLineCount = unsigned(st.senderLines.size());
+        st.out.discovered =
+            found.verifiedMinimal && st.senderLines.size() == cfg.d;
+
+        st.bits.reserve(cfg.payloadBits);
+        for (unsigned b = 0; b < cfg.payloadBits; ++b)
+            st.bits.push_back(bitsRng.flip() ? 1 : 0);
+    }
+
+    // Ground-truth collision marking: pairs agreeing on a
+    // (slice, slice-set) are the ones expected to interfere.
+    {
+        const unsigned sliceSets =
+            cfg.platform.llc.numSets() / std::max(1u, cfg.platform.llcSlices);
+        std::unordered_map<std::uint64_t, unsigned> keyCount;
+        auto keyOf = [&](const PairState &st) {
+            const Addr la = sim::AddressLayout::lineAddr(st.victim);
+            return (std::uint64_t(st.out.slice) << 32) |
+                   (la & (sliceSets - 1));
+        };
+        for (const PairState &st : pairs)
+            ++keyCount[keyOf(st)];
+        for (PairState &st : pairs)
+            st.out.collides = keyCount[keyOf(st)] > 1;
+    }
+
+    // --- Slotted channel: training preamble, then payload ---
+    // Counters restart here so the coherence numbers describe the
+    // signaling phases, not the setup churn.
+    mc.resetCounters();
+    const unsigned slots = cfg.trainingSlots + cfg.payloadBits;
+    std::vector<Cycles> coreCycles(cfg.cores);
+    double busiestSum = 0.0;
+    for (unsigned slot = 0; slot < slots; ++slot) {
+        std::fill(coreCycles.begin(), coreCycles.end(), 0);
+        // Sender half-slot: every pair's '1' dirties its congruent
+        // lines. All senders act before any receiver times, the same
+        // phase alignment a slotted protocol gives each single pair.
+        for (PairState &st : pairs) {
+            const bool one = slot < cfg.trainingSlots
+                                 ? slot % 2 == 0
+                                 : st.bits[slot - cfg.trainingSlots] != 0;
+            if (one && !st.senderLines.empty())
+                coreCycles[st.senderCore] +=
+                    mc.accessBatch(st.senderCore, st.tid, st.senderLines,
+                                   /*isWrite=*/true)
+                        .totalLatency;
+        }
+        // Receiver half-slot: timed sweeps (the decode observable).
+        for (PairState &st : pairs) {
+            const Cycles lat =
+                mc.accessBatch(st.receiverCore, st.tid, st.evictionSet,
+                               false)
+                    .totalLatency;
+            coreCycles[st.receiverCore] += lat;
+            st.slotLats.push_back(lat);
+        }
+        busiestSum += double(
+            *std::max_element(coreCycles.begin(), coreCycles.end()));
+    }
+    result.coherence = mc.coherenceStats();
+    result.scanProbeEquivalent =
+        (result.coherence.invalidateEvents +
+         result.coherence.snoopEvents) *
+            (cfg.cores - 1) +
+        (result.coherence.backInvalEvents +
+         result.coherence.flushEvents) *
+            cfg.cores;
+
+    // --- Decode and aggregate ---
+    double berSum = 0.0, cleanSum = 0.0, collideSum = 0.0;
+    unsigned cleanCount = 0, collideCount = 0;
+    for (PairState &st : pairs) {
+        std::vector<Cycles> ones, zeros;
+        for (unsigned slot = 0; slot < cfg.trainingSlots; ++slot)
+            (slot % 2 == 0 ? ones : zeros).push_back(st.slotLats[slot]);
+        const double thr =
+            (double(medianOf(std::move(ones))) +
+             double(medianOf(std::move(zeros)))) /
+            2.0;
+        unsigned errors = 0;
+        for (unsigned b = 0; b < cfg.payloadBits; ++b) {
+            const bool decoded =
+                double(st.slotLats[cfg.trainingSlots + b]) > thr;
+            if (decoded != (st.bits[b] != 0))
+                ++errors;
+        }
+        st.out.ber = double(errors) / double(cfg.payloadBits);
+
+        berSum += st.out.ber;
+        result.maxBer = std::max(result.maxBer, st.out.ber);
+        if (st.out.collides) {
+            ++result.collidingPairs;
+            collideSum += st.out.ber;
+            ++collideCount;
+        } else {
+            cleanSum += st.out.ber;
+            ++cleanCount;
+        }
+        if (st.out.discovered)
+            ++result.discovered;
+        result.aggregateBitsPerSlot += bscRate(st.out.ber);
+        result.pairs.push_back(st.out);
+    }
+    result.meanBer = berSum / double(cfg.pairs);
+    result.meanBerClean =
+        cleanCount ? cleanSum / double(cleanCount) : 0.0;
+    result.meanBerColliding =
+        collideCount ? collideSum / double(collideCount) : 0.0;
+
+    const double busiestMean = busiestSum / double(slots);
+    result.busiestCoreUtil = busiestMean / double(cfg.slotCycles);
+    const double effectiveSlot =
+        std::max(double(cfg.slotCycles), busiestMean);
+    result.aggregateKbps =
+        result.aggregateBitsPerSlot * cfg.cpuGhz * 1e6 / effectiveSlot;
+    return result;
+}
+
+} // namespace wb::chan

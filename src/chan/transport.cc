@@ -40,7 +40,8 @@ preambleErrorsAt(const BitVec &stream, std::size_t off, const BitVec &pre)
 } // namespace
 
 std::vector<RateStep>
-rateLadder(const ProtocolConfig &proto, unsigned maxDoublings)
+rateLadder(const ProtocolConfig &proto, unsigned maxDoublings,
+           unsigned signalShrinks)
 {
     std::vector<RateStep> ladder;
     ladder.push_back({proto.ts, proto.encoding});
@@ -50,6 +51,16 @@ rateLadder(const ProtocolConfig &proto, unsigned maxDoublings)
         // thresholds, the widest latency gap the alphabet allows.
         slow = Encoding::binary(
             std::max(1u, std::min(4u, proto.encoding.maxLevel())));
+        ladder.push_back({proto.ts, slow});
+    }
+    // Footprint rungs: halve the dirty-line count at unchanged
+    // pacing, shedding per-slot work and cross-tenant collision
+    // cross-section before shedding rate (see the header comment).
+    for (unsigned s = 0; s < signalShrinks; ++s) {
+        const unsigned d = slow.maxLevel() / 2;
+        if (d < 1)
+            break;
+        slow = Encoding::binary(d);
         ladder.push_back({proto.ts, slow});
     }
     Cycles ts = proto.ts;
@@ -206,8 +217,8 @@ runTransportSession(const TransportConfig &cfg,
         }
     }
 
-    const std::vector<RateStep> ladder =
-        rateLadder(baseProto, cfg.maxSlowdownDoublings);
+    const std::vector<RateStep> ladder = rateLadder(
+        baseProto, cfg.maxSlowdownDoublings, cfg.signalShrinks);
     RateController controller(cfg, static_cast<unsigned>(ladder.size()));
     SelectiveRepeatArq arq(chunks, cfg.maxRetries);
     const std::size_t stride = layout.frameBits() + cfg.guardBits;

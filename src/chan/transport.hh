@@ -65,12 +65,24 @@ struct RateStep
 /**
  * Build the rate ladder for @p proto: rung 0 is the configured rate;
  * a multi-bit encoding falls back to binary (same pacing) at rung 1;
- * each further rung doubles Ts/Tr, up to @p maxDoublings doublings.
- * The binary fallback keeps the widest latency gap the associativity
- * allows (min(4, maxLevel) dirty lines).
+ * then up to @p signalShrinks rungs halve the dirty-line count d at
+ * unchanged pacing; each further rung doubles Ts/Tr, up to
+ * @p maxDoublings doublings. The binary fallback keeps the widest
+ * latency gap the associativity allows (min(4, maxLevel) dirty
+ * lines).
+ *
+ * The d-shrink rungs degrade the channel's *footprint*, not its
+ * pacing: fewer dirty lines per symbol means less per-slot work on a
+ * time-shared core and a smaller cross-tenant collision cross-section
+ * on a crowded socket (docs/TENANTS.md), while the unchanged Ts keeps
+ * the Tr:Ts ratio arithmetic in crossCoreLinkRun exact. Only once the
+ * footprint floor (d = 1) is reached does the ladder start paying
+ * with time. Shrinking stops silently at d = 1, so a binary(1)
+ * protocol gets no shrink rungs regardless of the budget.
  */
 std::vector<RateStep> rateLadder(const ProtocolConfig &proto,
-                                 unsigned maxDoublings);
+                                 unsigned maxDoublings,
+                                 unsigned signalShrinks = 0);
 
 /** Transport-layer configuration, plumbed next to SchedulerConfig. */
 struct TransportConfig
@@ -101,6 +113,14 @@ struct TransportConfig
     // --- adaptive-rate controller ---
     bool adaptiveRate = true;
     unsigned maxSlowdownDoublings = 3; //!< ladder depth past fallback
+
+    /**
+     * d-shrink rungs between the binary fallback and the Ts
+     * doublings (see rateLadder). 0 (the default) reproduces the
+     * pacing-only ladder bit-for-bit; crowded-socket deployments
+     * raise it to shed footprint before shedding rate.
+     */
+    unsigned signalShrinks = 0;
 
     /** Step down (slower) when round FER reaches this. */
     double degradeFer = 0.5;

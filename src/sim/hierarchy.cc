@@ -49,6 +49,12 @@ Hierarchy::Hierarchy(const HierarchyParams &params, Rng *rng)
                      params.randomFillWindow == 0 &&
                      params.prefetchGuardProb <= 0.0)
 {
+    if (params.llcSlices > 1) {
+        fatalf("Hierarchy: llcSlices=", params.llcSlices,
+               " — LLC slicing is modeled by MultiCoreSystem only "
+               "(a single-core machine has no slice interconnect to "
+               "model; stand the preset up as a MultiCoreSystem)");
+    }
 }
 
 void

@@ -223,6 +223,19 @@ struct HierarchyParams
      * (false) matches the paper's Xeon E5-2650.
      */
     bool inclusiveLlc = false;
+
+    /**
+     * LLC slices (1, 2, 4 or 8). With > 1 the `llc` geometry describes
+     * the *aggregate* LLC: MultiCoreSystem splits it into llcSlices
+     * equal Cache shards and routes each line address through an
+     * Intel-style XOR-of-tag-bits hash (sim/slice_hash.hh), so
+     * addresses sharing a set index scatter across slices and
+     * eviction sets must be discovered at runtime. 1 keeps the
+     * monolithic LLC (bit-exact with the pre-slicing model). Only
+     * MultiCoreSystem models slicing; the single-core Hierarchy is
+     * fatal on llcSlices > 1.
+     */
+    unsigned llcSlices = 1;
 };
 
 /** The Xeon E5-2650 configuration of paper Table III. */

@@ -1,5 +1,8 @@
 #include "sim/multicore.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/log.hh"
 
 namespace wb::sim
@@ -41,31 +44,22 @@ CorePort::counters(ThreadId tid)
 
 // --------------------------------------------------------- MultiCoreSystem
 
-bool
-multiCoreCapable(const HierarchyParams &params)
+const char *
+multiCoreIncapableReason(const HierarchyParams &params)
 {
-    return params.l1.writePolicy == WritePolicy::WriteBack &&
-           params.l1.allocPolicy == AllocPolicy::WriteAllocate &&
-           params.randomFillWindow == 0 &&
-           params.prefetchGuardProb <= 0.0 && !params.llc.probeIsolated &&
-           params.llc.fillMaskPerThread.empty();
-}
-
-MultiCoreSystem::MultiCoreSystem(const HierarchyParams &params,
-                                 unsigned cores, Rng *rng)
-    : params_(params), rng_(rng), llc_(params.llc, rng)
-{
-    if (cores == 0)
-        fatalf("MultiCoreSystem: at least one core required");
     if (params.l1.writePolicy != WritePolicy::WriteBack ||
         params.l1.allocPolicy != AllocPolicy::WriteAllocate) {
-        fatalf("MultiCoreSystem: only write-back, write-allocate cores "
-               "are modeled (write-through L1s keep no dirty state to "
-               "leak cross-core)");
+        return "only write-back, write-allocate cores are modeled "
+               "(write-through L1s keep no dirty state to leak "
+               "cross-core)";
     }
-    if (params.randomFillWindow != 0 || params.prefetchGuardProb > 0.0) {
-        fatalf("MultiCoreSystem: hierarchy-level defenses (random fill, "
-               "prefetch guard) are not modeled multi-core");
+    if (params.randomFillWindow != 0) {
+        return "the random-fill-window defense (randomFillWindow != 0) "
+               "is only modeled single-core";
+    }
+    if (params.prefetchGuardProb > 0.0) {
+        return "the prefetch-guard defense (prefetchGuardProb > 0) is "
+               "only modeled single-core";
     }
     if (params.llc.probeIsolated || !params.llc.fillMaskPerThread.empty()) {
         // LLC fills record the *core* id as the filler while probes
@@ -74,9 +68,58 @@ MultiCoreSystem::MultiCoreSystem(const HierarchyParams &params,
         // is rejected rather than silently missimulated. (Per-core
         // L1/L2 partitioning is fine: those caches only ever see one
         // core's thread ids.)
-        fatalf("MultiCoreSystem: per-thread LLC partitioning/probe "
-               "isolation is not modeled multi-core");
+        return "per-thread LLC partitioning/probe isolation "
+               "(llc.fillMaskPerThread / llc.probeIsolated) is not "
+               "modeled multi-core";
     }
+    if (params.llcSlices != 1 && params.llcSlices != 2 &&
+        params.llcSlices != 4 && params.llcSlices != 8) {
+        return "llcSlices must be 1, 2, 4 or 8 (three XOR-of-tag-bits "
+               "parity functions address at most eight slices)";
+    }
+    if (params.llc.numSets() < params.llcSlices) {
+        return "the aggregate LLC has fewer sets than llcSlices (each "
+               "slice needs at least one set)";
+    }
+    return nullptr;
+}
+
+bool
+multiCoreCapable(const HierarchyParams &params)
+{
+    return multiCoreIncapableReason(params) == nullptr;
+}
+
+MultiCoreSystem::MultiCoreSystem(const HierarchyParams &params,
+                                 unsigned cores, Rng *rng)
+    : params_(params), rng_(rng)
+{
+    if (cores == 0)
+        fatalf("MultiCoreSystem: at least one core required");
+    if (cores > kMaxCores) {
+        fatalf("MultiCoreSystem: ", cores, " cores exceed the ",
+               kMaxCores, "-core limit (sharer presence masks are "
+               "64-bit)");
+    }
+    if (const char *why = multiCoreIncapableReason(params))
+        fatalf("MultiCoreSystem: ", why);
+
+    // Shard the aggregate LLC geometry into llcSlices equal slices;
+    // with llcSlices == 1 the single shard is byte-identical to the
+    // monolithic pre-slicing LLC (the equivalence suite pins this).
+    const unsigned slices = params.llcSlices;
+    CacheParams sliceParams = params.llc;
+    sliceParams.sizeBytes = params.llc.sizeBytes / slices;
+    sliceHash_ = SliceHash(
+        slices,
+        static_cast<unsigned>(std::countr_zero(sliceParams.numSets())));
+    llcSlices_.reserve(slices);
+    for (unsigned s = 0; s < slices; ++s)
+        llcSlices_.emplace_back(sliceParams, rng);
+    sharers_.resize(slices);
+
+    directoryCoherence_ = cores >= kDirectoryMinCores;
+
     cores_.reserve(cores);
     for (unsigned i = 0; i < cores; ++i) {
         cores_.push_back(
@@ -99,6 +142,26 @@ MemorySystem &
 MultiCoreSystem::port(unsigned core)
 {
     return coreRef(core).port;
+}
+
+Cache &
+MultiCoreSystem::llc()
+{
+    if (llcSlices_.size() != 1) {
+        fatalf("MultiCoreSystem::llc: the LLC is sharded into ",
+               llcSlices_.size(), " slices — no monolithic view "
+               "exists; use llcSlice()/llcSliceCount()/sliceOf()");
+    }
+    return llcSlices_[0];
+}
+
+Cache &
+MultiCoreSystem::llcSlice(unsigned slice)
+{
+    if (slice >= llcSlices_.size())
+        fatalf("MultiCoreSystem: LLC slice ", slice, " out of range (",
+               llcSlices_.size(), " slices)");
+    return llcSlices_[slice];
 }
 
 PerfCounters &
@@ -127,7 +190,10 @@ MultiCoreSystem::reset()
         c->l1.reset();
         c->l2.reset();
     }
-    llc_.reset();
+    for (auto &slice : llcSlices_)
+        slice.reset();
+    for (auto &dir : sharers_)
+        dir.clear();
 }
 
 void
@@ -136,6 +202,7 @@ MultiCoreSystem::resetCounters()
     for (auto &c : cores_)
         for (auto &ctr : c->counters)
             ctr = PerfCounters{};
+    coherence_ = CoherenceStats{};
 }
 
 void
@@ -151,27 +218,123 @@ MultiCoreSystem::resetAll()
 // -------------------------------------------------------- coherence layer
 
 void
+MultiCoreSystem::setDirectoryCoherence(bool on)
+{
+    if (on == directoryCoherence_)
+        return;
+    directoryCoherence_ = on;
+    // Scan mode runs zero directory maintenance, so whatever the maps
+    // held has gone stale; re-derive the exact holder sets from the
+    // private caches themselves.
+    if (on)
+        rebuildDirectory();
+}
+
+void
+MultiCoreSystem::rebuildDirectory()
+{
+    for (auto &dir : sharers_)
+        dir.clear();
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+        for (Cache *cache : {&cores_[i]->l1, &cores_[i]->l2}) {
+            for (unsigned set = 0; set < cache->numSets(); ++set)
+                for (const Line &line : cache->setContents(set))
+                    if (line.valid)
+                        noteSharer(i, line.lineAddr);
+        }
+    }
+}
+
+void
+MultiCoreSystem::dropSharerIfAbsent(Cache &survivor, unsigned core,
+                                    Addr la)
+{
+    if (survivor.contains(la << lineShift))
+        return;
+    SliceDirectory &dir = sharers_[sliceHash_.sliceOf(la)];
+    std::uint64_t *mask = dir.find(la);
+    if (mask == nullptr)
+        return;
+    // Decide erase-vs-store before writing: a zero mask marks the
+    // slot free, so erase() could no longer find it (sharer_map.hh).
+    const std::uint64_t left = *mask & ~(std::uint64_t(1) << core);
+    if (left == 0)
+        dir.erase(la);
+    else
+        *mask = left;
+}
+
+void
 MultiCoreSystem::invalidateRemote(unsigned core, Addr paddr)
 {
-    for (unsigned o = 0; o < cores_.size(); ++o) {
-        if (o == core)
-            continue;
+    ++coherence_.invalidateEvents;
+    if (!directoryCoherence_) {
+        // Global scan (the pre-directory implementation, retained as
+        // the bit-exactness reference and benchmark baseline).
+        for (unsigned o = 0; o < cores_.size(); ++o) {
+            if (o == core)
+                continue;
+            ++coherence_.privateProbes;
+            bool d = false;
+            cores_[o]->l1.invalidate(paddr, d);
+            cores_[o]->l2.invalidate(paddr, d);
+        }
+        return;
+    }
+    const Addr la = AddressLayout::lineAddr(paddr);
+    SliceDirectory &dir = sharers_[sliceHash_.sliceOf(la)];
+    std::uint64_t *mask = dir.find(la);
+    if (mask == nullptr)
+        return;
+    const std::uint64_t self = std::uint64_t(1) << core;
+    for (std::uint64_t m = *mask & ~self; m != 0; m &= m - 1) {
+        const unsigned o = static_cast<unsigned>(std::countr_zero(m));
+        ++coherence_.privateProbes;
         bool d = false;
         cores_[o]->l1.invalidate(paddr, d);
         cores_[o]->l2.invalidate(paddr, d);
     }
+    // Only the upgrading core may still hold the line. Decide
+    // erase-vs-store before writing: a zero mask marks the slot free,
+    // so erase() could no longer find it (sharer_map.hh).
+    const std::uint64_t left = *mask & self;
+    if (left == 0)
+        dir.erase(la);
+    else
+        *mask = left;
 }
 
 bool
 MultiCoreSystem::snoopRemoteDirty(unsigned core, Addr paddr,
                                   PerfCounters &ctr, Cycles &drainExtra)
 {
+    ++coherence_.snoopEvents;
     bool found = false;
-    for (unsigned o = 0; o < cores_.size(); ++o) {
-        if (o == core)
-            continue;
-        found |= cores_[o]->l1.downgrade(paddr);
-        found |= cores_[o]->l2.downgrade(paddr);
+    if (!directoryCoherence_) {
+        for (unsigned o = 0; o < cores_.size(); ++o) {
+            if (o == core)
+                continue;
+            ++coherence_.privateProbes;
+            found |= cores_[o]->l1.downgrade(paddr);
+            found |= cores_[o]->l2.downgrade(paddr);
+        }
+    } else {
+        const Addr la = AddressLayout::lineAddr(paddr);
+        SliceDirectory &dir = sharers_[sliceHash_.sliceOf(la)];
+        const std::uint64_t *mask = dir.find(la);
+        if (mask != nullptr) {
+            const std::uint64_t self = std::uint64_t(1) << core;
+            // A downgrade keeps the line resident (M -> S), so the
+            // presence mask is unchanged.
+            for (std::uint64_t m = *mask & ~self; m != 0;
+                 m &= m - 1) {
+                const unsigned o =
+                    static_cast<unsigned>(std::countr_zero(m));
+                ++coherence_.privateProbes;
+                found |= cores_[o]->l1.downgrade(paddr);
+                found |= cores_[o]->l2.downgrade(paddr);
+            }
+        }
     }
     if (found) {
         // The downgraded M copy's data is written back into the
@@ -187,23 +350,49 @@ MultiCoreSystem::llcFillShared(Addr paddr, unsigned core, bool asDirty,
                                bool checkResident, PerfCounters &ctr,
                                Cycles &drainExtra)
 {
-    auto out = llc_.fillFast(paddr, core, asDirty, checkResident);
+    Cache &llc = llcFor(paddr);
+    auto out = llc.fillFast(paddr, core, asDirty, checkResident);
     if (!out.filled || out.residentHit || !out.evicted.any)
         return;
 
-    const Addr victimPaddr = out.evicted.lineAddr << lineShift;
+    const Addr victimLa = out.evicted.lineAddr;
+    const Addr victimPaddr = victimLa << lineShift;
     bool dirtyDrain = out.evicted.dirty;
     if (params_.inclusiveLlc) {
         // Inclusive LLC: the victim may not survive in any core's
         // privates. Dropped dirty copies must drain to DRAM along
         // with the victim.
-        for (auto &c : cores_) {
-            bool d = false;
-            c->l1.invalidate(victimPaddr, d);
-            dirtyDrain |= d;
-            d = false;
-            c->l2.invalidate(victimPaddr, d);
-            dirtyDrain |= d;
+        ++coherence_.backInvalEvents;
+        if (!directoryCoherence_) {
+            for (auto &c : cores_) {
+                ++coherence_.privateProbes;
+                bool d = false;
+                c->l1.invalidate(victimPaddr, d);
+                dirtyDrain |= d;
+                d = false;
+                c->l2.invalidate(victimPaddr, d);
+                dirtyDrain |= d;
+            }
+        } else {
+            // The victim was installed through the same slice hash,
+            // so its directory entry lives in this fill's slice.
+            SliceDirectory &dir =
+                sharers_[sliceHash_.sliceOf(victimLa)];
+            const std::uint64_t *mask = dir.find(victimLa);
+            if (mask != nullptr) {
+                for (std::uint64_t m = *mask; m != 0; m &= m - 1) {
+                    const unsigned o =
+                        static_cast<unsigned>(std::countr_zero(m));
+                    ++coherence_.privateProbes;
+                    bool d = false;
+                    cores_[o]->l1.invalidate(victimPaddr, d);
+                    dirtyDrain |= d;
+                    d = false;
+                    cores_[o]->l2.invalidate(victimPaddr, d);
+                    dirtyDrain |= d;
+                }
+                dir.erase(victimLa);
+            }
         }
     }
     if (dirtyDrain) {
@@ -226,6 +415,10 @@ MultiCoreSystem::writebackToL2(Core &c, unsigned core, Addr lineAddr,
         llcFillShared(out.evicted.lineAddr << lineShift, core,
                       /*asDirty=*/true, /*checkResident=*/true, ctr,
                       drainExtra);
+    }
+    if (directoryCoherence_ && out.filled && out.evicted.any) {
+        // The victim just left L2; only L1 can still hold a copy.
+        dropSharerIfAbsent(c.l1, core, out.evicted.lineAddr);
     }
 }
 
@@ -253,8 +446,9 @@ MultiCoreSystem::missPath(Core &c, unsigned core, ThreadId tid, Addr paddr,
     } else {
         ++ctr.l2Misses;
         ++ctr.llcAccesses;
-        const unsigned llcSet = llc_.layout().setIndex(paddr);
-        const int w3 = llc_.probeWay(la, llcSet, tid);
+        Cache &llc = llcFor(paddr);
+        const unsigned llcSet = llc.layout().setIndex(paddr);
+        const int w3 = llc.probeWay(la, llcSet, tid);
         if (snoopRemoteDirty(core, paddr, ctr, drainExtra)) {
             // A remote core held the line in M: it was downgraded and
             // its data written back into the shared LLC, which now
@@ -268,8 +462,8 @@ MultiCoreSystem::missPath(Core &c, unsigned core, ThreadId tid, Addr paddr,
             base = lat.llcHit + lat.crossCoreSnoopPenalty;
         } else if (w3 >= 0) {
             ++ctr.llcHits;
-            llc_.hitFast(llcSet, static_cast<unsigned>(w3),
-                         /*isWrite=*/false);
+            llc.hitFast(llcSet, static_cast<unsigned>(w3),
+                        /*isWrite=*/false);
             res.servedBy = Level::LLC;
             base = lat.llcHit;
         } else {
@@ -292,6 +486,10 @@ MultiCoreSystem::missPath(Core &c, unsigned core, ThreadId tid, Addr paddr,
                           drainExtra);
             base += lat.l2DirtyEvictPenalty;
         }
+        if (directoryCoherence_ && out2.filled && out2.evicted.any) {
+            // The victim just left L2; only L1 can still hold a copy.
+            dropSharerIfAbsent(c.l1, core, out2.evicted.lineAddr);
+        }
     }
 
     // MESI upgrade: a store ends with this core owning the only copy.
@@ -303,11 +501,18 @@ MultiCoreSystem::missPath(Core &c, unsigned core, ThreadId tid, Addr paddr,
     // --- L1 allocation (write-allocate; store fills install dirty) ---
     auto out = c.l1.fillFast(paddr, tid, /*asDirty=*/isWrite,
                              c.l1.params().probeIsolated);
+    if (directoryCoherence_)
+        noteSharer(core, la);
     if (out.filled && out.evicted.dirty) {
         res.l1VictimDirty = true;
         res.latency += lat.l1DirtyEvictPenalty;
         ++ctr.l1DirtyWritebacks;
         writebackToL2(c, core, out.evicted.lineAddr, tid, ctr, drainExtra);
+    } else if (directoryCoherence_ && out.filled && out.evicted.any) {
+        // A clean L1 victim vanished without a write-back; trim its
+        // presence bit unless L2 (the only other private level) still
+        // holds a copy.
+        dropSharerIfAbsent(c.l2, core, out.evicted.lineAddr);
     }
 
     res.latency += drainExtra + noise();
@@ -407,23 +612,47 @@ MultiCoreSystem::flush(unsigned core, ThreadId tid, Addr paddr)
 {
     PerfCounters &ctr = counters(core, tid);
     ++ctr.flushes;
+    ++coherence_.flushEvents;
     const LatencyModel &lat = params_.lat;
     bool present = false;
     bool dirty = false;
     bool d = false;
     // clflush is coherent: every core's privates and the LLC drop the
     // line, dirty data drains to memory.
-    for (auto &c : cores_) {
-        if (c->l1.invalidate(paddr, d)) {
-            present = true;
-            dirty |= d;
+    if (!directoryCoherence_) {
+        for (auto &c : cores_) {
+            ++coherence_.privateProbes;
+            if (c->l1.invalidate(paddr, d)) {
+                present = true;
+                dirty |= d;
+            }
+            if (c->l2.invalidate(paddr, d)) {
+                present = true;
+                dirty |= d;
+            }
         }
-        if (c->l2.invalidate(paddr, d)) {
-            present = true;
-            dirty |= d;
+    } else {
+        const Addr la = AddressLayout::lineAddr(paddr);
+        SliceDirectory &dir = sharers_[sliceHash_.sliceOf(la)];
+        const std::uint64_t *mask = dir.find(la);
+        if (mask != nullptr) {
+            for (std::uint64_t m = *mask; m != 0; m &= m - 1) {
+                const unsigned o =
+                    static_cast<unsigned>(std::countr_zero(m));
+                ++coherence_.privateProbes;
+                if (cores_[o]->l1.invalidate(paddr, d)) {
+                    present = true;
+                    dirty |= d;
+                }
+                if (cores_[o]->l2.invalidate(paddr, d)) {
+                    present = true;
+                    dirty |= d;
+                }
+            }
+            dir.erase(la);
         }
     }
-    if (llc_.invalidate(paddr, d)) {
+    if (llcFor(paddr).invalidate(paddr, d)) {
         present = true;
         dirty |= d;
     }

@@ -1,8 +1,8 @@
 /**
  * @file
  * Multi-core shared-LLC topology: N cores with private L1/L2 pairs
- * over one shared last-level cache, with a MESI-lite coherence layer
- * built on the per-line dirty bits.
+ * over a slice-sharded shared last-level cache, with a MESI-lite
+ * coherence layer built on the per-line dirty bits.
  *
  * This is the machine the cross-core variants of the WB channel need
  * (Sec. III generalized beyond the paper's SMT deployment, following
@@ -21,6 +21,18 @@
  *    LatencyModel::llcDirtyEvictPenalty — the latency difference a
  *    cross-core receiver measures.
  *
+ * The LLC is sharded into HierarchyParams::llcSlices slices selected
+ * by an Intel-style XOR-of-tag-bits hash (sim/slice_hash.hh), and
+ * each slice keeps a sharer directory (line -> 64-bit core presence
+ * mask) so the coherence messages above visit only the cores that
+ * actually hold the line instead of scanning all N cores per event —
+ * the O(cores) -> O(sharers) change that makes 16/64-core presets and
+ * thousand-pair tenant sweeps tractable (docs/TENANTS.md). The
+ * pre-directory global-scan implementation is retained behind
+ * setDirectoryCoherence(false): it is the bit-exactness reference for
+ * the SlicedLlcEquivalence suite and the baseline the llc-slice-evict
+ * benchmark measures the directory against.
+ *
  * Scalar access() and the batched accessBatch() sweeps share one
  * per-access body, so batched and scalar execution are bit-identical
  * (tests/test_hierarchy_equivalence.cc, MultiCoreEquivalence).
@@ -30,6 +42,7 @@
 #define WB_SIM_MULTICORE_HH
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -37,6 +50,8 @@
 #include "common/types.hh"
 #include "sim/cache.hh"
 #include "sim/hierarchy.hh"
+#include "sim/sharer_map.hh"
+#include "sim/slice_hash.hh"
 
 namespace wb::sim
 {
@@ -44,13 +59,43 @@ namespace wb::sim
 class MultiCoreSystem;
 
 /**
+ * Why MultiCoreSystem cannot stand up @p params, or nullptr when it
+ * can. The string names the disqualifying parameter (write-through
+ * L1s, hierarchy-level defenses, per-thread LLC partitioning, an
+ * unsupported slice count) so sweep skips and constructor fatals can
+ * say *which* knob ruled a preset out instead of failing opaquely.
+ */
+const char *multiCoreIncapableReason(const HierarchyParams &params);
+
+/**
  * True when @p params describes a machine MultiCoreSystem can stand
- * up: write-back write-allocate L1s, no hierarchy-level defenses, no
- * per-thread LLC partitioning (the MultiCoreSystem constructor is
- * fatal on each of these). Sweeps over the platform registry use this
- * to skip presets that only exist single-core.
+ * up (multiCoreIncapableReason() == nullptr). Sweeps over the
+ * platform registry use this to skip presets that only exist
+ * single-core.
  */
 bool multiCoreCapable(const HierarchyParams &params);
+
+/**
+ * Coherence-event traffic counters, kept separate from PerfCounters:
+ * they count *interconnect work* (how many private cache pairs a
+ * coherence event had to visit), not architectural events, and the
+ * directory-vs-scan equivalence suite requires PerfCounters to be
+ * identical across modes while these deliberately differ.
+ */
+struct CoherenceStats
+{
+    std::uint64_t invalidateEvents = 0;  //!< M-upgrade broadcasts
+    std::uint64_t snoopEvents = 0;       //!< load-miss snoop queries
+    std::uint64_t backInvalEvents = 0;   //!< inclusive LLC victim kills
+    std::uint64_t flushEvents = 0;       //!< coherent clflushes
+
+    /**
+     * Private L1/L2 pairs visited by the events above — the hot-path
+     * cost the sharer directory shrinks from (cores - 1) per event to
+     * popcount(sharer mask). docs/PERF.md reports the measured ratio.
+     */
+    std::uint64_t privateProbes = 0;
+};
 
 /**
  * One core's view of a MultiCoreSystem: the MemorySystem interface
@@ -80,20 +125,38 @@ class CorePort final : public MemorySystem
 };
 
 /**
- * N per-core private L1/L2 pairs over one shared LLC. The latency
- * model, write-back semantics and noise handling mirror Hierarchy;
- * the coherence layer (see file comment) is what a single Hierarchy
- * cannot express. Models write-back, write-allocate cores without the
- * hierarchy-level defenses (random fill / prefetch guard) — the
- * constructor is fatal on unsupported parameter combinations.
+ * N per-core private L1/L2 pairs over a shared, slice-sharded LLC.
+ * The latency model, write-back semantics and noise handling mirror
+ * Hierarchy; the coherence layer (see file comment) is what a single
+ * Hierarchy cannot express. Models write-back, write-allocate cores
+ * without the hierarchy-level defenses (random fill / prefetch
+ * guard) — the constructor is fatal on unsupported parameter
+ * combinations and names the offending knob.
  */
 class MultiCoreSystem
 {
   public:
+    /** Sharer masks are 64-bit, which bounds the topology. */
+    static constexpr unsigned kMaxCores = 64;
+
     /**
-     * @param params per-core L1/L2 geometry, shared-LLC geometry,
-     *        latency model and inclusiveLlc flag
-     * @param cores number of cores (>= 1)
+     * Smallest topology where directory coherence is on by default.
+     * Below this the global scan is cheaper: walking 2-4 cores per
+     * coherence event costs less than maintaining the sharer map on
+     * every miss-path fill and private eviction (the 2-core
+     * multicore-access benchmark loses ~20% to the bookkeeping),
+     * while at 16 cores the directory wins llc-slice-evict ~1.8x.
+     * Both modes are bit-exact (SlicedLlcEquivalence), so the default
+     * is purely a performance choice; setDirectoryCoherence overrides
+     * it either way.
+     */
+    static constexpr unsigned kDirectoryMinCores = 8;
+
+    /**
+     * @param params per-core L1/L2 geometry, aggregate shared-LLC
+     *        geometry (split over params.llcSlices slices), latency
+     *        model and inclusiveLlc flag
+     * @param cores number of cores (1 to kMaxCores)
      * @param rng randomness for noise and stochastic policies; may be
      *        nullptr for a fully deterministic system
      */
@@ -149,8 +212,47 @@ class MultiCoreSystem
     Cache &l1(unsigned core) { return coreRef(core).l1; }
     /** One core's private L2. */
     Cache &l2(unsigned core) { return coreRef(core).l2; }
-    /** The shared LLC. */
-    Cache &llc() { return llc_; }
+
+    /**
+     * The shared LLC of a single-slice system. Fatal when the LLC is
+     * sharded (llcSliceCount() > 1): a monolithic view of a sliced
+     * LLC does not exist — use llcSlice()/sliceOf().
+     */
+    Cache &llc();
+
+    /** One LLC slice (bounds-checked). */
+    Cache &llcSlice(unsigned slice);
+
+    /** Number of LLC slices. */
+    unsigned llcSliceCount() const { return unsigned(llcSlices_.size()); }
+
+    /** The slice hash (ground truth for discovery verification). */
+    const SliceHash &sliceHash() const { return sliceHash_; }
+
+    /** Slice holding physical address @p paddr. */
+    unsigned
+    sliceOf(Addr paddr) const
+    {
+        return sliceHash_.sliceOf(AddressLayout::lineAddr(paddr));
+    }
+
+    /**
+     * Select the coherence implementation. true: per-slice sharer
+     * directory, coherence events visit only the cores in the line's
+     * presence mask (~O(sharers)); enabling rebuilds the directory
+     * from the current private-cache contents, so the mode can be
+     * toggled mid-run. false: the pre-directory global scan — every
+     * event walks all cores (the bit-exactness reference and
+     * benchmark baseline; no directory maintenance runs at all). The
+     * default is topology-dependent (see kDirectoryMinCores).
+     */
+    void setDirectoryCoherence(bool on);
+
+    /** Current coherence implementation (see setDirectoryCoherence). */
+    bool directoryCoherence() const { return directoryCoherence_; }
+
+    /** Coherence interconnect traffic (see CoherenceStats). */
+    const CoherenceStats &coherenceStats() const { return coherence_; }
 
     /** Counters for one hardware thread of one core (auto-extends). */
     PerfCounters &counters(unsigned core, ThreadId tid);
@@ -161,7 +263,7 @@ class MultiCoreSystem
     /** Invalidate all cached state in every core and the LLC. */
     void reset();
 
-    /** Zero all perf counters on every core. */
+    /** Zero all perf counters on every core (and coherence stats). */
     void resetCounters();
 
     /**
@@ -188,8 +290,26 @@ class MultiCoreSystem
         CorePort port;
     };
 
+    /**
+     * Per-slice sharer directory: line address -> core presence mask.
+     * SharerMap (flat open addressing) rather than std::unordered_map
+     * because the directory inserts and erases on the miss path, and
+     * node-based maps pay a malloc/free per line churned through the
+     * LLC — measurably slower than the scans the directory replaces
+     * on 2-4 core presets (see sim/sharer_map.hh).
+     */
+    using SliceDirectory = SharerMap;
+
     /** Bounds-checked core lookup. */
     Core &coreRef(unsigned core);
+
+    /** The LLC slice shard holding @p paddr. */
+    Cache &
+    llcFor(Addr paddr)
+    {
+        return llcSlices_[sliceHash_.sliceOf(
+            AddressLayout::lineAddr(paddr))];
+    }
 
     /** Gaussian measurement noise (same contract as Hierarchy). */
     Cycles
@@ -219,8 +339,8 @@ class MultiCoreSystem
                                       AddrAt addrAt);
 
     /**
-     * MESI upgrade: drop the line from every core's privates except
-     * @p core (a store is about to own it in M state).
+     * MESI upgrade: drop the line from every sharing core's privates
+     * except @p core (a store is about to own it in M state).
      */
     void invalidateRemote(unsigned core, Addr paddr);
 
@@ -235,11 +355,12 @@ class MultiCoreSystem
                           Cycles &drainExtra);
 
     /**
-     * Install a line into the shared LLC. An eviction back-invalidates
-     * the victim in every core's privates when inclusiveLlc is set; if
-     * the LLC victim or any dropped private copy was dirty, the drain
-     * penalty is added to @p drainExtra and counted in @p ctr (the
-     * access that forced the eviction pays — the cross-core signal).
+     * Install a line into its shared-LLC slice. An eviction
+     * back-invalidates the victim in the sharing cores' privates when
+     * inclusiveLlc is set; if the LLC victim or any dropped private
+     * copy was dirty, the drain penalty is added to @p drainExtra and
+     * counted in @p ctr (the access that forced the eviction pays —
+     * the cross-core signal).
      */
     void llcFillShared(Addr paddr, unsigned core, bool asDirty,
                        bool checkResident, PerfCounters &ctr,
@@ -252,10 +373,40 @@ class MultiCoreSystem
     void writebackToL2(Core &c, unsigned core, Addr lineAddr, ThreadId tid,
                        PerfCounters &ctr, Cycles &drainExtra);
 
+    // --- sharer-directory maintenance (directory mode only) ---
+
+    /** Core @p core now holds line @p la in its privates. */
+    void
+    noteSharer(unsigned core, Addr la)
+    {
+        sharers_[sliceHash_.sliceOf(la)].upsert(la) |=
+            std::uint64_t(1) << core;
+    }
+
+    /**
+     * Line @p la was evicted from one of @p core's private levels:
+     * clear the core's presence bit unless @p survivor — the *other*
+     * private level, the only place a copy can remain — still holds
+     * it. Keeping the directory a *superset* of the true holders is
+     * the correctness invariant (Cache::invalidate and
+     * Cache::downgrade are no-ops on non-holders, so a stale bit
+     * costs one wasted probe, while a missing bit would skip a
+     * required invalidation); this trim just keeps masks tight so the
+     * O(sharers) claim survives eviction churn.
+     */
+    void dropSharerIfAbsent(Cache &survivor, unsigned core, Addr la);
+
+    /** Rebuild every slice directory from current cache contents. */
+    void rebuildDirectory();
+
     HierarchyParams params_;
     Rng *rng_;
+    SliceHash sliceHash_;
+    std::vector<Cache> llcSlices_; //!< the sharded shared LLC
+    std::vector<SliceDirectory> sharers_; //!< per-slice directories
     std::vector<std::unique_ptr<Core>> cores_; //!< stable port addresses
-    Cache llc_;
+    CoherenceStats coherence_;
+    bool directoryCoherence_ = true; //!< ctor picks per kDirectoryMinCores
 };
 
 } // namespace wb::sim

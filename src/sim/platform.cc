@@ -181,6 +181,41 @@ desktop4CorePlatform()
     return p;
 }
 
+/**
+ * The many-tenant datacenter part: a desktop-style inclusive LLC
+ * sharded into 8 slices by the Intel-style XOR-of-tag-bits hash, at
+ * 16/32/64 cores. The slice hash is what makes these presets
+ * *different in kind* from desktop-inclusive-4core: hand-built "same
+ * LLC set" line pools scatter across slices, so a tenant must
+ * discover eviction sets at runtime (chan::EvictionSetFinder), and
+ * the per-slice sharer directories are what keep coherence traffic
+ * ~O(sharers) at these core counts (docs/TENANTS.md).
+ */
+Platform
+dcSlicedPlatform(unsigned cores, std::size_t llcBytes)
+{
+    Platform p = desktopInclusivePlatform();
+    p.name = "dc-sliced-" + std::to_string(cores) + "core";
+    p.description = "Datacenter-class socket: " + std::to_string(cores) +
+                    " cores over an inclusive " +
+                    std::to_string(llcBytes >> 20) +
+                    " MiB LLC sharded into 8 slices by the "
+                    "XOR-of-tag-bits hash; the many-tenant sweep target";
+    p.cores = cores;
+    p.params.llc.sizeBytes = llcBytes;
+    p.params.llcSlices = 8;
+    // A few interconnect hops further to the right slice than the
+    // client part's ring position.
+    p.params.lat.llcHit = 46;
+    p.params.lat.mem = 220;
+
+    // Datacenter hosts run fuller: shorter effective timeslices and
+    // larger co-runner working sets than the desktop preset.
+    p.noisePreset.timeslice = 45000;
+    p.noisePreset.coRunnerLines = 384;
+    return p;
+}
+
 /** Registry storage: stable allocations so lookups stay valid. */
 std::vector<std::unique_ptr<Platform>> &
 registry()
@@ -194,6 +229,12 @@ registry()
         v.push_back(std::make_unique<Platform>(dawgDefendedPlatform()));
         v.push_back(std::make_unique<Platform>(xeon2CorePlatform()));
         v.push_back(std::make_unique<Platform>(desktop4CorePlatform()));
+        v.push_back(std::make_unique<Platform>(
+            dcSlicedPlatform(16, 16 * 1024 * 1024)));
+        v.push_back(std::make_unique<Platform>(
+            dcSlicedPlatform(32, 32 * 1024 * 1024)));
+        v.push_back(std::make_unique<Platform>(
+            dcSlicedPlatform(64, 32 * 1024 * 1024)));
         return v;
     }();
     return platforms;

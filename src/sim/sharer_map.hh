@@ -1,0 +1,167 @@
+/**
+ * @file
+ * SharerMap — open-addressing hash map from line address to 64-bit
+ * core presence mask, the storage behind MultiCoreSystem's per-slice
+ * sharer directories.
+ *
+ * std::unordered_map is node-based: every insert mallocs and every
+ * erase frees, and the directory inserts/erases on the miss path (a
+ * line enters the directory when it fills the LLC and leaves when the
+ * LLC evicts it). On miss-heavy sweeps that malloc/free churn cost
+ * more than the O(cores) scans the directory replaced on small
+ * topologies (the 2-core multicore-access benchmark regressed ~30%).
+ * This table stores slots inline in one flat array — linear probing,
+ * power-of-two capacity, Knuth's backward-shift deletion (Algorithm
+ * R, TAOCP vol. 3, 6.4) instead of tombstones — so the steady state
+ * allocates nothing and every operation touches one or two adjacent
+ * cache lines.
+ *
+ * An occupied slot always has a non-zero mask: callers erase a key
+ * when its last presence bit clears, so mask == 0 doubles as the
+ * empty-slot marker and no separate occupancy metadata is needed.
+ * The contract cuts both ways: storing zero through the pointer from
+ * find() makes the slot read as free, which truncates every probe
+ * chain passing through it — erase(key) included, so the entry can
+ * never be removed properly again and keys displaced past the hole
+ * silently vanish. A caller that may clear the last bit must compute
+ * the new mask first and call erase() instead of writing zero.
+ */
+
+#ifndef WB_SIM_SHARER_MAP_HH
+#define WB_SIM_SHARER_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wb::sim
+{
+
+/** Line address -> non-zero 64-bit presence mask (see file comment). */
+class SharerMap
+{
+  public:
+    SharerMap() { slots_.resize(kMinCapacity); }
+
+    /** The mask stored for @p key, or nullptr when absent. */
+    std::uint64_t *
+    find(Addr key)
+    {
+        for (std::size_t i = home(key);; i = (i + 1) & mask_) {
+            Slot &s = slots_[i];
+            if (s.mask == 0)
+                return nullptr;
+            if (s.key == key)
+                return &s.mask;
+        }
+    }
+
+    /**
+     * The mask slot for @p key, inserting an empty entry when absent.
+     * The caller must set at least one bit before the next container
+     * operation: a zero mask marks the slot free (see file comment).
+     */
+    std::uint64_t &
+    upsert(Addr key)
+    {
+        if ((size_ + 1) * 4 > slots_.size() * 3)
+            grow();
+        for (std::size_t i = home(key);; i = (i + 1) & mask_) {
+            Slot &s = slots_[i];
+            if (s.mask == 0) {
+                s.key = key;
+                ++size_;
+                return s.mask;
+            }
+            if (s.key == key)
+                return s.mask;
+        }
+    }
+
+    /** Remove @p key (no-op when absent). */
+    void
+    erase(Addr key)
+    {
+        std::size_t i = home(key);
+        for (;; i = (i + 1) & mask_) {
+            if (slots_[i].mask == 0)
+                return;
+            if (slots_[i].key == key)
+                break;
+        }
+        --size_;
+        // Backward-shift deletion: close the gap by sliding every
+        // displaced follower of the probe chain into it, so lookups
+        // never need tombstones.
+        std::size_t j = i;
+        while (true) {
+            slots_[i].mask = 0;
+            std::size_t k;
+            do {
+                j = (j + 1) & mask_;
+                if (slots_[j].mask == 0)
+                    return;
+                k = home(slots_[j].key);
+                // Slot j may move into the gap at i only when its home
+                // does not lie cyclically within (i, j] — otherwise the
+                // move would break j's own probe chain.
+            } while (((j - k) & mask_) < ((j - i) & mask_));
+            slots_[i] = slots_[j];
+            i = j;
+        }
+    }
+
+    /** Drop every entry (capacity is retained). */
+    void
+    clear()
+    {
+        for (Slot &s : slots_)
+            s.mask = 0;
+        size_ = 0;
+    }
+
+    /** Number of entries. */
+    std::size_t size() const { return size_; }
+
+  private:
+    struct Slot
+    {
+        Addr key = 0;
+        std::uint64_t mask = 0; //!< 0 == slot free
+    };
+
+    static constexpr std::size_t kMinCapacity = 64;
+
+    std::size_t
+    home(Addr key) const
+    {
+        // Fibonacci multiplicative hash; line addresses are dense in
+        // the low bits, which the multiply spreads across the word.
+        return std::size_t(
+                   (key * std::uint64_t(0x9E3779B97F4A7C15)) >> 32) &
+               mask_;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old;
+        old.swap(slots_);
+        slots_.resize(old.size() * 2);
+        mask_ = slots_.size() - 1;
+        size_ = 0;
+        for (const Slot &s : old)
+            if (s.mask != 0)
+                upsert(s.key) = s.mask;
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = kMinCapacity - 1;
+    std::size_t size_ = 0;
+};
+
+} // namespace wb::sim
+
+#endif // WB_SIM_SHARER_MAP_HH

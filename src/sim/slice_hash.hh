@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Intel-style LLC slice hash: each physical line address maps to one
+ * of up to eight LLC slices through XOR-of-tag-bits parity functions.
+ *
+ * Commercial parts distribute LLC sets over per-core slices with an
+ * undocumented hash of the physical address so that sequential
+ * addresses spread evenly across the ring/mesh. The functions used
+ * here are the reverse-engineered Intel parity masks of Maurice et
+ * al. ("Reverse Engineering Intel Last-Level Cache Complex Addressing
+ * Using Performance Counters", RAID 2015), re-based from physical
+ * address bits onto the *tag* bits of this simulator's line-granular
+ * addressing: the simulated hash consumes the bits above the
+ * per-slice set index, which is what makes hand-built "same LLC set"
+ * line pools scatter across slices and forces a tenant to *discover*
+ * eviction sets at runtime (chan::EvictionSetFinder) exactly as the
+ * Spy-in-the-Sandbox / Vila et al. attacks do on real hardware.
+ *
+ * The hash is pure and stateless: slice = parity bits of (folded tag
+ * AND mask_b). sliceCount == 1 degenerates to the identity hash
+ * (always slice 0), which is the monolithic pre-slicing LLC — the
+ * SlicedLlcEquivalence suite pins that case bit-exact.
+ */
+
+#ifndef WB_SIM_SLICE_HASH_HH
+#define WB_SIM_SLICE_HASH_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace wb::sim
+{
+
+/** Line-address -> slice-id map for a sliced LLC (see file comment). */
+class SliceHash
+{
+  public:
+    /** Slice counts the three parity masks can address. */
+    static constexpr unsigned kMaxSlices = 8;
+
+    /**
+     * @param slices number of slices (1, 2, 4 or 8; callers validate)
+     * @param indexBits log2 of the per-slice set count — the hash
+     *        consumes only the tag bits above the slice-set index
+     */
+    SliceHash(unsigned slices, unsigned indexBits)
+        : slices_(slices), indexBits_(indexBits)
+    {
+    }
+
+    SliceHash() = default;
+
+    /** Number of slices this hash addresses. */
+    unsigned slices() const { return slices_; }
+
+    /** Slice holding line-granular address @p lineAddr. */
+    unsigned
+    sliceOf(Addr lineAddr) const
+    {
+        if (slices_ <= 1)
+            return 0;
+        const Addr tag = lineAddr >> indexBits_;
+        // Fold the high half down so tags wider than 32 bits (distinct
+        // address-space ids live in bits 44+) still influence every
+        // mask; the masks themselves span the low 32 bits.
+        const std::uint64_t t =
+            static_cast<std::uint64_t>(tag) ^
+            (static_cast<std::uint64_t>(tag) >> 32);
+        unsigned s = parity(t & kMask0);
+        if (slices_ > 2)
+            s |= parity(t & kMask1) << 1;
+        if (slices_ > 4)
+            s |= parity(t & kMask2) << 2;
+        return s;
+    }
+
+  private:
+    /**
+     * Maurice et al.'s Intel parity masks o0/o1/o2 (address bits
+     * 6..34), shifted down by the 6 line-offset bits the simulator's
+     * line-granular addresses already drop.
+     */
+    static constexpr std::uint64_t kMask0 = 0x0D7D5D51ull;
+    static constexpr std::uint64_t kMask1 = 0x1AD7EAA2ull;
+    static constexpr std::uint64_t kMask2 = 0x063324C4ull;
+
+    static unsigned
+    parity(std::uint64_t v)
+    {
+        return static_cast<unsigned>(std::popcount(v)) & 1u;
+    }
+
+    unsigned slices_ = 1;
+    unsigned indexBits_ = 0;
+};
+
+} // namespace wb::sim
+
+#endif // WB_SIM_SLICE_HASH_HH

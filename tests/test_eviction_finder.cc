@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Eviction-set discovery (chan/eviction_finder.hh) against slice-hash
+ * ground truth. The finder itself is timing-only; these tests are the
+ * place allowed to peek at MultiCoreSystem::sliceHash() and check
+ * that "self-verified minimal" coincides with "exactly W lines
+ * congruent with the victim".
+ *
+ * The reliability claim — discovery converges on the vast majority of
+ * target sets — is a statistical one, so it runs as a >= 16-seed
+ * Wilson-interval sweep (tests/stat_assert.hh), not as a single-seed
+ * expectation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "chan/eviction_finder.hh"
+#include "chan/set_mapping.hh"
+#include "common/rng.hh"
+#include "sim/address.hh"
+#include "sim/multicore.hh"
+#include "sim/platform.hh"
+#include "stat_assert.hh"
+
+namespace wb::chan
+{
+namespace
+{
+
+using sim::AddressLayout;
+using sim::AddressSpace;
+using sim::MultiCoreSystem;
+using sim::Platform;
+
+/** Physical candidate pool for @p targetSet in @p space. */
+std::vector<Addr>
+poolFor(const AddressLayout &llcLayout, const AddressSpace &space,
+        unsigned targetSet, unsigned count, Addr tagBase)
+{
+    std::vector<Addr> pas;
+    for (Addr va : linesForSet(llcLayout, targetSet, count, tagBase))
+        pas.push_back(space.translate(va));
+    return pas;
+}
+
+/** Lines of @p pool truly congruent with @p victim (ground truth). */
+std::vector<Addr>
+congruentLines(MultiCoreSystem &mc, Addr victim,
+               const std::vector<Addr> &pool)
+{
+    std::vector<Addr> truth;
+    for (Addr a : pool)
+        if (mc.sliceOf(a) == mc.sliceOf(victim))
+            truth.push_back(a);
+    return truth;
+}
+
+/** Did @p res find exactly W lines, all truly congruent? */
+bool
+matchesGroundTruth(MultiCoreSystem &mc, Addr victim,
+                   const EvictionSetResult &res, unsigned ways)
+{
+    if (!res.verifiedMinimal || res.set.size() != ways)
+        return false;
+    return std::all_of(res.set.begin(), res.set.end(), [&](Addr a) {
+        return mc.sliceOf(a) == mc.sliceOf(victim);
+    });
+}
+
+TEST(EvictionFinder, FindsTheGroundTruthSetOnASlicedLlc)
+{
+    const Platform &plat = sim::platform("dc-sliced-16core");
+    Rng root(1);
+    Rng noise = root.split();
+    MultiCoreSystem mc(plat.params, plat.cores, &noise);
+    const AddressLayout llcLayout(plat.params.llc.numSets());
+    const AddressSpace space(2);
+
+    const unsigned targetSet = 37;
+    const Addr victim =
+        space.translate(linesForSet(llcLayout, targetSet, 1, 1)[0]);
+    const std::vector<Addr> pool =
+        poolFor(llcLayout, space, targetSet, 256, 0x100);
+    // The pool must have at least W truly congruent lines for the
+    // reduction to have something to find.
+    ASSERT_GE(congruentLines(mc, victim, pool).size(),
+              plat.params.llc.ways);
+
+    EvictionFinderConfig fc;
+    fc.associativity = plat.params.llc.ways;
+    EvictionSetFinder finder(mc.port(0), 0, fc);
+    Rng prng = root.split();
+    const EvictionSetResult res = finder.findFor(victim, pool, prng);
+
+    EXPECT_TRUE(res.verifiedMinimal);
+    EXPECT_TRUE(matchesGroundTruth(mc, victim, res,
+                                   plat.params.llc.ways));
+    // The auto-calibrated threshold separates the hit corner from the
+    // DRAM corner.
+    EXPECT_GT(finder.threshold(), plat.params.lat.llcHit);
+    EXPECT_LT(finder.threshold(), plat.params.lat.mem);
+    EXPECT_GT(res.timingTests, 0u);
+    EXPECT_GT(res.accesses, res.timingTests);
+}
+
+TEST(EvictionFinder, ReducesAFullyCongruentPoolOnAnUnslicedLlc)
+{
+    // With one slice every same-set-index line is congruent; the
+    // reduction must still cut a 4x pool down to exactly W lines.
+    const Platform &plat = sim::platform("desktop-inclusive-4core");
+    Rng root(3);
+    Rng noise = root.split();
+    MultiCoreSystem mc(plat.params, plat.cores, &noise);
+    const AddressLayout llcLayout(plat.params.llc.numSets());
+    const AddressSpace space(2);
+
+    const unsigned ways = plat.params.llc.ways;
+    const Addr victim =
+        space.translate(linesForSet(llcLayout, 5, 1, 1)[0]);
+    const std::vector<Addr> pool =
+        poolFor(llcLayout, space, 5, 4 * ways, 0x100);
+
+    EvictionFinderConfig fc;
+    fc.associativity = ways;
+    EvictionSetFinder finder(mc.port(0), 0, fc);
+    Rng prng = root.split();
+    const EvictionSetResult res = finder.findFor(victim, pool, prng);
+    EXPECT_TRUE(res.verifiedMinimal);
+    EXPECT_EQ(res.set.size(), ways);
+}
+
+TEST(EvictionFinder, ReportsFailureWhenThePoolCannotEvict)
+{
+    // A pool smaller than the associativity can never evict the
+    // victim; the finder must say so instead of fabricating a set.
+    const Platform &plat = sim::platform("desktop-inclusive-4core");
+    MultiCoreSystem mc(plat.params, plat.cores, nullptr);
+    const AddressLayout llcLayout(plat.params.llc.numSets());
+    const AddressSpace space(2);
+
+    const Addr victim =
+        space.translate(linesForSet(llcLayout, 9, 1, 1)[0]);
+    const std::vector<Addr> pool = poolFor(
+        llcLayout, space, 9, plat.params.llc.ways / 2, 0x100);
+
+    EvictionFinderConfig fc;
+    fc.associativity = plat.params.llc.ways;
+    EvictionSetFinder finder(mc.port(0), 0, fc);
+    Rng prng(7);
+    const EvictionSetResult res = finder.findFor(victim, pool, prng);
+    EXPECT_FALSE(res.verifiedMinimal);
+}
+
+TEST(EvictionFinder, ConvergesToMinimalSetsAcrossSeedsAndTargets)
+{
+    // The headline reliability claim: across >= 16 seeds x 16 target
+    // sets on the sliced 16-core preset, discovery self-verifies AND
+    // matches ground truth on more than 95% of targets (Wilson lower
+    // bound, z = 2.576).
+    const auto sweep = test::sweepSeeds([](std::uint64_t seed) {
+        const Platform &plat = sim::platform("dc-sliced-16core");
+        Rng root(seed);
+        Rng noise = root.split();
+        MultiCoreSystem mc(plat.params, plat.cores, &noise);
+        const AddressLayout llcLayout(plat.params.llc.numSets());
+        const unsigned ways = plat.params.llc.ways;
+
+        unsigned successes = 0;
+        const unsigned targets = 16;
+        for (unsigned t = 0; t < targets; ++t) {
+            Rng prng = root.split();
+            // Fresh address space per target: cold candidate pools,
+            // and slice placement that varies with the asid bits.
+            const AddressSpace space(2 + t);
+            const unsigned targetSet =
+                unsigned(prng.below(llcLayout.numSets()));
+            const Addr victim = space.translate(
+                linesForSet(llcLayout, targetSet, 1, 1)[0]);
+            EvictionFinderConfig fc;
+            fc.associativity = ways;
+            EvictionSetFinder finder(mc.port(t % plat.cores),
+                                     ThreadId(t), fc);
+            const EvictionSetResult res = finder.findFor(
+                victim,
+                poolFor(llcLayout, space, targetSet, 256, 0x100), prng);
+            if (matchesGroundTruth(mc, victim, res, ways))
+                ++successes;
+        }
+        return test::Proportion{double(successes), double(targets)};
+    });
+    EXPECT_ACCURACY_ABOVE(sweep, 0.95);
+}
+
+} // namespace
+} // namespace wb::chan

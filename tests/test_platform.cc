@@ -13,6 +13,7 @@
 #include "common/rng.hh"
 #include "sidechan/attack.hh"
 #include "sim/hierarchy.hh"
+#include "sim/multicore.hh"
 #include "sim/platform.hh"
 
 namespace wb::sim
@@ -23,11 +24,12 @@ namespace
 TEST(Platform, ShipsTheDocumentedPresets)
 {
     const auto names = platformNames();
-    ASSERT_GE(names.size(), 6u);
+    ASSERT_GE(names.size(), 9u);
     for (const char *expected :
          {"xeonE5-2650", "cortexA53-wt", "desktop-inclusive",
           "xeonE5-2650-dawg", "xeonE5-2650-2core",
-          "desktop-inclusive-4core"}) {
+          "desktop-inclusive-4core", "dc-sliced-16core",
+          "dc-sliced-32core", "dc-sliced-64core"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << expected;
@@ -44,6 +46,30 @@ TEST(Platform, MultiCorePresetsDeclareTheirTopology)
     const Platform &desk4 = platform("desktop-inclusive-4core");
     EXPECT_EQ(desk4.cores, 4u);
     EXPECT_TRUE(desk4.params.inclusiveLlc);
+}
+
+TEST(Platform, DcSlicedPresetsDeclareSlicedTopology)
+{
+    const struct
+    {
+        const char *name;
+        unsigned cores;
+    } presets[] = {{"dc-sliced-16core", 16},
+                   {"dc-sliced-32core", 32},
+                   {"dc-sliced-64core", 64}};
+    for (const auto &spec : presets) {
+        const Platform &p = platform(spec.name);
+        EXPECT_EQ(p.cores, spec.cores) << spec.name;
+        EXPECT_EQ(p.params.llcSlices, 8u) << spec.name;
+        EXPECT_TRUE(p.params.inclusiveLlc) << spec.name;
+        // The sliced presets must be standable as MultiCoreSystems —
+        // the sweep-skip helper should have nothing to complain about.
+        EXPECT_EQ(multiCoreIncapableReason(p.params), nullptr)
+            << spec.name;
+        // Aggregate sets divide evenly over the eight slices.
+        EXPECT_EQ(p.params.llc.numSets() % p.params.llcSlices, 0u)
+            << spec.name;
+    }
 }
 
 TEST(Platform, DefaultIsThePaperXeon)

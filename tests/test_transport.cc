@@ -252,6 +252,60 @@ TEST(RateLadder, BinaryOnlyDoubles)
     EXPECT_EQ(ladder[3].ts, 44000u);
 }
 
+TEST(RateLadder, ShrinksSignalBeforeSlowing)
+{
+    ProtocolConfig proto;
+    proto.ts = proto.tr = 4000;
+    proto.encoding = Encoding::binary(4);
+    const auto ladder = rateLadder(proto, 2, /*signalShrinks=*/2);
+    // binary(4) -> binary(2) -> binary(1), all at the native pacing,
+    // and only then the Ts doublings (at the shrunken footprint).
+    ASSERT_EQ(ladder.size(), 5u);
+    EXPECT_EQ(ladder[0].ts, 4000u);
+    EXPECT_EQ(ladder[0].encoding.maxLevel(), 4u);
+    EXPECT_EQ(ladder[1].ts, 4000u);
+    EXPECT_EQ(ladder[1].encoding.maxLevel(), 2u);
+    EXPECT_EQ(ladder[2].ts, 4000u);
+    EXPECT_EQ(ladder[2].encoding.maxLevel(), 1u);
+    EXPECT_EQ(ladder[3].ts, 8000u);
+    EXPECT_EQ(ladder[3].encoding.maxLevel(), 1u);
+    EXPECT_EQ(ladder[4].ts, 16000u);
+    // Same-Ts rungs keep the Tr:Ts ratio arithmetic exact — the
+    // footprint rungs must never move the pacing.
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(ladder[i].ts, proto.ts);
+}
+
+TEST(RateLadder, MultiBitShrinksAfterFallback)
+{
+    ProtocolConfig proto;
+    proto.ts = proto.tr = 4000;
+    proto.encoding = Encoding::paperTwoBit(); // maxLevel 8
+    const auto ladder = rateLadder(proto, 1, /*signalShrinks=*/2);
+    // native 2-bit -> binary(4) fallback -> binary(2) -> binary(1)
+    // -> one doubling.
+    ASSERT_EQ(ladder.size(), 5u);
+    EXPECT_EQ(ladder[1].encoding.bitsPerSymbol(), 1u);
+    EXPECT_EQ(ladder[1].encoding.maxLevel(), 4u);
+    EXPECT_EQ(ladder[2].encoding.maxLevel(), 2u);
+    EXPECT_EQ(ladder[3].encoding.maxLevel(), 1u);
+    EXPECT_EQ(ladder[3].ts, 4000u);
+    EXPECT_EQ(ladder[4].ts, 8000u);
+}
+
+TEST(RateLadder, ShrinkStopsAtOneDirtyLine)
+{
+    ProtocolConfig proto;
+    proto.ts = proto.tr = 5500;
+    proto.encoding = Encoding::binary(1);
+    // A huge shrink budget adds nothing below d = 1: the ladder is
+    // identical to the pacing-only one.
+    const auto ladder = rateLadder(proto, 2, /*signalShrinks=*/8);
+    ASSERT_EQ(ladder.size(), 3u);
+    EXPECT_EQ(ladder[1].ts, 11000u);
+    EXPECT_EQ(ladder[2].ts, 22000u);
+}
+
 TEST(RateController, DegradesFastUpgradesWithHysteresis)
 {
     TransportConfig cfg;
