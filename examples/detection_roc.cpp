@@ -1,0 +1,329 @@
+/**
+ * @file
+ * The detector-vs-stealth arms race: ROC sweeps of the online
+ * perf-counter detector over the noisy multi-tenant machine, plus the
+ * adaptive-stealth WB session that answers them.
+ *
+ *   $ ./example_detection_roc [seeds] [-j N]
+ *
+ * Six tables on the desktop-inclusive-4core preset:
+ *
+ *  1. Peak per-tenant score by scenario and co-runner mix — where the
+ *     covert pairs sit relative to the benign band.
+ *  2. Benign false-positive rate vs alarm threshold, per mix,
+ *     Wilson-bounded: the cost side of every operating point.
+ *  3. Detection rate vs threshold for each channel on the busy
+ *     machine (4 mixed co-runners), Wilson-bounded.
+ *  4. Detection rate vs threshold for the headline WB channel across
+ *     mixes — how OS noise moves the ROC.
+ *  5. The adaptive-stealth session: the sender starts greedy
+ *     (binary(8) at Ts=2750), watches its own pair's detector
+ *     footprint, and walks the rate ladder (d-shrink rungs first,
+ *     then Ts doublings) until it sits under budget. Reports the
+ *     goodput cost of stealth.
+ *  6. Defense ROC shift: DAWG / PLcache / noise injection rerun under
+ *     the same noise, scored by what they do to detection rate at the
+ *     operating threshold *and* to BER — not by idle-machine channel
+ *     closure.
+ *
+ * CI uploads this output as the detection-roc artifact;
+ * docs/DETECTION.md records a reference run and the methodology.
+ *
+ * `-j N` fans the runs over a sim::SweepRunner pool (N = 0 picks the
+ * hardware concurrency); every cell is an independent simulation and
+ * results are assembled in fixed order, so output is byte-identical
+ * at any -j.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "perfmon/arms_race.hh"
+#include "sim/sweep_runner.hh"
+
+using namespace wb;
+using namespace wb::perfmon;
+
+namespace
+{
+
+unsigned gSeeds = 16;
+
+const std::vector<unsigned> kMixes = {0, 2, 4};
+const std::vector<double> kThresholds = {0.25, 0.5, 0.75, 1.0, 1.5, 2.5};
+constexpr double kOperatingPoint = 1.0;
+
+const std::vector<DetectionScenario> kScenarios = {
+    DetectionScenario::IdlePair,      DetectionScenario::CompilerPair,
+    DetectionScenario::StreamingPair, DetectionScenario::WbChannel,
+    DetectionScenario::WbChannelD8,   DetectionScenario::LruChannel,
+    DetectionScenario::CrossCoreWb,
+};
+
+ArmsRaceConfig
+baseConfig(unsigned mix, std::uint64_t seed)
+{
+    ArmsRaceConfig cfg;
+    cfg.coRunners = mix;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** "12.5% [8.2,18.1]" — a pooled rate with its Wilson interval. */
+std::string
+rateCell(unsigned k, unsigned n)
+{
+    if (n == 0)
+        return "-";
+    const WilsonInterval iv = wilsonInterval(k, n);
+    return Table::pct(double(k) / double(n), 1) + " [" +
+           Table::pct(iv.lo, 1) + "," + Table::pct(iv.hi, 1) + "]";
+}
+
+/** Pool one threshold over @p outs and return the RocPoint. */
+RocPoint
+pooled(const std::vector<ScenarioOutcome> &outs, double thr)
+{
+    return buildRoc(outs, {thr}).front();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc)
+            jobs = unsigned(std::stoul(argv[++i]));
+        else
+            gSeeds = std::max(1u, unsigned(std::stoul(argv[i])));
+    }
+    sim::SweepRunner pool(jobs);
+
+    // --- Every (mix, scenario, seed) cell, in one fan-out ---
+    const std::size_t perMix = kScenarios.size() * gSeeds;
+    const auto outcomes = pool.map<ScenarioOutcome>(
+        kMixes.size() * perMix, [&](std::size_t i) {
+            const unsigned mix = kMixes[i / perMix];
+            const std::size_t j = i % perMix;
+            const DetectionScenario sc = kScenarios[j / gSeeds];
+            const std::uint64_t seed = 1 + j % gSeeds;
+            return runDetectionScenario(baseConfig(mix, seed), sc, seed);
+        });
+    const auto cellsOf = [&](unsigned mixIdx, DetectionScenario sc) {
+        std::vector<ScenarioOutcome> group;
+        for (std::size_t j = 0; j < perMix; ++j)
+            if (kScenarios[j / gSeeds] == sc)
+                group.push_back(outcomes[mixIdx * perMix + j]);
+        return group;
+    };
+    const auto mixAll = [&](unsigned mixIdx) {
+        std::vector<ScenarioOutcome> group(
+            outcomes.begin() + long(mixIdx * perMix),
+            outcomes.begin() + long((mixIdx + 1) * perMix));
+        return group;
+    };
+
+    // --- Table 1: peak scores, covert pairs vs the benign band ---
+    Table t1("Peak smoothed detector score per tenant (mean over " +
+             std::to_string(gSeeds) + " seeds): covert pairs vs the "
+             "benign band, by co-runner mix");
+    t1.header({"scenario", "kind", "mix 0", "mix 2", "mix 4"});
+    for (DetectionScenario sc : kScenarios) {
+        std::vector<std::string> row{scenarioName(sc),
+                                     scenarioIsAttack(sc) ? "attack"
+                                                          : "benign"};
+        for (unsigned m = 0; m < kMixes.size(); ++m) {
+            double sum = 0.0;
+            unsigned n = 0;
+            for (const ScenarioOutcome &o : cellsOf(m, sc)) {
+                const auto &v = scenarioIsAttack(sc) ? o.pairSmoothed
+                                                     : o.benignSmoothed;
+                double peak = 0.0;
+                for (double s : v)
+                    peak = std::max(peak, s);
+                sum += peak;
+                ++n;
+            }
+            row.push_back(n ? Table::num(sum / n, 2) : "-");
+        }
+        t1.row(std::move(row));
+    }
+    t1.note("attack rows: the covert pair's peak (max over its two "
+            "tids); benign rows: the loudest benign tenant's peak.");
+    t1.note("the same-core WB pair sits BELOW the mixed co-runner "
+            "band (~0.97) and far below a compiler tenant (~2.3): "
+            "paper Sec. VII's stealth claim, quantified.");
+    t1.print();
+    std::cout << "\n";
+
+    // --- Table 2: benign FPR vs threshold, per mix ---
+    Table t2("Benign false-positive rate vs alarm threshold "
+             "(pooled benign (tid,window) samples, all scenarios, " +
+             std::to_string(gSeeds) + " seeds, Wilson 99%)");
+    t2.header({"threshold", "mix 0", "mix 2", "mix 4"});
+    for (double thr : kThresholds) {
+        std::vector<std::string> row{Table::num(thr, 2)};
+        for (unsigned m = 0; m < kMixes.size(); ++m) {
+            const RocPoint pt = pooled(mixAll(m), thr);
+            row.push_back(rateCell(pt.benignAlarms, pt.benignSamples));
+        }
+        t2.row(std::move(row));
+    }
+    t2.note("benign samples include the co-runners of attack runs: "
+            "tenants sharing a machine with a live channel are benign "
+            "too.");
+    t2.print();
+    std::cout << "\n";
+
+    // --- Table 3: detection vs threshold per channel, busy machine ---
+    const unsigned busy = unsigned(kMixes.size()) - 1;
+    Table t3("Detection rate vs threshold on the busy machine (4 mixed "
+             "co-runners; attack-pair windows, Wilson 99%)");
+    t3.header({"threshold", "WB d=1", "WB d=8", "LRU", "cross-core"});
+    for (double thr : kThresholds) {
+        std::vector<std::string> row{Table::num(thr, 2)};
+        for (DetectionScenario sc :
+             {DetectionScenario::WbChannel, DetectionScenario::WbChannelD8,
+              DetectionScenario::LruChannel,
+              DetectionScenario::CrossCoreWb}) {
+            const RocPoint pt = pooled(cellsOf(busy, sc), thr);
+            row.push_back(rateCell(pt.attackAlarms, pt.attackWindows));
+        }
+        t3.row(std::move(row));
+    }
+    t3.note("by coherence/miss features the LRU pair is QUIETER than "
+            "the WB pair: its Table-VI loudness is raw access "
+            "footprint, which a window detector cannot use without "
+            "drowning in benign streaming false positives.");
+    t3.print();
+    std::cout << "\n";
+
+    // --- Table 4: the WB channel's ROC across mixes ---
+    Table t4("WB channel (d=1) detection rate vs threshold across "
+             "co-runner mixes (Wilson 99%)");
+    t4.header({"threshold", "mix 0", "mix 2", "mix 4"});
+    for (double thr : kThresholds) {
+        std::vector<std::string> row{Table::num(thr, 2)};
+        for (unsigned m = 0; m < kMixes.size(); ++m) {
+            const RocPoint pt =
+                pooled(cellsOf(m, DetectionScenario::WbChannel), thr);
+            row.push_back(rateCell(pt.attackAlarms, pt.attackWindows));
+        }
+        t4.row(std::move(row));
+    }
+    t4.print();
+    std::cout << "\n";
+
+    // --- Table 5: the adaptive-stealth session ---
+    const auto sessions = pool.map<StealthOutcome>(gSeeds, [&](std::size_t s) {
+        ArmsRaceConfig cfg = baseConfig(kMixes[busy], 1 + s);
+        StealthConfig st;
+        return runStealthSession(cfg, st);
+    });
+    Table t5("Adaptive-stealth WB session: the sender throttles down "
+             "the rate ladder until the pair sits under budget "
+             "(budget 0.8 x threshold " + Table::num(kOperatingPoint, 1) +
+             ", " + std::to_string(gSeeds) + " sessions)");
+    t5.header({"round", "rung", "Ts", "d", "mean BER", "mean peak",
+               "over budget"});
+    const std::size_t rounds = sessions.front().rounds.size();
+    for (std::size_t r = 0; r < rounds; ++r) {
+        double sumBer = 0.0, sumPeak = 0.0;
+        unsigned over = 0;
+        const StealthRound &ref = sessions.front().rounds[r];
+        for (const StealthOutcome &s : sessions) {
+            sumBer += s.rounds[r].ber;
+            sumPeak += s.rounds[r].pairPeak;
+            over += s.rounds[r].overBudget ? 1 : 0;
+        }
+        t5.row({std::to_string(r), std::to_string(ref.rung),
+                std::to_string(ref.ts), std::to_string(ref.d),
+                Table::pct(sumBer / double(gSeeds), 1),
+                Table::num(sumPeak / double(gSeeds), 2),
+                std::to_string(over) + "/" + std::to_string(gSeeds)});
+    }
+    std::uint64_t bitsTotal = 0, bitsCorrect = 0;
+    double settledPeak = 0.0, goodputSum = 0.0;
+    std::uint64_t greedyBits = 0, greedyCorrect = 0;
+    Cycles greedyCycles = 0;
+    for (const StealthOutcome &s : sessions) {
+        bitsTotal += s.bitsTotal;
+        bitsCorrect += s.bitsCorrect;
+        settledPeak = std::max(settledPeak, s.settledPeak);
+        goodputSum += s.goodputKbps;
+        greedyBits += s.rounds.front().payloadBits;
+        greedyCorrect += s.rounds.front().correctBits;
+        greedyCycles += s.rounds.front().simulatedCycles;
+    }
+    const WilsonInterval bitIv =
+        wilsonInterval(unsigned(bitsCorrect), unsigned(bitsTotal));
+    t5.note("settled peak over all sessions: " +
+            Table::num(settledPeak, 2) + " < budget 0.8 < operating "
+            "threshold " + Table::num(kOperatingPoint, 1) + ".");
+    t5.note("pooled correct payload bits: " + std::to_string(bitsCorrect) +
+            "/" + std::to_string(bitsTotal) + ", Wilson 99% [" +
+            Table::pct(bitIv.lo, 1) + "," + Table::pct(bitIv.hi, 1) +
+            "] -- statistically nonzero goodput while under budget.");
+    t5.note("goodput cost of stealth: settled session mean " +
+            Table::num(goodputSum / double(gSeeds), 1) +
+            " kbps vs greedy rung-0 rate " +
+            Table::num(double(greedyCorrect) * 2.2e6 /
+                       double(std::max<Cycles>(1, greedyCycles)), 1) +
+            " kbps -- but the greedy rung is over budget in round 0 "
+            "of every session.");
+    t5.print();
+    std::cout << "\n";
+
+    // --- Table 6: defense ROC shift under noise ---
+    const std::vector<defense::DefenseSpec> specs = {
+        {defense::DefenseKind::None, 0},
+        {defense::DefenseKind::Dawg, 0},
+        {defense::DefenseKind::PlCache, 0},
+        {defense::DefenseKind::PrefetchGuard, 30},
+    };
+    const auto defended = pool.map<ScenarioOutcome>(
+        specs.size() * gSeeds, [&](std::size_t i) {
+            ArmsRaceConfig cfg = baseConfig(kMixes[busy], 1 + i % gSeeds);
+            cfg.ts = 2750; // the attacker's greedy (loud) rate
+            cfg.defense = specs[i / gSeeds];
+            return runDetectionScenario(
+                cfg, DetectionScenario::WbChannelD8, cfg.seed);
+        });
+    Table t6("Defense ROC shift under scheduler noise: greedy WB "
+             "channel (d=8, Ts=2750) per defense, scored at the "
+             "operating threshold -- not by idle-machine closure");
+    t6.header({"defense", "mean BER", "detect @" +
+               Table::num(kOperatingPoint, 1), "mean pair peak"});
+    for (std::size_t d = 0; d < specs.size(); ++d) {
+        std::vector<ScenarioOutcome> group(
+            defended.begin() + long(d * gSeeds),
+            defended.begin() + long((d + 1) * gSeeds));
+        double sumBer = 0.0, sumPeak = 0.0;
+        for (const ScenarioOutcome &o : group) {
+            sumBer += o.ber;
+            double peak = 0.0;
+            for (double s : o.pairSmoothed)
+                peak = std::max(peak, s);
+            sumPeak += peak;
+        }
+        const RocPoint pt = pooled(group, kOperatingPoint);
+        t6.row({defense::defenseName(specs[d]),
+                Table::pct(sumBer / double(gSeeds), 1),
+                rateCell(pt.attackAlarms, pt.attackWindows),
+                Table::num(sumPeak / double(gSeeds), 2)});
+    }
+    t6.note("a defense that closes the channel (BER -> ~50%) can still "
+            "leave the pair loud (the receiver keeps sweeping); one "
+            "that merely adds noise can lower detection while the "
+            "channel keeps working -- the ROC shift is the honest "
+            "score.");
+    t6.note("seeds per row: " + std::to_string(gSeeds));
+    t6.print();
+    return 0;
+}

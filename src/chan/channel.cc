@@ -29,6 +29,8 @@ struct RawRun
     Cycles simulatedCycles = 0;
     sim::PerfCounters senderCounters;
     sim::PerfCounters receiverCounters;
+    ThreadId senderTid = 0;
+    ThreadId receiverTid = 0;
     sim::SchedulerStats schedulerStats;
     Calibration calibration;
 };
@@ -108,6 +110,8 @@ runRawSequence(const ChannelConfig &cfg, const std::vector<unsigned> &dSeq)
     raw.simulatedCycles = end;
     raw.senderCounters = hierarchy.counters(senderTid);
     raw.receiverCounters = hierarchy.counters(receiverTid);
+    raw.senderTid = senderTid;
+    raw.receiverTid = receiverTid;
     if (sched)
         raw.schedulerStats = sched->stats();
     raw.calibration = std::move(cal);
@@ -151,6 +155,8 @@ runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
     res.calibrationMedians = raw.calibration.medianByD;
     res.senderCounters = raw.senderCounters;
     res.receiverCounters = raw.receiverCounters;
+    res.senderTid = raw.senderTid;
+    res.receiverTid = raw.receiverTid;
     res.simulatedCycles = raw.simulatedCycles;
     res.schedulerStats = raw.schedulerStats;
     return res;

@@ -108,6 +108,15 @@ struct ChannelResult
     sim::PerfCounters receiverCounters; //!< receiver process perf view
     Cycles simulatedCycles = 0;         //!< wall virtual time
 
+    /**
+     * Thread ids the parties ran under (set by both the same-core and
+     * the cross-core runner). Detection harnesses use these to label
+     * which monitored tids were the covert pair — everything else on
+     * the machine is benign by construction.
+     */
+    ThreadId senderTid = 0;
+    ThreadId receiverTid = 0;
+
     /** What the OS-noise layer did (zeros when it was inactive). */
     sim::SchedulerStats schedulerStats;
 };

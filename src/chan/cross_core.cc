@@ -145,6 +145,8 @@ struct CrossRawRun
     Cycles simulatedCycles = 0;
     sim::PerfCounters senderCounters;
     sim::PerfCounters receiverCounters;
+    ThreadId senderTid = 0;
+    ThreadId receiverTid = 0;
     sim::SchedulerStats schedulerStats;
     Calibration calibration;
 };
@@ -220,6 +222,8 @@ runCrossCoreRaw(const CrossCoreChannelConfig &cfg,
     } else {
         raw.receiverCounters = mc.counters(cfg.receiverCore, receiverTid);
     }
+    raw.senderTid = senderTid;
+    raw.receiverTid = receiverTid;
     raw.calibration = std::move(cal);
     return raw;
 }
@@ -296,6 +300,8 @@ runCrossCoreChannel(const CrossCoreChannelConfig &cfg)
     res.calibrationMedians = raw.calibration.medianByD;
     res.senderCounters = raw.senderCounters;
     res.receiverCounters = raw.receiverCounters;
+    res.senderTid = raw.senderTid;
+    res.receiverTid = raw.receiverTid;
     res.simulatedCycles = raw.simulatedCycles;
     res.schedulerStats = raw.schedulerStats;
     return res;

@@ -1,0 +1,353 @@
+#include "perfmon/arms_race.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "chan/channel.hh"
+#include "chan/cross_core.hh"
+#include "chan/transport.hh"
+#include "common/log.hh"
+#include "perfmon/detector.hh"
+#include "sim/hierarchy.hh"
+#include "sim/platform.hh"
+#include "sim/scheduler.hh"
+
+namespace wb::perfmon
+{
+
+WilsonInterval
+wilsonInterval(unsigned successes, unsigned trials, double z)
+{
+    WilsonInterval iv;
+    if (trials == 0)
+        return iv;
+    const double n = double(trials);
+    const double p = double(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = p + z2 / (2.0 * n);
+    const double margin =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+    iv.lo = std::max(0.0, (center - margin) / denom);
+    iv.hi = std::min(1.0, (center + margin) / denom);
+    return iv;
+}
+
+const char *
+scenarioName(DetectionScenario s)
+{
+    switch (s) {
+      case DetectionScenario::IdlePair:
+        return "idle pair (benign)";
+      case DetectionScenario::CompilerPair:
+        return "2x compiler (benign)";
+      case DetectionScenario::StreamingPair:
+        return "streaming (benign)";
+      case DetectionScenario::WbChannel:
+        return "WB channel (d=1)";
+      case DetectionScenario::WbChannelD8:
+        return "WB channel (d=8)";
+      case DetectionScenario::LruChannel:
+        return "LRU channel";
+      case DetectionScenario::CrossCoreWb:
+        return "cross-core WB";
+    }
+    return "?";
+}
+
+bool
+scenarioIsAttack(DetectionScenario s)
+{
+    switch (s) {
+      case DetectionScenario::WbChannel:
+      case DetectionScenario::WbChannelD8:
+      case DetectionScenario::LruChannel:
+      case DetectionScenario::CrossCoreWb:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace
+{
+
+/**
+ * Read the detector into an outcome: the covert pair's per-window max
+ * smoothed score (aligned by window boundary — under timeslicing one
+ * party can enter the monitored set a window later than the other) and
+ * every other monitored tid's samples as benign.
+ */
+void
+fillOutcome(const OnlineDetector &det, ScenarioOutcome &out)
+{
+    out.windows = det.windowCount();
+    if (out.isAttack) {
+        std::map<Cycles, double> byEnd;
+        for (ThreadId tid : {out.senderTid, out.receiverTid}) {
+            for (const WindowRecord &rec : det.windows(tid)) {
+                auto [it, fresh] = byEnd.emplace(rec.end, rec.smoothed);
+                if (!fresh)
+                    it->second = std::max(it->second, rec.smoothed);
+            }
+        }
+        for (const auto &kv : byEnd)
+            out.pairSmoothed.push_back(kv.second);
+    }
+    for (ThreadId tid : det.tids()) {
+        if (out.isAttack &&
+            (tid == out.senderTid || tid == out.receiverTid))
+            continue;
+        for (const WindowRecord &rec : det.windows(tid))
+            out.benignSmoothed.push_back(rec.smoothed);
+    }
+}
+
+/** The base same-core channel config of an arms-race experiment. */
+chan::ChannelConfig
+sameCoreConfig(const ArmsRaceConfig &cfg, unsigned d, std::uint64_t seed)
+{
+    chan::ChannelConfig ch;
+    ch.usePlatform(cfg.platformName);
+    ch.protocol.ts = ch.protocol.tr = cfg.ts;
+    ch.protocol.frames = cfg.frames;
+    ch.protocol.frameBits = cfg.frameBits;
+    ch.protocol.encoding = chan::Encoding::binary(d);
+    ch.seed = seed;
+    ch = defense::applyDefense(ch, cfg.defense);
+    ch.scheduler.coRunners = sim::SchedulerConfig::mixOf(cfg.coRunners);
+    return ch;
+}
+
+/** Same-core WB scenario: run the real channel, watched. */
+ScenarioOutcome
+runWbScenario(const ArmsRaceConfig &cfg, DetectionScenario scenario,
+              unsigned d, std::uint64_t seed)
+{
+    chan::ChannelConfig ch = sameCoreConfig(cfg, d, seed);
+    OnlineDetector det(cfg.detector);
+    det.attach(ch.scheduler);
+    const chan::ChannelResult res = chan::runChannel(ch);
+
+    ScenarioOutcome out;
+    out.scenario = scenario;
+    out.isAttack = true;
+    out.senderTid = res.senderTid;
+    out.receiverTid = res.receiverTid;
+    out.ber = res.ber;
+    out.goodputKbps = res.goodputKbps;
+    fillOutcome(det, out);
+    return out;
+}
+
+/** Cross-core WB scenario over the shared inclusive LLC. */
+ScenarioOutcome
+runCrossCoreScenario(const ArmsRaceConfig &cfg, std::uint64_t seed)
+{
+    chan::CrossCoreChannelConfig ch;
+    ch.usePlatform(cfg.platformName);
+    ch.protocol.frames = cfg.frames;
+    ch.seed = seed;
+    ch.scheduler.coRunners = sim::SchedulerConfig::mixOf(cfg.coRunners);
+    OnlineDetector det(cfg.detector);
+    det.attach(ch.scheduler);
+    const chan::ChannelResult res = chan::runCrossCoreChannel(ch);
+
+    ScenarioOutcome out;
+    out.scenario = DetectionScenario::CrossCoreWb;
+    out.isAttack = true;
+    out.senderTid = res.senderTid;
+    out.receiverTid = res.receiverTid;
+    out.ber = res.ber;
+    out.goodputKbps = res.goodputKbps;
+    fillOutcome(det, out);
+    return out;
+}
+
+/**
+ * Detection-only scenarios (benign pairs, LRU baseline): the shared
+ * perfmon workload definitions run under the scheduler on core 0 for
+ * cfg.benignWindows windows, no decode.
+ */
+ScenarioOutcome
+runWatchedPair(const ArmsRaceConfig &cfg, DetectionScenario scenario,
+               Workload workload, std::uint64_t seed)
+{
+    const sim::Platform &plat = sim::platform(cfg.platformName);
+    Rng rng(seed);
+    sim::Hierarchy hierarchy(plat.params, &rng);
+
+    sim::SchedulerConfig sc;
+    sc.coRunners = sim::SchedulerConfig::mixOf(cfg.coRunners);
+    OnlineDetector det(cfg.detector);
+    det.attach(sc);
+
+    sim::Scheduler sched(static_cast<sim::MemorySystem &>(hierarchy),
+                         plat.noise, rng, sc, seed);
+    sim::SmtCore &core = sched.party(0);
+    const auto &layout = hierarchy.l1().layout();
+
+    std::vector<std::unique_ptr<sim::Program>> programs;
+    Rng bitRng = rng.split();
+    populateWorkload(workload, core, plat.params, layout, bitRng, cfg.ts,
+                     programs);
+
+    sched.run(Cycles(cfg.benignWindows) * cfg.detector.windowCycles);
+
+    ScenarioOutcome out;
+    out.scenario = scenario;
+    out.isAttack = scenarioIsAttack(scenario);
+    // party(0) is the first front-end: its two threads get tids 0, 1.
+    out.senderTid = 0;
+    out.receiverTid = 1;
+    fillOutcome(det, out);
+    return out;
+}
+
+} // namespace
+
+ScenarioOutcome
+runDetectionScenario(const ArmsRaceConfig &cfg, DetectionScenario scenario,
+                     std::uint64_t seed)
+{
+    switch (scenario) {
+      case DetectionScenario::WbChannel:
+        return runWbScenario(cfg, scenario, 1, seed);
+      case DetectionScenario::WbChannelD8:
+        return runWbScenario(cfg, scenario, 8, seed);
+      case DetectionScenario::CrossCoreWb:
+        return runCrossCoreScenario(cfg, seed);
+      case DetectionScenario::IdlePair:
+        return runWatchedPair(cfg, scenario, Workload::Idle, seed);
+      case DetectionScenario::CompilerPair:
+        return runWatchedPair(cfg, scenario, Workload::CompilerPair, seed);
+      case DetectionScenario::StreamingPair:
+        return runWatchedPair(cfg, scenario, Workload::Streaming, seed);
+      case DetectionScenario::LruChannel:
+        return runWatchedPair(cfg, scenario, Workload::LruChannel, seed);
+    }
+    fatalf("runDetectionScenario: unknown scenario");
+    return {};
+}
+
+std::vector<RocPoint>
+buildRoc(const std::vector<ScenarioOutcome> &outcomes,
+         const std::vector<double> &thresholds)
+{
+    std::vector<RocPoint> roc;
+    roc.reserve(thresholds.size());
+    for (double thr : thresholds) {
+        RocPoint pt;
+        pt.threshold = thr;
+        for (const ScenarioOutcome &o : outcomes) {
+            for (double s : o.pairSmoothed) {
+                ++pt.attackWindows;
+                if (s > thr)
+                    ++pt.attackAlarms;
+            }
+            for (double s : o.benignSmoothed) {
+                ++pt.benignSamples;
+                if (s > thr)
+                    ++pt.benignAlarms;
+            }
+        }
+        pt.detectRate = pt.attackWindows
+            ? double(pt.attackAlarms) / double(pt.attackWindows)
+            : 0.0;
+        pt.detect = wilsonInterval(pt.attackAlarms, pt.attackWindows);
+        pt.fpr = pt.benignSamples
+            ? double(pt.benignAlarms) / double(pt.benignSamples)
+            : 0.0;
+        pt.fp = wilsonInterval(pt.benignAlarms, pt.benignSamples);
+        roc.push_back(pt);
+    }
+    return roc;
+}
+
+StealthOutcome
+runStealthSession(const ArmsRaceConfig &cfg, const StealthConfig &stealth)
+{
+    // Start loud — binary(8) at the fast stealth.startTs — so the
+    // d-shrink rungs have room to buy footprint before the ladder
+    // starts paying with time.
+    chan::ChannelConfig base = sameCoreConfig(cfg, 8, cfg.seed);
+    base.protocol.ts = base.protocol.tr = stealth.startTs;
+    const std::vector<chan::RateStep> ladder = chan::rateLadder(
+        base.protocol, stealth.maxDoublings, stealth.signalShrinks);
+    const double budget =
+        stealth.budgetFraction * cfg.detector.threshold;
+    const unsigned payloadPerRound =
+        cfg.frames * (cfg.frameBits >= 16 ? cfg.frameBits - 16 : 0);
+
+    StealthOutcome out;
+    Cycles totalCycles = 0;
+    unsigned level = 0;
+    unsigned quietStreak = 0;
+    // A rung observed over budget is burned: the controller never
+    // climbs back onto it, so the session converges to the fastest
+    // rung that stays under budget instead of oscillating.
+    std::vector<bool> burned(ladder.size(), false);
+
+    for (unsigned r = 0; r < stealth.rounds; ++r) {
+        const chan::RateStep &rung = ladder[level];
+        chan::ChannelConfig round = base;
+        // Per-round seed: rounds are independent transmissions of the
+        // session, deterministic in cfg.seed.
+        round.seed = cfg.seed + 0x9e3779b97f4a7c15ULL * (r + 1);
+        // Ts only ever doubles along the ladder, so the Tr:Ts ratio
+        // survives the integer arithmetic exactly (see rateLadder).
+        round.protocol.tr =
+            base.protocol.tr * (rung.ts / base.protocol.ts);
+        round.protocol.ts = rung.ts;
+        round.protocol.encoding = rung.encoding;
+
+        OnlineDetector det(cfg.detector);
+        det.attach(round.scheduler);
+        const chan::ChannelResult res = chan::runChannel(round);
+
+        StealthRound rr;
+        rr.rung = level;
+        rr.ts = rung.ts;
+        rr.d = rung.encoding.maxLevel();
+        rr.ber = res.ber;
+        rr.pairPeak = std::max(det.peakSmoothed(res.senderTid),
+                               det.peakSmoothed(res.receiverTid));
+        rr.overBudget = rr.pairPeak > budget;
+        rr.simulatedCycles = res.simulatedCycles;
+        rr.payloadBits = payloadPerRound;
+        rr.correctBits = std::uint64_t(
+            (1.0 - std::min(1.0, res.ber)) * double(payloadPerRound) +
+            0.5);
+        out.rounds.push_back(rr);
+
+        out.bitsTotal += rr.payloadBits;
+        out.bitsCorrect += rr.correctBits;
+        totalCycles += rr.simulatedCycles;
+        if (r >= stealth.rounds / 2)
+            out.settledPeak = std::max(out.settledPeak, rr.pairPeak);
+
+        if (rr.overBudget) {
+            burned[level] = true;
+            quietStreak = 0;
+            if (level + 1 < ladder.size())
+                ++level;
+        } else {
+            ++quietStreak;
+            if (quietStreak >= stealth.quietRoundsToUpgrade &&
+                level > 0 && !burned[level - 1]) {
+                --level;
+                quietStreak = 0;
+            }
+        }
+    }
+    out.finalRung = level;
+    if (totalCycles > 0)
+        out.goodputKbps = double(out.bitsCorrect) *
+                          base.protocol.cpuGhz * 1e6 /
+                          double(totalCycles);
+    return out;
+}
+
+} // namespace wb::perfmon

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The detector-vs-stealth arms race on the noisy multi-tenant machine.
+ *
+ * Three pieces, layered on the online detector (perfmon/online.hh):
+ *
+ *  - **Scenarios.** runDetectionScenario() stands up one live run —
+ *    covert WB pair (same-core or cross-core), the louder LRU channel,
+ *    or a benign tenant pair — on a platform preset with a co-runner
+ *    mix from the OS-noise scheduler, watches it with an
+ *    OnlineDetector, and reports the covert pair's per-window scores
+ *    next to every benign tenant's (co-runners included).
+ *  - **ROC.** buildRoc() pools scenario outcomes over seeds and sweeps
+ *    the alarm threshold: detection rate over attack-pair windows vs
+ *    false-positive rate over benign (tid, window) samples, each with
+ *    a Wilson score interval, so "the detector separates them" is a
+ *    bounded claim, not a point estimate (docs/DETECTION.md).
+ *  - **Stealth.** runStealthSession() gives the WB sender the
+ *    detector's own feedback: the message goes out in rounds, the
+ *    attacker watches the pair's observed footprint after each round,
+ *    and a StealthController walks the transport rate ladder
+ *    (chan::rateLadder — d-shrink rungs first, then Ts doublings)
+ *    until the pair sits under its score budget. The report is the
+ *    paper Sec. VII argument made quantitative: what goodput does
+ *    stealth cost at a given detector operating point?
+ *
+ * Everything is deterministic in the seed, and the detector is
+ * read-only by the SampleHook contract, so an observed run transmits
+ * bit-identically to an unobserved one — the arms race changes the
+ * attacker's choices, never the channel physics.
+ */
+
+#ifndef WB_PERFMON_ARMS_RACE_HH
+#define WB_PERFMON_ARMS_RACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "defense/defense.hh"
+#include "perfmon/online.hh"
+
+namespace wb::perfmon
+{
+
+/**
+ * Wilson score interval for @p successes out of @p trials at critical
+ * value @p z (default 2.576, ~99% two-sided). The src-side twin of the
+ * test-side helper in tests/stat_assert.hh: experiment tables must
+ * print the same bounds the tests assert on.
+ */
+struct WilsonInterval
+{
+    double lo = 0.0;
+    double hi = 1.0;
+};
+
+WilsonInterval wilsonInterval(unsigned successes, unsigned trials,
+                              double z = 2.576);
+
+/** What runs on the machine while the detector watches. */
+enum class DetectionScenario
+{
+    IdlePair,      //!< two spinners (benign)
+    CompilerPair,  //!< two compiler workloads (benign)
+    StreamingPair, //!< streaming + spinner (benign)
+    WbChannel,     //!< same-core WB channel, binary d=1
+    WbChannelD8,   //!< same-core WB channel, binary d=8 (louder)
+    LruChannel,    //!< LRU covert channel (the loud baseline)
+    CrossCoreWb    //!< cross-core WB channel over the inclusive LLC
+};
+
+/** Human-readable scenario name. */
+const char *scenarioName(DetectionScenario s);
+
+/** True for the covert-channel scenarios. */
+bool scenarioIsAttack(DetectionScenario s);
+
+/** Arms-race experiment configuration. */
+struct ArmsRaceConfig
+{
+    /** Platform registry preset (needs >= 2 cores for CrossCoreWb). */
+    std::string platformName = "desktop-inclusive-4core";
+
+    /** Co-runner count, expanded via SchedulerConfig::mixOf(). */
+    unsigned coRunners = 3;
+
+    OnlineDetectorConfig detector;
+
+    /** Slot period of the same-core channels and benign spinners. */
+    Cycles ts = 5500;
+
+    /** Frame repetitions / frame bits of the WB transmissions. */
+    unsigned frames = 2;
+    unsigned frameBits = 64;
+
+    /** Observation windows for the detection-only (benign/LRU) runs. */
+    unsigned benignWindows = 40;
+
+    std::uint64_t seed = 1;
+
+    /**
+     * Defense applied to the same-core WB scenarios (None by
+     * default). The defense ROC-shift tables rerun WbChannel under
+     * each spec and compare detection rates at a fixed FPR.
+     */
+    defense::DefenseSpec defense;
+};
+
+/** One watched run's outcome. */
+struct ScenarioOutcome
+{
+    DetectionScenario scenario = DetectionScenario::IdlePair;
+    bool isAttack = false;
+
+    ThreadId senderTid = 0;   //!< covert pair (attack scenarios)
+    ThreadId receiverTid = 0;
+
+    /**
+     * Transmission quality of the WB scenarios; -1 for the
+     * detection-only runs (benign pairs and the LRU baseline, whose
+     * decode quality is not the question here).
+     */
+    double ber = -1.0;
+    double goodputKbps = 0.0;
+
+    unsigned windows = 0; //!< detector windows observed
+
+    /**
+     * Per-window smoothed score of the covert pair, max over the two
+     * party tids (colluding parties are as loud as their louder half);
+     * empty for benign scenarios.
+     */
+    std::vector<double> pairSmoothed;
+
+    /**
+     * Smoothed scores of every benign (tid, window) sample: all
+     * monitored tids except the covert pair (and the OS tid). In
+     * benign scenarios that includes the tenant pair itself.
+     */
+    std::vector<double> benignSmoothed;
+};
+
+/**
+ * Run one scenario under @p cfg with run seed @p seed (the config's
+ * co-runner mix, platform and detector settings; a fresh
+ * OnlineDetector per run).
+ */
+ScenarioOutcome runDetectionScenario(const ArmsRaceConfig &cfg,
+                                     DetectionScenario scenario,
+                                     std::uint64_t seed);
+
+/** One threshold's pooled operating point. */
+struct RocPoint
+{
+    double threshold = 0.0;
+
+    unsigned attackWindows = 0; //!< pooled attack-pair windows
+    unsigned attackAlarms = 0;  //!< of which scored above threshold
+    unsigned benignSamples = 0; //!< pooled benign (tid, window) samples
+    unsigned benignAlarms = 0;  //!< of which scored above threshold
+
+    double detectRate = 0.0; //!< attackAlarms / attackWindows
+    WilsonInterval detect;   //!< its Wilson interval
+    double fpr = 0.0;        //!< benignAlarms / benignSamples
+    WilsonInterval fp;       //!< its Wilson interval
+};
+
+/**
+ * Pool @p outcomes (attack and benign runs, any number of seeds) and
+ * score every threshold: attack detection from pairSmoothed, false
+ * positives from benignSmoothed of *all* runs — co-runners sharing a
+ * machine with a live channel are benign tenants too.
+ */
+std::vector<RocPoint> buildRoc(const std::vector<ScenarioOutcome> &outcomes,
+                               const std::vector<double> &thresholds);
+
+/** Stealth-session knobs. */
+struct StealthConfig
+{
+    /**
+     * Footprint budget as a fraction of the detector threshold: the
+     * attacker throttles until the pair's peak smoothed score stays
+     * under budgetFraction * detector.threshold. Under 1.0 leaves
+     * headroom for windows the attacker has not seen yet.
+     */
+    double budgetFraction = 0.8;
+
+    unsigned rounds = 10;       //!< transmission rounds
+    unsigned maxDoublings = 3;  //!< Ts-doubling rungs in the ladder
+    unsigned signalShrinks = 3; //!< d-shrink rungs in the ladder
+
+    /**
+     * Slot period of the session's loud starting rung. The default is
+     * twice the scenario rate (Ts = 2750 against the scenarios' 5500):
+     * greedy attackers start fast — on the desktop preset that puts
+     * the pair's peak near 2.0, well over any sane budget — and let
+     * the controller walk them down.
+     */
+    Cycles startTs = 2750;
+
+    /** Consecutive under-budget rounds before stepping back up. */
+    unsigned quietRoundsToUpgrade = 3;
+};
+
+/** One stealth round's telemetry. */
+struct StealthRound
+{
+    unsigned rung = 0;       //!< ladder rung used this round
+    Cycles ts = 0;           //!< its slot period
+    unsigned d = 0;          //!< its dirty-line level
+    double ber = 1.0;
+    double pairPeak = 0.0;   //!< pair's peak smoothed score
+    bool overBudget = false;
+    Cycles simulatedCycles = 0;
+    std::uint64_t payloadBits = 0;
+    std::uint64_t correctBits = 0;
+};
+
+/** A whole stealth session's outcome. */
+struct StealthOutcome
+{
+    std::vector<StealthRound> rounds;
+    unsigned finalRung = 0;
+
+    std::uint64_t bitsTotal = 0;   //!< pooled payload bits
+    std::uint64_t bitsCorrect = 0; //!< pooled correct payload bits
+
+    /** Pooled goodput: correct payload bits over summed run time. */
+    double goodputKbps = 0.0;
+
+    /** Peak pair score over the settled (post-adaptation) half. */
+    double settledPeak = 0.0;
+};
+
+/**
+ * Run the adaptive-stealth WB session: cfg.frames x (frameBits - 16)
+ * payload bits per round on the same-core channel (starting from the
+ * loud binary(8) encode so the d-shrink rungs have room to work), a
+ * fresh detector watching every round, and the controller stepping
+ * down the rate ladder whenever the pair's observed peak exceeds the
+ * budget — the attacker reacting to exactly the signal the defender
+ * scores. Deterministic in cfg.seed (round r runs under a seed derived
+ * from it).
+ */
+StealthOutcome runStealthSession(const ArmsRaceConfig &cfg,
+                                 const StealthConfig &stealth);
+
+} // namespace wb::perfmon
+
+#endif // WB_PERFMON_ARMS_RACE_HH

@@ -14,39 +14,18 @@
 namespace wb::perfmon
 {
 
-namespace
+WindowFeatures
+windowFeatures(const sim::PerfCounters &delta, Cycles windowCycles)
 {
-
-/** A process that only busy-waits (periodic wakeups, no data work). */
-class Spinner : public sim::Program
-{
-  public:
-    explicit Spinner(Cycles period) : period_(period) {}
-
-    std::optional<sim::MemOp>
-    next(sim::ProcView &) override
-    {
-        if (!started_) {
-            started_ = true;
-            return sim::MemOp::tscRead();
-        }
-        return sim::MemOp::spinUntil(tlast_ + period_);
-    }
-
-    void
-    onResult(const sim::MemOp &, const sim::OpResult &res,
-             sim::ProcView &) override
-    {
-        tlast_ = res.tsc;
-    }
-
-  private:
-    Cycles period_;
-    Cycles tlast_ = 0;
-    bool started_ = false;
-};
-
-} // namespace
+    WindowFeatures f;
+    const double kc = double(windowCycles) / 1000.0;
+    f.l1MissPerKcycle = double(delta.l1Misses) / kc;
+    f.writebacksPerKcycle = double(delta.l1DirtyWritebacks) / kc;
+    f.l2AccessPerKcycle = double(delta.l2Accesses) / kc;
+    f.backInvalPerKcycle = double(delta.llcDirtyEvictions) / kc;
+    f.snoopPerKcycle = double(delta.crossCoreSnoops) / kc;
+    return f;
+}
 
 std::string
 workloadName(Workload w)
@@ -68,21 +47,12 @@ workloadName(Workload w)
     return "?";
 }
 
-std::vector<WindowFeatures>
-collectTrace(Workload workload, unsigned windows, Cycles windowCycles,
-             std::uint64_t seed)
+void
+populateWorkload(Workload workload, sim::SmtCore &core,
+                 const sim::HierarchyParams &hp,
+                 const sim::AddressLayout &layout, Rng &bitRng, Cycles ts,
+                 std::vector<std::unique_ptr<sim::Program>> &programs)
 {
-    Rng rng(seed);
-    sim::HierarchyParams hp = sim::xeonE5_2650Params();
-    sim::NoiseModel noise;
-    sim::Hierarchy hierarchy(hp, &rng);
-    sim::SmtCore core(hierarchy, noise, rng);
-    const auto &layout = hierarchy.l1().layout();
-    const Cycles ts = 11000;
-
-    // Owning storage for whichever programs the scenario needs.
-    std::vector<std::unique_ptr<sim::Program>> programs;
-    Rng bitRng = rng.split();
     const BitVec bits = randomBits(4096, bitRng);
 
     auto addWbPair = [&](unsigned d) {
@@ -136,6 +106,24 @@ collectTrace(Workload workload, unsigned windows, Cycles windowCycles,
         core.addThread(programs.back().get(), sim::AddressSpace(2), 0);
         break;
     }
+}
+
+std::vector<WindowFeatures>
+collectTrace(Workload workload, unsigned windows, Cycles windowCycles,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    sim::HierarchyParams hp = sim::xeonE5_2650Params();
+    sim::NoiseModel noise;
+    sim::Hierarchy hierarchy(hp, &rng);
+    sim::SmtCore core(hierarchy, noise, rng);
+    const auto &layout = hierarchy.l1().layout();
+    const Cycles ts = 11000;
+
+    // Owning storage for whichever programs the scenario needs.
+    std::vector<std::unique_ptr<sim::Program>> programs;
+    Rng bitRng = rng.split();
+    populateWorkload(workload, core, hp, layout, bitRng, ts, programs);
 
     std::vector<WindowFeatures> out;
     out.reserve(windows);
@@ -143,14 +131,9 @@ collectTrace(Workload workload, unsigned windows, Cycles windowCycles,
     for (unsigned w = 1; w <= windows; ++w) {
         core.run(Cycles(w) * windowCycles);
         const sim::PerfCounters now = hierarchy.totalCounters();
-        WindowFeatures f;
-        const double kc = double(windowCycles) / 1000.0;
-        f.l1MissPerKcycle = double(now.l1Misses - prev.l1Misses) / kc;
-        f.writebacksPerKcycle =
-            double(now.l1DirtyWritebacks - prev.l1DirtyWritebacks) / kc;
-        f.l2AccessPerKcycle =
-            double(now.l2Accesses - prev.l2Accesses) / kc;
-        out.push_back(f);
+        sim::PerfCounters delta = now;
+        delta.subtract(prev);
+        out.push_back(windowFeatures(delta, windowCycles));
         prev = now;
     }
     return out;

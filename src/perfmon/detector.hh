@@ -1,38 +1,72 @@
 /**
  * @file
- * A perf-counter-based timing-channel detector, in the style the paper
- * cites (CloudRadar, counter-ML safeguards) and argues against in
- * Sec. VII: "if a victim wants to use performance counters to detect
- * possible time-based channels, the WB channel is difficult to
- * distinguish from contention due to benign programs."
+ * Perf-counter timing-channel detection: window features and the
+ * offline tumbling-window collector.
  *
- * The detector samples a core's global counters in fixed windows and
- * scores each window by the features a WB channel would plausibly
- * shift: L1 miss rate and dirty write-back rate. The experiment sweeps
- * the alarm threshold and reports detection/false-positive trade-offs
- * for the WB channel, the (louder) LRU channel, and benign workloads.
+ * The paper's Sec. VII stealth claim — "if a victim wants to use
+ * performance counters to detect possible time-based channels, the WB
+ * channel is difficult to distinguish from contention due to benign
+ * programs" — is the CloudRadar-style counter detector this subsystem
+ * models. Two collection modes share the same per-window features:
+ *
+ *  - **Offline** (this header): collectTrace() runs a workload pair on
+ *    a quiet single-core Hierarchy and reads per-window global counter
+ *    deltas after each window — the original experiment, kept as the
+ *    reference the online path is proven feature-equivalent to
+ *    (tests/test_detection.cc).
+ *  - **Online** (perfmon/online.hh): OnlineDetector samples per-tid
+ *    counter deltas live through the sim::Scheduler sampling hook
+ *    while the noisy multi-core machine runs — the basis of the ROC
+ *    sweeps and the detector-vs-stealth arms race
+ *    (perfmon/arms_race.hh, docs/DETECTION.md).
+ *
+ * The thresholdDetector() here scores offline traces by write-back
+ * rate alone; the online detector generalizes to a weighted score over
+ * L1-miss / write-back / snoop / back-invalidation rates.
  */
 
 #ifndef WB_PERFMON_DETECTOR_HH
 #define WB_PERFMON_DETECTOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/types.hh"
 #include "sim/hierarchy.hh"
+#include "sim/smt_core.hh"
 
 namespace wb::perfmon
 {
 
-/** One observation window's features. */
+/**
+ * One observation window's features, as per-kilo-cycle event rates.
+ * The snoop and back-invalidation rates are only charged by the
+ * multi-core memory system, so single-core offline traces report them
+ * as zero.
+ */
 struct WindowFeatures
 {
     double l1MissPerKcycle = 0.0;
     double writebacksPerKcycle = 0.0;
     double l2AccessPerKcycle = 0.0;
+
+    /** Inclusive-LLC dirty evictions (back-invalidations) per kcycle. */
+    double backInvalPerKcycle = 0.0;
+
+    /** Cross-core dirty-line snoop downgrades per kcycle. */
+    double snoopPerKcycle = 0.0;
 };
+
+/**
+ * Per-kcycle feature rates of a counter delta over @p windowCycles.
+ * The single definition both the offline collector and the online
+ * detector use, so their features agree by construction.
+ */
+WindowFeatures windowFeatures(const sim::PerfCounters &delta,
+                              Cycles windowCycles);
 
 /** Scenario the detector observes. */
 enum class Workload
@@ -49,8 +83,29 @@ enum class Workload
 std::string workloadName(Workload w);
 
 /**
- * Run @p workload for `windows` windows of `windowCycles` cycles each
- * and return per-window global core features.
+ * Build @p workload's process pair and add it to @p core: the shared
+ * scenario definition behind both the offline collectTrace() and the
+ * online detection scenarios (perfmon/arms_race.cc), so the two paths
+ * observe identical workloads. Draws the channel message bits from
+ * @p bitRng (one randomBits(4096) draw regardless of workload, so the
+ * downstream RNG stream does not depend on the scenario), appends the
+ * owning Program pointers to @p programs, and wires the two threads as
+ * AddressSpace(1)/AddressSpace(2) starting at time 0.
+ *
+ * @param ts slot period for the channel/spinner workloads (the offline
+ *        collector uses Ts = 11000)
+ */
+void populateWorkload(Workload workload, sim::SmtCore &core,
+                      const sim::HierarchyParams &hp,
+                      const sim::AddressLayout &layout, Rng &bitRng,
+                      Cycles ts,
+                      std::vector<std::unique_ptr<sim::Program>> &programs);
+
+/**
+ * Offline reference collector: run @p workload on a quiet single-core
+ * xeonE5-2650 Hierarchy (no scheduler, no co-runners) for `windows`
+ * tumbling windows of `windowCycles` cycles each, and return per-window
+ * features from totalCounters() deltas read after each window.
  */
 std::vector<WindowFeatures> collectTrace(Workload workload,
                                          unsigned windows,

@@ -1,0 +1,125 @@
+#include "perfmon/online.hh"
+
+#include <algorithm>
+
+namespace wb::perfmon
+{
+
+namespace
+{
+
+/** Demand work a thread did, cumulatively: the liveness test. */
+std::uint64_t
+activityOf(const sim::PerfCounters &c)
+{
+    return c.loads + c.stores + c.spinLoads + c.flushes;
+}
+
+const std::vector<WindowRecord> kNoWindows;
+
+} // namespace
+
+double
+featureScore(const WindowFeatures &f, const FeatureWeights &w)
+{
+    return w.l1Miss * f.l1MissPerKcycle +
+           w.writeback * f.writebacksPerKcycle +
+           w.backInval * f.backInvalPerKcycle + w.snoop * f.snoopPerKcycle;
+}
+
+void
+OnlineDetector::attach(sim::SchedulerConfig &sched)
+{
+    sched.samplePeriod = cfg_.windowCycles;
+    sched.sampleHook = [this](sim::Scheduler &s, Cycles boundary) {
+        onWindow(s, boundary);
+    };
+}
+
+void
+OnlineDetector::onWindow(sim::Scheduler &sched, Cycles boundary)
+{
+    ++windowCount_;
+    for (ThreadId tid = 0; tid < cfg_.maxTid; ++tid) {
+        if (cfg_.ignoreOsTid && tid == sim::Scheduler::osTid)
+            continue;
+        const sim::PerfCounters now = sched.tidCounters(tid);
+        auto it = tracks_.find(tid);
+        if (it == tracks_.end()) {
+            // Only start tracking once the thread does demand work —
+            // scanning 0..maxTid would otherwise fabricate records
+            // for ids that never existed.
+            if (activityOf(now) == 0)
+                continue;
+            it = tracks_.emplace(tid, TidTrack{}).first;
+            it->second.seen = true;
+        }
+        TidTrack &track = it->second;
+
+        sim::PerfCounters delta = now;
+        delta.subtract(track.prev);
+        track.prev = now;
+
+        WindowRecord rec;
+        rec.end = boundary;
+        rec.f = windowFeatures(delta, cfg_.windowCycles);
+        rec.score = featureScore(rec.f, cfg_.weights);
+
+        track.recent.push_back(rec.score);
+        if (track.recent.size() > cfg_.smoothWindows)
+            track.recent.erase(track.recent.begin());
+        double sum = 0.0;
+        for (double s : track.recent)
+            sum += s;
+        rec.smoothed = sum / double(track.recent.size());
+        rec.alarmed = rec.smoothed > cfg_.threshold;
+        track.records.push_back(rec);
+    }
+}
+
+std::vector<ThreadId>
+OnlineDetector::tids() const
+{
+    std::vector<ThreadId> out;
+    for (const auto &kv : tracks_)
+        out.push_back(kv.first);
+    return out;
+}
+
+const std::vector<WindowRecord> &
+OnlineDetector::windows(ThreadId tid) const
+{
+    auto it = tracks_.find(tid);
+    return it == tracks_.end() ? kNoWindows : it->second.records;
+}
+
+double
+OnlineDetector::peakSmoothed(ThreadId tid) const
+{
+    double peak = 0.0;
+    for (const auto &rec : windows(tid))
+        peak = std::max(peak, rec.smoothed);
+    return peak;
+}
+
+unsigned
+OnlineDetector::liveAlarms(ThreadId tid) const
+{
+    unsigned n = 0;
+    for (const auto &rec : windows(tid))
+        if (rec.alarmed)
+            ++n;
+    return n;
+}
+
+unsigned
+OnlineDetector::alarmsAt(ThreadId tid, double threshold) const
+{
+    unsigned n = 0;
+    for (const auto &rec : windows(tid))
+        if (rec.smoothed > threshold)
+            ++n;
+    return n;
+}
+
+} // namespace wb::perfmon

@@ -1,8 +1,16 @@
 /**
  * @file
- * Stealth experiments (paper Sec. VII, Tables VI and VII): the WB
- * sender's perf-visible footprint compared with the LRU channel's
- * sender and with benign co-runners.
+ * Offline stealth experiments (paper Sec. VII, Tables VI and VII):
+ * the WB sender's perf-visible footprint compared with the LRU
+ * channel's sender and with benign co-runners, measured post-hoc on
+ * the quiet single-core machine — the paper's own methodology,
+ * preserved as a reference.
+ *
+ * The live version of this question — an online per-tid detector
+ * watching noisy multi-core scheduler runs, ROC curves, and the
+ * adaptive sender that throttles against its own observed footprint —
+ * lives in perfmon/online.hh and perfmon/arms_race.hh
+ * (docs/DETECTION.md).
  */
 
 #ifndef WB_PERFMON_STEALTH_HH

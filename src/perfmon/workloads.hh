@@ -1,7 +1,10 @@
 /**
  * @file
- * Benign co-runner workloads for the stealth experiments (paper
- * Table VII compares the WB sender against `sender & g++`).
+ * Benign workloads the detection experiments must tell apart from the
+ * covert channels (paper Table VII compares the WB sender against
+ * `sender & g++`). Used by both the offline trace collector
+ * (perfmon/detector.hh) and the online detection scenarios
+ * (perfmon/arms_race.hh).
  *
  * CompilerWorkload approximates a compiler's cache behaviour: a
  * pointer-heavy random walk over an AST-sized working set interleaved
@@ -58,6 +61,41 @@ class CompilerWorkload : public sim::Program
     unsigned burstPos_ = 0;
     Addr streamPos_ = 0;
     std::uint64_t walkState_ = 0x1234567;
+};
+
+/**
+ * A process that only busy-waits (periodic wakeups, no data work): the
+ * "idle" half of benign pairs in both the offline trace collector and
+ * the online detection scenarios. Its only perf-visible footprint is
+ * spin loads.
+ */
+class Spinner : public sim::Program
+{
+  public:
+    /** @param period cycles between wakeups. */
+    explicit Spinner(Cycles period) : period_(period) {}
+
+    std::optional<sim::MemOp>
+    next(sim::ProcView &) override
+    {
+        if (!started_) {
+            started_ = true;
+            return sim::MemOp::tscRead();
+        }
+        return sim::MemOp::spinUntil(tlast_ + period_);
+    }
+
+    void
+    onResult(const sim::MemOp &, const sim::OpResult &res,
+             sim::ProcView &) override
+    {
+        tlast_ = res.tsc;
+    }
+
+  private:
+    Cycles period_;
+    Cycles tlast_ = 0;
+    bool started_ = false;
 };
 
 /** Pure streaming workload (memory bandwidth bound). */

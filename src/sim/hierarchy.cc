@@ -41,6 +41,26 @@ PerfCounters::merge(const PerfCounters &other)
     spinLoads += other.spinLoads;
 }
 
+void
+PerfCounters::subtract(const PerfCounters &other)
+{
+    loads -= other.loads;
+    stores -= other.stores;
+    l1Hits -= other.l1Hits;
+    l1Misses -= other.l1Misses;
+    l2Accesses -= other.l2Accesses;
+    l2Hits -= other.l2Hits;
+    l2Misses -= other.l2Misses;
+    llcAccesses -= other.llcAccesses;
+    llcHits -= other.llcHits;
+    llcMisses -= other.llcMisses;
+    l1DirtyWritebacks -= other.l1DirtyWritebacks;
+    flushes -= other.flushes;
+    llcDirtyEvictions -= other.llcDirtyEvictions;
+    crossCoreSnoops -= other.crossCoreSnoops;
+    spinLoads -= other.spinLoads;
+}
+
 Hierarchy::Hierarchy(const HierarchyParams &params, Rng *rng)
     : params_(params), rng_(rng), l1_(params.l1, rng), l2_(params.l2, rng),
       llc_(params.llc, rng), counters_(2),

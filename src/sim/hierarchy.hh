@@ -172,6 +172,14 @@ struct PerfCounters
 
     /** Accumulate another counter set into this one. */
     void merge(const PerfCounters &other);
+
+    /**
+     * Field-wise subtraction, for window deltas over a monotonically
+     * growing snapshot (`now.subtract(prev)`). The caller guarantees
+     * `other` is an earlier snapshot of the same counters; counters
+     * never decrease, so each field stays non-negative.
+     */
+    void subtract(const PerfCounters &other);
 };
 
 /** Result of one demand access through the hierarchy. */

@@ -204,6 +204,7 @@ Scheduler::Scheduler(MultiCoreSystem &sys, const NoiseModel &noise,
                                 AddressSpaceId(200 + c));
     }
     nextMigrationAt_ = cfg_.migrationPeriod;
+    nextSampleAt_ = cfg_.samplePeriod;
 }
 
 Scheduler::Scheduler(MemorySystem &mem, const NoiseModel &noise, Rng &rng,
@@ -216,6 +217,7 @@ Scheduler::Scheduler(MemorySystem &mem, const NoiseModel &noise, Rng &rng,
     pollution_.emplace_back(coRunnerSeed(masterSeed, 0x8000),
                             AddressSpaceId(200));
     nextMigrationAt_ = cfg_.migrationPeriod;
+    nextSampleAt_ = cfg_.samplePeriod;
 }
 
 MemorySystem &
@@ -381,6 +383,15 @@ Scheduler::run(Cycles horizon)
         if (pick == nullptr || t >= horizon)
             break;
 
+        // Sampling fires first: the window that just closed must be
+        // read before a migration scheduled at the same boundary
+        // reshuffles anything (both only act between operations, so
+        // the order is about reporting, not simulation state).
+        while (cfg_.sampling() && t >= nextSampleAt_) {
+            cfg_.sampleHook(*this, nextSampleAt_);
+            nextSampleAt_ += cfg_.samplePeriod;
+        }
+
         while (cfg_.migrationPeriod != 0 && t >= nextMigrationAt_) {
             migrate();
             nextMigrationAt_ += cfg_.migrationPeriod;
@@ -394,6 +405,8 @@ Scheduler::run(Cycles horizon)
         Cycles bound = horizon;
         if (cfg_.migrationPeriod != 0)
             bound = std::min(bound, nextMigrationAt_);
+        if (cfg_.sampling())
+            bound = std::min(bound, nextSampleAt_);
 
         const unsigned core = pick->homeCore;
         auto &share = coreShare_[core];
@@ -446,6 +459,17 @@ Scheduler::run(Cycles horizon)
         pick->core->runUntil(bound);
     }
 
+    // Every operation issued before `horizon` has now executed, so
+    // every complete window up to the horizon can be read — including
+    // trailing windows in which the remaining threads were done. The
+    // offline tumbling-window collector produces exactly these
+    // windows, which is what the online-vs-offline feature-equivalence
+    // test compares against.
+    while (cfg_.sampling() && nextSampleAt_ <= horizon) {
+        cfg_.sampleHook(*this, nextSampleAt_);
+        nextSampleAt_ += cfg_.samplePeriod;
+    }
+
     Cycles maxTime = 0;
     for (const auto &fe : frontEnds_)
         maxTime = std::max(maxTime, fe->core->maxTime());
@@ -471,7 +495,20 @@ Scheduler::reseed(std::uint64_t masterSeed)
         pollution_[c].reseed(coRunnerSeed(masterSeed, 0x8000 + c));
     lastSlice_.assign(coreCount_, 0);
     nextMigrationAt_ = cfg_.migrationPeriod;
+    nextSampleAt_ = cfg_.samplePeriod;
     stats_ = SchedulerStats{};
+}
+
+PerfCounters
+Scheduler::tidCounters(ThreadId tid)
+{
+    if (multi_ != nullptr) {
+        PerfCounters sum;
+        for (unsigned c = 0; c < multi_->coreCount(); ++c)
+            sum.merge(multi_->counters(c, tid));
+        return sum;
+    }
+    return single_->counters(tid);
 }
 
 unsigned

@@ -40,6 +40,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +53,18 @@ namespace wb::sim
 {
 
 class MultiCoreSystem;
+class Scheduler;
+
+/**
+ * Counter-sampling hook: called by Scheduler::run() at every
+ * samplePeriod boundary of virtual time, after every operation issued
+ * before that boundary has executed and before any operation issued at
+ * or after it. The hook may read state through the Scheduler (e.g.
+ * tidCounters()) but must not mutate the simulation or draw from any
+ * Rng — sampling must leave the run bit-identical to an unsampled one
+ * (tests/test_detection.cc, SamplingHookIsInvisible).
+ */
+using SampleHook = std::function<void(Scheduler &, Cycles)>;
 
 /** The co-runner workload archetypes of the Table-VII mixes. */
 enum class CoRunnerKind
@@ -104,14 +117,40 @@ struct SchedulerConfig
     Cycles coRunnerGap = 2500;
 
     /**
+     * Virtual-time period of the counter-sampling hook, in cycles.
+     * 0 disables sampling. With a hook set, every complete window up
+     * to the run horizon fires exactly once, including trailing
+     * windows in which no thread had work left.
+     */
+    Cycles samplePeriod = 0;
+
+    /**
+     * The observer called every samplePeriod cycles (the online
+     * detector's window boundary). Read-only by contract: the
+     * scheduler fires it between operations, so a hook that only
+     * reads counters leaves the interleaving, the RNG streams and
+     * every cache bit unchanged.
+     */
+    SampleHook sampleHook;
+
+    /** True when the sampling hook is configured to fire. */
+    bool
+    sampling() const
+    {
+        return samplePeriod != 0 && static_cast<bool>(sampleHook);
+    }
+
+    /**
      * True when this config changes anything at all relative to the
      * schedulerless path; runners branch on it so the default config
-     * costs nothing.
+     * costs nothing. A sampling hook needs the Scheduler run loop
+     * (that is where windows are clocked) but does not perturb the
+     * simulation itself.
      */
     bool
     active() const
     {
-        return !coRunners.empty() || migrationPeriod != 0;
+        return !coRunners.empty() || migrationPeriod != 0 || sampling();
     }
 
     /**
@@ -290,6 +329,15 @@ class Scheduler
     /** Core a front-end currently runs on (after migrations). */
     unsigned coreOf(const SmtCore &frontEnd) const;
 
+    /**
+     * Global per-thread counter view for the sampling hook: on the
+     * multi-core backend the per-core counters of @p tid are summed
+     * (a migrated thread's events stay attributed to it wherever it
+     * ran), on a single-core backend this is the backend's own
+     * per-tid view. Cheap enough to call per tid per window.
+     */
+    PerfCounters tidCounters(ThreadId tid);
+
     /** Number of cores of the backing machine. */
     unsigned coreCount() const { return coreCount_; }
 
@@ -357,6 +405,7 @@ class Scheduler
     std::vector<PollutionStream> pollution_; //!< per-core OS streams
 
     Cycles nextMigrationAt_ = 0;
+    Cycles nextSampleAt_ = 0; //!< next counter-sampling boundary
     bool materialized_ = false;
     SchedulerStats stats_;
 };

@@ -58,8 +58,10 @@
 
 // Defenses, side channels, perf monitoring.
 #include "defense/defense.hh"
+#include "perfmon/arms_race.hh"
 #include "perfmon/detector.hh"
 #include "perfmon/metrics.hh"
+#include "perfmon/online.hh"
 #include "perfmon/stealth.hh"
 #include "perfmon/workloads.hh"
 #include "sidechan/attack.hh"
