@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Observer-capability sweep: the extended Table-I axis — what each
+ * channel family still delivers when the attacker's measurement
+ * apparatus is degraded (sim/observer.hh, chan/degraded.hh).
+ *
+ *   $ ./example_observer_sweep [seeds]
+ *
+ * Four tables:
+ *
+ *  1. WB channel BER, observer class x platform preset. The coarse-µs
+ *     observer runs the repetition-amplified plan; eviction-only runs
+ *     over timing-discovered replacement sets.
+ *
+ *  2. WB channel *effective* goodput for the same grid: kbps after
+ *     dividing by the repetition factor R (the goodput-honesty rule —
+ *     amplification spends R slots per symbol, and the table says so).
+ *
+ *  3. Channel family x observer class on the Xeon preset: the
+ *     flush-family baselines die without the clflush primitive
+ *     ("denied"), and none of them has an amplification plan under
+ *     the coarse timer — only the WB channel crosses that column.
+ *
+ *  4. Observer class x defense, and observer class x co-resident
+ *     noise, on the Xeon preset: a degraded observer composes with
+ *     the defense grid (FuzzyTime's TSC coarsening and the observer
+ *     granule floor combine by max at the same choke point).
+ *
+ * CI uploads this output as the observer-sweep artifact;
+ * docs/OBSERVERS.md and docs/README.md's taxonomy table record a
+ * reference run.
+ *
+ * `-j N` fans the sweep cells over a sim::SweepRunner thread pool
+ * (N = 0 picks the hardware concurrency). Every cell is an
+ * independent shared-nothing simulation and results are assembled in
+ * fixed grid order, so the output is byte-identical at any -j.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/flush_channels.hh"
+#include "chan/channel.hh"
+#include "chan/degraded.hh"
+#include "common/table.hh"
+#include "defense/defense.hh"
+#include "sim/observer.hh"
+#include "sim/platform.hh"
+#include "sim/sweep_runner.hh"
+
+using namespace wb;
+
+namespace
+{
+
+unsigned gSeeds = 3;
+
+/** One named observer capability class. */
+struct ObsSpec
+{
+    const char *name;
+    sim::ObserverModel model;
+};
+
+std::vector<ObsSpec>
+observerGrid()
+{
+    return {
+        {"cycle-accurate", sim::ObserverModel{}},
+        {"coarse-us", sim::ObserverModel::sandboxTimer()},
+        {"flush-latency", sim::ObserverModel::flushLatency()},
+        {"eviction-only", sim::ObserverModel::evictionOnly()},
+    };
+}
+
+/** Aggregated WB-channel cell over the seed pool. */
+struct WbCell
+{
+    double ber = 1.0;
+    double goodputKbps = 0.0;
+    unsigned repetition = 1;
+    bool discoveryVerified = true;
+};
+
+/** Small frames keep the amplified cells affordable. */
+chan::ChannelConfig
+baseConfig(const std::string &platformName)
+{
+    chan::ChannelConfig cfg;
+    cfg.usePlatform(platformName);
+    cfg.protocol.encoding =
+        chan::Encoding::binary(std::min(8u, cfg.platform.l1.ways));
+    cfg.protocol.frameBits = 32;
+    cfg.protocol.frames = 2;
+    return cfg;
+}
+
+WbCell
+wbCell(chan::ChannelConfig cfg, const sim::ObserverModel &obs)
+{
+    cfg.noise.observer = obs;
+    WbCell cell;
+    cell.ber = 0.0;
+    for (unsigned s = 0; s < gSeeds; ++s) {
+        cfg.seed = 1 + s;
+        const chan::ChannelResult res = chan::runChannel(cfg);
+        cell.ber += res.ber / gSeeds;
+        cell.goodputKbps += res.goodputKbps / gSeeds;
+        cell.repetition = std::max(cell.repetition, res.repetition);
+        cell.discoveryVerified =
+            cell.discoveryVerified && res.evictionDiscoveryVerified;
+    }
+    return cell;
+}
+
+/** Flush-family baseline cell: mean BER, or denial. */
+std::string
+flushCell(baselines::FlushKind kind, const sim::ObserverModel &obs)
+{
+    baselines::BaselineConfig cfg;
+    cfg.noise.observer = obs;
+    if (!baselines::flushChannelAvailable(cfg))
+        return "denied";
+    cfg.frameBits = 32;
+    cfg.frames = 4;
+    double ber = 0.0;
+    for (unsigned s = 0; s < gSeeds; ++s) {
+        cfg.seed = 1 + s;
+        ber += baselines::runFlushChannel(cfg, kind).ber / gSeeds;
+    }
+    return Table::pct(ber, 2);
+}
+
+std::string
+goodputLabel(const WbCell &cell)
+{
+    std::string s = Table::num(cell.goodputKbps, 3) + " kbps";
+    if (cell.repetition > 1)
+        s += " (R=" + std::to_string(cell.repetition) + ")";
+    if (!cell.discoveryVerified)
+        s += " [fallback sets]";
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc)
+            jobs = unsigned(std::stoul(argv[++i]));
+        else
+            gSeeds = std::max(1u, unsigned(std::stoul(argv[i])));
+    }
+    sim::SweepRunner pool(jobs);
+
+    const std::vector<ObsSpec> observers = observerGrid();
+    const std::vector<std::string> platforms = {
+        "xeonE5-2650", "desktop-inclusive", "cortexA53-wt",
+        "xeonE5-2650-dawg"};
+
+    // --- Tables 1 + 2: WB channel, observer x platform ---
+    const auto grid = pool.map<WbCell>(
+        observers.size() * platforms.size(), [&](std::size_t i) {
+            return wbCell(baseConfig(platforms[i % platforms.size()]),
+                          observers[i / platforms.size()].model);
+        });
+
+    Table t1("WB channel BER by observer capability class "
+             "(degraded apparatus; chan/degraded.hh plans)");
+    {
+        std::vector<std::string> head{"observer"};
+        head.insert(head.end(), platforms.begin(), platforms.end());
+        t1.header(head);
+    }
+    for (std::size_t o = 0; o < observers.size(); ++o) {
+        std::vector<std::string> row{observers[o].name};
+        for (std::size_t p = 0; p < platforms.size(); ++p)
+            row.push_back(Table::pct(grid[o * platforms.size() + p].ber, 2));
+        t1.row(std::move(row));
+    }
+    t1.note("coarse-us = " + std::to_string(sim::kSandboxTimerGranule) +
+            "-cycle (~1 us) timer floor, repetition-amplified; "
+            "flush-latency = timed clflush reads the pending "
+            "write-back drain; eviction-only = discovered sets, no "
+            "clflush anywhere.");
+    t1.note("cortexA53-wt (write-through) and xeonE5-2650-dawg "
+            "(partitioned) stay closed for every observer — a weaker "
+            "observer never reopens a closed channel.");
+    t1.note("seeds averaged per cell: " + std::to_string(gSeeds));
+    t1.print();
+    std::cout << "\n";
+
+    Table t2("WB channel effective goodput for the same grid "
+             "(kbps after dividing by the repetition factor R)");
+    {
+        std::vector<std::string> head{"observer"};
+        head.insert(head.end(), platforms.begin(), platforms.end());
+        t2.header(head);
+    }
+    for (std::size_t o = 0; o < observers.size(); ++o) {
+        std::vector<std::string> row{observers[o].name};
+        for (std::size_t p = 0; p < platforms.size(); ++p)
+            row.push_back(goodputLabel(grid[o * platforms.size() + p]));
+        t2.row(std::move(row));
+    }
+    t2.note("the coarse-timer rows report the *effective* bit rate: "
+            "raw slot rate / R, times (1 - BER). R is auto-scaled per "
+            "cell from a planning calibration; closed channels get "
+            "the bounded R=" + std::to_string(chan::kClosedChannelRepetition) +
+            " budget instead of the full ceiling.");
+    t2.print();
+    std::cout << "\n";
+
+    // --- Table 3: channel family x observer on the Xeon preset ---
+    const std::vector<std::pair<std::string, baselines::FlushKind>> family =
+        {{"Flush+Reload", baselines::FlushKind::FlushReload},
+         {"Flush+Flush", baselines::FlushKind::FlushFlush},
+         {"CoherenceState", baselines::FlushKind::CoherenceState}};
+    const auto familyCells = pool.map<std::string>(
+        family.size() * observers.size(), [&](std::size_t i) {
+            return flushCell(family[i / observers.size()].second,
+                             observers[i % observers.size()].model);
+        });
+
+    Table t3("Channel families under degraded observers (Xeon preset): "
+             "BER, or denial of the required primitive");
+    {
+        std::vector<std::string> head{"channel"};
+        for (const ObsSpec &o : observers)
+            head.push_back(o.name);
+        t3.header(head);
+    }
+    {
+        std::vector<std::string> wbRow{"WB (this paper)"};
+        const std::size_t xeonCol = 0; // platforms[0]
+        for (std::size_t o = 0; o < observers.size(); ++o)
+            wbRow.push_back(
+                Table::pct(grid[o * platforms.size() + xeonCol].ber, 2));
+        t3.row(std::move(wbRow));
+    }
+    for (std::size_t f = 0; f < family.size(); ++f) {
+        std::vector<std::string> row{family[f].first};
+        for (std::size_t o = 0; o < observers.size(); ++o)
+            row.push_back(familyCells[f * observers.size() + o]);
+        t3.row(std::move(row));
+    }
+    t3.note("the flush family requires clflush: the eviction-only "
+            "column is denied outright (flushChannelAvailable). Under "
+            "the coarse timer the baselines have no repetition plan, "
+            "so their BER collapses to the coin-flip regime — only "
+            "the WB channel amplifies through that column.");
+    t3.print();
+    std::cout << "\n";
+
+    // --- Table 4a: observer x defense on the Xeon preset ---
+    const std::vector<defense::DefenseSpec> defenses = {
+        {defense::DefenseKind::None, 0},
+        {defense::DefenseKind::WriteThrough, 0},
+        {defense::DefenseKind::FuzzyTime, 64},
+        {defense::DefenseKind::PrefetchGuard, 10}};
+    const auto defenseCells = pool.map<WbCell>(
+        observers.size() * defenses.size(), [&](std::size_t i) {
+            const chan::ChannelConfig defended = defense::applyDefense(
+                baseConfig("xeonE5-2650"),
+                defenses[i % defenses.size()]);
+            return wbCell(defended, observers[i / defenses.size()].model);
+        });
+
+    Table t4("WB channel BER, observer x defense (Xeon preset)");
+    {
+        std::vector<std::string> head{"observer"};
+        for (const defense::DefenseSpec &d : defenses)
+            head.push_back(defense::defenseName(d));
+        t4.header(head);
+    }
+    for (std::size_t o = 0; o < observers.size(); ++o) {
+        std::vector<std::string> row{observers[o].name};
+        for (std::size_t d = 0; d < defenses.size(); ++d)
+            row.push_back(
+                Table::pct(defenseCells[o * defenses.size() + d].ber, 2));
+        t4.row(std::move(row));
+    }
+    t4.note("FuzzyTime's TSC granularity and the observer's timer "
+            "floor combine by max at the same quantization choke "
+            "point (NoiseModel::timerGranule) — the coarse-us row is "
+            "already past FuzzyTime-64, so that defense adds nothing "
+            "against it.");
+    t4.print();
+    std::cout << "\n";
+
+    // --- Table 4b: observer x co-resident noise on the Xeon preset ---
+    const std::vector<unsigned> noiseCounts = {0, 2, 4};
+    const auto noiseCells = pool.map<WbCell>(
+        observers.size() * noiseCounts.size(), [&](std::size_t i) {
+            chan::ChannelConfig cfg = baseConfig("xeonE5-2650");
+            cfg.noiseProcesses = noiseCounts[i % noiseCounts.size()];
+            return wbCell(cfg, observers[i / noiseCounts.size()].model);
+        });
+
+    Table t5("WB channel BER, observer x co-resident noise processes "
+             "(Xeon preset)");
+    t5.header({"observer", "0", "2", "4"});
+    for (std::size_t o = 0; o < observers.size(); ++o) {
+        std::vector<std::string> row{observers[o].name};
+        for (std::size_t n = 0; n < noiseCounts.size(); ++n)
+            row.push_back(Table::pct(
+                noiseCells[o * noiseCounts.size() + n].ber, 2));
+        t5.row(std::move(row));
+    }
+    t5.note("noise processes burst-dirty the target set "
+            "(chan/noise_process.hh); the repetition decoder averages "
+            "over their bursts like any other dispersion source, so "
+            "the coarse-timer row degrades gracefully rather than "
+            "collapsing.");
+    t5.print();
+    return 0;
+}

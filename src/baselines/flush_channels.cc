@@ -1,6 +1,7 @@
 #include "baselines/flush_channels.hh"
 
 #include "common/log.hh"
+#include "sim/observer.hh"
 
 namespace wb::baselines
 {
@@ -158,9 +159,24 @@ FlushSender::onResult(const sim::MemOp &op, const sim::OpResult &res,
     }
 }
 
+bool
+flushChannelAvailable(const BaselineConfig &cfg)
+{
+    return cfg.noise.observer.hasFlush;
+}
+
 BaselineResult
 runFlushChannel(const BaselineConfig &cfg, FlushKind kind)
 {
+    if (!flushChannelAvailable(cfg)) {
+        // Fail loudly before the platform is even built: the receiver
+        // would otherwise issue its first clflush straight into the
+        // SmtCore observer guard mid-run.
+        fatalf("runFlushChannel: ", flushKindName(kind),
+               " requires clflush, but the ",
+               sim::observerClassName(cfg.noise.observer.cls),
+               " observer has hasFlush=false — channel denied");
+    }
     auto factory = [kind](const BaselineConfig &c,
                           const std::vector<bool> &frameBits,
                           sim::Hierarchy &,

@@ -38,6 +38,16 @@ enum class FlushKind
 std::string flushKindName(FlushKind kind);
 
 /**
+ * Whether the configured observer permits the flush family at all: the
+ * three mechanisms are built on clflush, so an observer with
+ * hasFlush == false (ObserverClass::EvictionOnly) denies them outright
+ * — no fallback exists that is still "the same channel". Sweeps call
+ * this to print those cells as denied instead of crashing into the
+ * SmtCore Flush guard; runFlushChannel() fatals when it is false.
+ */
+bool flushChannelAvailable(const BaselineConfig &cfg);
+
+/**
  * Receiver for the flush-family channels: per slot either a timed
  * reload followed by clflush (FlushReload), or a timed clflush
  * (FlushFlush / CoherenceState).

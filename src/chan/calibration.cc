@@ -7,12 +7,35 @@
 namespace wb::chan
 {
 
+namespace
+{
+
+/**
+ * Force strict centroid ordering. Under a closed channel (write-
+ * through, DAWG) seen through a coarse timer the per-level samples can
+ * quantize to identical point masses and the centroids tie exactly;
+ * Classifier's ctor is (rightly) fatal on that. Nudging a tied
+ * centroid up by an epsilon yields an honest near-chance classifier
+ * instead of a crash — the sweep reports ~50% BER for the closed cell.
+ */
+std::vector<double>
+strictlyIncreasing(std::vector<double> centroids)
+{
+    for (std::size_t i = 1; i < centroids.size(); ++i) {
+        if (centroids[i] <= centroids[i - 1])
+            centroids[i] = centroids[i - 1] + 1e-6;
+    }
+    return centroids;
+}
+
+} // namespace
+
 Classifier
 Calibration::binaryClassifier(unsigned d2) const
 {
     if (d2 >= medianByD.size())
         fatalf("binaryClassifier: d2 ", d2, " out of calibrated range");
-    return Classifier({medianByD[0], medianByD[d2]});
+    return Classifier(strictlyIncreasing({medianByD[0], medianByD[d2]}));
 }
 
 Classifier
@@ -26,7 +49,22 @@ Calibration::classifierFor(const Encoding &encoding) const
             fatalf("classifierFor: level ", d, " out of calibrated range");
         centroids.push_back(medianByD[d]);
     }
-    return Classifier(centroids);
+    return Classifier(strictlyIncreasing(std::move(centroids)));
+}
+
+Classifier
+Calibration::meanClassifierFor(const Encoding &encoding) const
+{
+    std::vector<double> centroids;
+    centroids.reserve(encoding.symbols());
+    for (unsigned s = 0; s < encoding.symbols(); ++s) {
+        const unsigned d = encoding.level(s);
+        if (d >= meanByD.size())
+            fatalf("meanClassifierFor: level ", d,
+                   " out of calibrated range");
+        centroids.push_back(meanByD[d]);
+    }
+    return Classifier(strictlyIncreasing(std::move(centroids)));
 }
 
 double
@@ -95,20 +133,49 @@ calibrate(const sim::HierarchyParams &hp, const sim::NoiseModel &noise,
         hierarchy.accessBatch(senderTid, senderSpace,
                               sets.senderLines.data(), d,
                               /*isWrite=*/true);
-        // Receiver phase: timed traversal (Algorithm 2 decode).
+        // Receiver phase: timed traversal (Algorithm 2 decode), or —
+        // for the Flushgeist observer — an *untimed* prime followed by
+        // one timed clflush of a probe line, whose cost carries the
+        // dirty write-backs the prime just queued.
         PointerChase &chase = useA ? chaseA : chaseB;
         chase.reshuffle(rng);
-        double lat = measureChaseOffline(hierarchy, receiverTid,
-                                         receiverSpace, chase.order(),
-                                         noise);
+        double lat;
+        if (cfg.probe == CalibrationProbe::FlushLatency) {
+            hierarchy.accessBatch(receiverTid, receiverSpace,
+                                  chase.order(), /*isWrite=*/false);
+            const Addr probeVa =
+                useA ? sets.replacementA[0] : sets.replacementB[0];
+            lat = static_cast<double>(
+                hierarchy.flush(receiverTid,
+                                receiverSpace.translate(probeVa)) +
+                noise.opOverhead + noise.tscReadCost);
+        } else {
+            lat = measureChaseOffline(hierarchy, receiverTid,
+                                      receiverSpace, chase.order(),
+                                      noise);
+        }
         if (noise.measBaseSigma > 0.0)
             lat += rng.gaussian(0.0, noise.measBaseSigma);
+        // The observer choke point (quantization-bypass audit fix):
+        // offline measurements pass through the same resolution floor
+        // and jitter the live receiver's timestamps suffer, so a
+        // coarse-timer config cannot be beaten by calibrating with a
+        // secretly perfect clock. No-op for the default observer on a
+        // granule-1 platform.
+        lat = noise.observeDuration(lat, rng);
         useA = !useA;
         if (m >= cfg.discard)
             out.latencyByD[d].add(lat);
     }
-    for (unsigned d = 0; d <= ways; ++d)
+    out.meanByD.resize(ways + 1, 0.0);
+    out.stddevByD.resize(ways + 1, 0.0);
+    for (unsigned d = 0; d <= ways; ++d) {
         out.medianByD[d] = out.latencyByD[d].median();
+        if (!out.latencyByD[d].raw().empty()) {
+            out.meanByD[d] = out.latencyByD[d].mean();
+            out.stddevByD[d] = out.latencyByD[d].stddev();
+        }
+    }
     return out;
 }
 

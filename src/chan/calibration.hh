@@ -25,6 +25,20 @@
 namespace wb::chan
 {
 
+/**
+ * What the receiver times to read a symbol — and therefore what
+ * calibration must measure. LoadTiming is the paper's receiver (timed
+ * pointer chase over the replacement set); FlushLatency is the
+ * Flushgeist-style observer that primes the set untimed and times a
+ * single clflush, whose cost carries the pending dirty write-backs the
+ * prime just queued (LatencyModel::flushWbDrainExtra).
+ */
+enum class CalibrationProbe
+{
+    LoadTiming,
+    FlushLatency,
+};
+
 /** Calibration inputs. */
 struct CalibrationConfig
 {
@@ -32,6 +46,9 @@ struct CalibrationConfig
     unsigned replacementSize = 10; //!< lines per replacement set
     unsigned measurements = 1000; //!< samples per d (paper: 1000)
     unsigned discard = 3;         //!< cold samples dropped per d
+
+    /** Which receiver primitive to calibrate for. */
+    CalibrationProbe probe = CalibrationProbe::LoadTiming;
 
     /**
      * Dirty-line counts interleaved during calibration. Empty means
@@ -49,12 +66,24 @@ struct Calibration
 {
     std::vector<Samples> latencyByD; //!< index d = 0..W
     std::vector<double> medianByD;   //!< medians of the above
+    std::vector<double> meanByD;     //!< means (repetition decoding)
+    std::vector<double> stddevByD;   //!< per-level dispersion
 
     /** Classifier for a binary encoding with the given d2. */
     Classifier binaryClassifier(unsigned d2) const;
 
     /** Classifier whose centroids follow @p encoding's levels. */
     Classifier classifierFor(const Encoding &encoding) const;
+
+    /**
+     * Classifier over per-level *means* instead of medians. A
+     * coarse-timer observer's samples are dither-quantized to granule
+     * multiples: their median is one of two point masses (useless),
+     * but their mean is the unbiased true latency that block-averaged
+     * repetition decoding recovers — so the repetition decoder
+     * classifies block means against mean centroids (chan/degraded).
+     */
+    Classifier meanClassifierFor(const Encoding &encoding) const;
 };
 
 /**

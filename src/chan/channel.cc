@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/log.hh"
+#include "chan/degraded.hh"
 #include "chan/receiver.hh"
 #include "chan/sender.hh"
 #include "chan/set_mapping.hh"
@@ -33,6 +34,10 @@ struct RawRun
     ThreadId receiverTid = 0;
     sim::SchedulerStats schedulerStats;
     Calibration calibration;
+
+    /** Eviction-only observer: both discovered sets verified minimal
+     *  (true whenever no discovery ran). */
+    bool discoveryVerified = true;
 };
 
 /** Run the platform once, modulating the per-slot levels @p dSeq. */
@@ -44,10 +49,20 @@ runRawSequence(const ChannelConfig &cfg, const std::vector<unsigned> &dSeq)
     if (enc.maxLevel() > cfg.platform.l1.ways)
         fatalf("runChannel: encoding level ", enc.maxLevel(),
                " exceeds associativity ", cfg.platform.l1.ways);
+    const sim::ObserverModel &obs = cfg.noise.observer;
+    if (obs.cls == sim::ObserverClass::FlushLatency && !obs.hasFlush) {
+        fatalf("runChannel: flush-latency observer with hasFlush=false "
+               "— use the eviction-only class");
+    }
 
     Rng rootRng(cfg.seed);
     Rng calRng = rootRng.split();
     Rng runRng = rootRng.split();
+    // Third split only for observers that discover their sets, so the
+    // legacy calibration/run streams stay untouched for everyone else.
+    std::optional<Rng> discoveryRng;
+    if (obs.cls == sim::ObserverClass::EvictionOnly)
+        discoveryRng.emplace(rootRng.split());
 
     // --- Offline calibration -> classifier centroids. The mix of
     // dirty-line levels matches the live encoding so the measured
@@ -74,20 +89,48 @@ runRawSequence(const ChannelConfig &cfg, const std::vector<unsigned> &dSeq)
     }
     sim::SmtCore &core = sched ? sched->party(0) : *plainCore;
     const auto &layout = hierarchy.l1().layout();
-    const auto sets = makeChannelSets(layout, proto.targetSet,
-                                      cfg.platform.l1.ways,
-                                      proto.replacementSize);
+    bool discoveryVerified = true;
+    ChannelSets sets;
+    if (discoveryRng) {
+        // Eviction-only observer: the receiver's replacement sets come
+        // from live timing-test discovery, not set arithmetic. Runs
+        // against the raw hierarchy before the parties launch (the
+        // attacker's setup phase); its accesses land in the eventual
+        // receiver tid's counters.
+        sets = discoverChannelSets(hierarchy, /*tid=*/1, proto.targetSet,
+                                   cfg.platform.l1.ways,
+                                   proto.replacementSize, *discoveryRng,
+                                   &discoveryVerified);
+    } else {
+        sets = makeChannelSets(layout, proto.targetSet,
+                               cfg.platform.l1.ways,
+                               proto.replacementSize);
+    }
 
     const TransmissionSchedule schedule = transmissionSchedule(
         dSeq.size(), proto.ts, cfg.senderStartSlots, cfg.sampleMargin);
     SenderProgram sender(sets.senderLines, dSeq, proto.ts);
-    ReceiverProgram receiver(sets.replacementA, sets.replacementB,
+    // The receiver variant follows the observer: Flushgeist reads the
+    // write-back queue through timed clflush; everyone else times the
+    // replacement-set chase (the eviction-only observer's receiver is
+    // the load-timing one — it never flushes).
+    std::optional<ReceiverProgram> loadReceiver;
+    std::optional<FlushLatencyReceiverProgram> flushReceiver;
+    sim::Program *receiver = nullptr;
+    if (obs.cls == sim::ObserverClass::FlushLatency) {
+        flushReceiver.emplace(sets.replacementA, sets.replacementB,
+                              proto.tr, schedule.sampleCount);
+        receiver = &*flushReceiver;
+    } else {
+        loadReceiver.emplace(sets.replacementA, sets.replacementB,
                              proto.tr, schedule.sampleCount);
+        receiver = &*loadReceiver;
+    }
 
     const ThreadId senderTid = core.addThread(&sender, sim::AddressSpace(1),
                                               schedule.senderStart);
     const ThreadId receiverTid =
-        core.addThread(&receiver, sim::AddressSpace(2), 0);
+        core.addThread(receiver, sim::AddressSpace(2), 0);
 
     // --- Optional co-resident noise processes (Sec. VI) ---
     std::vector<std::unique_ptr<NoiseProcess>> noisePrograms;
@@ -106,7 +149,9 @@ runRawSequence(const ChannelConfig &cfg, const std::vector<unsigned> &dSeq)
               : core.run(schedule.horizon);
 
     RawRun raw;
-    raw.latencies = receiver.latencies();
+    raw.latencies = flushReceiver ? flushReceiver->latencies()
+                                  : loadReceiver->latencies();
+    raw.discoveryVerified = discoveryVerified;
     raw.simulatedCycles = end;
     raw.senderCounters = hierarchy.counters(senderTid);
     raw.receiverCounters = hierarchy.counters(receiverTid);
@@ -120,35 +165,62 @@ runRawSequence(const ChannelConfig &cfg, const std::vector<unsigned> &dSeq)
 
 /** Shared implementation: run the platform with a given frame. */
 ChannelResult
-runWithFrame(const ChannelConfig &cfg, const BitVec &frame)
+runWithFrame(const ChannelConfig &userCfg, const BitVec &frame)
 {
+    // Adjust for the configured observer (no-op, and bit-identical,
+    // for the default cycle-accurate one): granule-aligned pacing,
+    // repetition factor, flush-probe calibration, drain penalty.
+    const DegradedPlan plan = planDegraded(userCfg);
+    const ChannelConfig &cfg = plan.cfg;
+    const unsigned rep = plan.repetition;
+
     const ProtocolConfig &proto = cfg.protocol;
     const Encoding &enc = proto.encoding;
     if (frame.size() % enc.bitsPerSymbol() != 0)
         fatalf("runChannel: frame bits ", frame.size(),
                " not divisible by bits/symbol ", enc.bitsPerSymbol());
 
-    // --- Per-slot dirty-line levels for all frame repetitions ---
+    // --- Per-slot dirty-line levels for all frame repetitions; a
+    // coarse-timer plan repeats every symbol rep times so the decoder
+    // can average each block back into one symbol. ---
     const auto frameLevels = frameToLevels(frame, enc);
     std::vector<unsigned> dSeq;
-    dSeq.reserve(frameLevels.size() * proto.frames);
-    for (unsigned f = 0; f < proto.frames; ++f)
-        dSeq.insert(dSeq.end(), frameLevels.begin(), frameLevels.end());
+    dSeq.reserve(frameLevels.size() * proto.frames * rep);
+    for (unsigned f = 0; f < proto.frames; ++f) {
+        for (const unsigned lvl : frameLevels)
+            dSeq.insert(dSeq.end(), rep, lvl);
+    }
 
     RawRun raw = runRawSequence(cfg, dSeq);
-    Classifier classifier = raw.calibration.classifierFor(enc);
 
     // --- Decode ---
     ChannelResult res;
     res.latencies = std::move(raw.latencies);
-    DecodeResult dec = decodeTransmission(res.latencies, classifier, enc,
-                                          frame, proto.frames);
+    DecodeResult dec;
+    if (rep > 1) {
+        // Repetition decoding: block means against mean centroids
+        // (the dithered samples' median is a point mass; their mean
+        // is the unbiased true latency — chan/degraded.hh).
+        const std::vector<double> blocks =
+            collapseRepetition(res.latencies, rep);
+        dec = decodeTransmission(blocks,
+                                 raw.calibration.meanClassifierFor(enc),
+                                 enc, frame, proto.frames);
+    } else {
+        dec = decodeTransmission(res.latencies,
+                                 raw.calibration.classifierFor(enc), enc,
+                                 frame, proto.frames);
+    }
+    res.repetition = rep;
+    res.evictionDiscoveryVerified = raw.discoveryVerified;
     res.ber = dec.ber;
     res.breakdown = dec.breakdown;
     res.aligned = dec.aligned;
     res.framesScored = dec.framesScored;
     res.framesExpected = dec.framesExpected;
-    res.rateKbps = proto.rateKbps();
+    // Goodput honesty: repetition amplification spends rep slots per
+    // symbol, so the effective rate divides by it (docs/OBSERVERS.md).
+    res.rateKbps = proto.rateKbps() / double(rep);
     res.goodputKbps = res.rateKbps * (1.0 - std::min(1.0, res.ber));
     res.sentFrame = frame;
     res.decodedBits = dec.bitstream;
@@ -180,19 +252,37 @@ channelLinkRun(const ChannelConfig &base, const BitVec &stream,
         base.protocol.tr * (rate.ts / base.protocol.ts);
     cfg.protocol.ts = rate.ts;
     cfg.protocol.encoding = rate.encoding;
+
+    // Observer adjustments apply per burst, after the rung reshaped
+    // the pacing (a coarse plan re-aligns the rung's Ts/Tr to the
+    // granule and repeats each symbol R times).
+    const DegradedPlan plan = planDegraded(cfg);
+    cfg = plan.cfg;
+    const unsigned rep = plan.repetition;
     const Encoding &enc = cfg.protocol.encoding;
 
     BitVec padded = stream;
     while (padded.size() % enc.bitsPerSymbol() != 0)
         padded.push_back(false);
 
-    const std::vector<unsigned> dSeq = frameToLevels(padded, enc);
+    const std::vector<unsigned> symbolLevels = frameToLevels(padded, enc);
+    std::vector<unsigned> dSeq;
+    dSeq.reserve(symbolLevels.size() * rep);
+    for (const unsigned lvl : symbolLevels)
+        dSeq.insert(dSeq.end(), rep, lvl);
     RawRun raw = runRawSequence(cfg, dSeq);
 
     LinkRun run;
-    run.bits = symbolsToBits(
-        classifyAll(raw.latencies, raw.calibration.classifierFor(enc)),
-        enc);
+    if (rep > 1) {
+        run.bits = symbolsToBits(
+            classifyAll(collapseRepetition(raw.latencies, rep),
+                        raw.calibration.meanClassifierFor(enc)),
+            enc);
+    } else {
+        run.bits = symbolsToBits(
+            classifyAll(raw.latencies, raw.calibration.classifierFor(enc)),
+            enc);
+    }
     run.simulatedCycles = raw.simulatedCycles;
     run.schedulerStats = raw.schedulerStats;
     return run;

@@ -102,6 +102,22 @@ struct ChannelResult
     BitVec decodedBits;                //!< full decoded bit stream
     std::vector<double> latencies;     //!< receiver raw observations
 
+    /**
+     * Samples averaged per symbol by the coarse-timer repetition
+     * decoder (1 = no amplification). rateKbps and goodputKbps are
+     * already divided by it — the *effective* bit rate, not the raw
+     * slot rate (the goodput-honesty rule; see chan/degraded.hh).
+     */
+    unsigned repetition = 1;
+
+    /**
+     * Eviction-only observer: did EvictionSetFinder verify both
+     * discovered replacement sets minimal? False means the run fell
+     * back to the architectural sets (always true for observers that
+     * don't discover).
+     */
+    bool evictionDiscoveryVerified = true;
+
     std::vector<double> calibrationMedians; //!< classifier centroids
 
     sim::PerfCounters senderCounters;   //!< sender process perf view

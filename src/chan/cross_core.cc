@@ -124,6 +124,7 @@ calibrateCrossCore(const CrossCoreChannelConfig &cfg,
                                          chase.order(), cfg.noise);
         if (cfg.noise.measBaseSigma > 0.0)
             lat += rng.gaussian(0.0, cfg.noise.measBaseSigma);
+        lat = cfg.noise.observeDuration(lat, rng); // observer choke point
         useA = !useA;
         if (m >= cfg.calibration.discard)
             out.latencyByD[d].add(lat);

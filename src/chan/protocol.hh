@@ -38,6 +38,15 @@ struct ProtocolConfig
     unsigned replacementSize = 10; //!< paper Sec. IV-A result
     double cpuGhz = 2.2;      //!< Xeon E5-2650 clock (Table III)
 
+    /**
+     * Force the coarse-timer repetition factor instead of letting
+     * planDegraded auto-scale it from a planning calibration (0 =
+     * auto). Used by the regression suite to prove an unamplified
+     * coarse run fails, and by sweeps that want fixed-budget cells.
+     * Ignored for the default cycle-accurate observer.
+     */
+    unsigned repetitionOverride = 0;
+
     /** Raw channel rate in kbps: bitsPerSymbol * f / Ts. */
     double
     rateKbps() const

@@ -36,6 +36,18 @@ ReceiverProgram::startMeasurement(Rng &rng)
     PointerChase &chase = useA_ ? chaseA_ : chaseB_;
     chase.reshuffle(rng);
     measureOps_ = chase.batchedMeasurementOps();
+    if (ditherGranule_ > 1) {
+        // Coarse-timer observer: offset each measurement by a uniform
+        // delay in [0, granule) so the quantized reading becomes an
+        // unbiased estimator of the true latency — the property the
+        // repetition decoder's block averaging integrates against
+        // (docs/OBSERVERS.md). A sandboxed receiver gets this phase
+        // randomness for free; modelling it explicitly keeps the
+        // estimator honest instead of locking every sample to the
+        // same counter phase.
+        measureOps_.insert(measureOps_.begin(),
+                           sim::MemOp::delay(rng.below(ditherGranule_)));
+    }
     measurePos_ = 0;
     sawFirstTsc_ = false;
     phase_ = Phase::Measure;
@@ -69,11 +81,17 @@ ReceiverProgram::next(sim::ProcView &)
 }
 
 const sim::Trace *
-ReceiverProgram::nextTrace(sim::ProcView &)
+ReceiverProgram::nextTrace(sim::ProcView &view)
 {
     // Only the steady-state Wait->Measure sample cycle is compiled;
     // Warmup/Init (a handful of startup ops) and Done stay per-op.
     if (phase_ != Phase::Wait)
+        return nullptr;
+    // A coarse-timer observer's measurement prepends a per-sample
+    // dither delay drawn at measurement start; keep that variant on
+    // the per-op path so the draw order matches startMeasurement()
+    // exactly (the default observer compiles traces as before).
+    if (view.noise().observer.coarseTimer())
         return nullptr;
     // The sweep targets the set the *current* useA_ selects, but its
     // order is drawn at the post-spin hook: reshuffle() permutes the
@@ -107,7 +125,9 @@ ReceiverProgram::onTraceResult(std::uint32_t opIdx, const sim::MemOp &op,
         return;
     }
     // Final TSC read: record the traversal and decide what's next.
-    double latency = static_cast<double>(res.tsc - tscStart_);
+    // Signed difference: a jittered observer can read end < start.
+    double latency = static_cast<double>(res.tsc) -
+                     static_cast<double>(tscStart_);
     const double sigma = view.noise().measSigma(tr_);
     if (sigma > 0.0)
         latency += view.rng().gaussian(0.0, sigma);
@@ -137,6 +157,9 @@ ReceiverProgram::onResult(const sim::MemOp &op, const sim::OpResult &res,
         break;
       case Phase::Wait:
         tlast_ = res.tsc; // Algorithm 3: Tlast = TSC (post-spin)
+        ditherGranule_ = view.noise().observer.coarseTimer()
+                             ? view.noise().timerGranule()
+                             : 1;
         startMeasurement(view.rng());
         break;
       case Phase::Measure:
@@ -146,7 +169,8 @@ ReceiverProgram::onResult(const sim::MemOp &op, const sim::OpResult &res,
                 sawFirstTsc_ = true;
                 tscStart_ = res.tsc;
             } else {
-                double latency = static_cast<double>(res.tsc - tscStart_);
+                double latency = static_cast<double>(res.tsc) -
+                                 static_cast<double>(tscStart_);
                 const double sigma = view.noise().measSigma(tr_);
                 if (sigma > 0.0)
                     latency += view.rng().gaussian(0.0, sigma);

@@ -109,6 +109,14 @@ class ReceiverProgram : public sim::Program
     std::vector<Observation> obs_;
     bool done_ = false;
 
+    /**
+     * Effective timer granule when the observer is coarse (1 = legacy
+     * cycle-accurate, no dither). Refreshed from the noise model at
+     * each slot boundary; startMeasurement prepends a uniform dither
+     * delay in [0, granule) when > 1.
+     */
+    Cycles ditherGranule_ = 1;
+
     std::array<sim::MemOp, 4> traceOps_{};       //!< spin, tsc, sweep, tsc
     std::array<std::uint32_t, 3> tracePoints_{}; //!< hooks: 0, 1, 3
     sim::Trace trace_;

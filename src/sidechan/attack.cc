@@ -45,7 +45,10 @@ struct AttackerCtx
             *mem, attackerTid, space, chase.order(), noise);
         if (noise.measBaseSigma > 0.0)
             lat += rng.gaussian(0.0, noise.measBaseSigma);
-        return lat;
+        // Attacker-visible time goes through the observer choke point
+        // too: a sandboxed attacker cannot time the probe any finer
+        // than its timer allows (no-op for the default observer).
+        return noise.observeDuration(lat, rng);
     }
 
     /** Dirty d attacker lines in set m (prime for scenario 2/3). */

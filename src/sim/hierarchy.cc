@@ -67,7 +67,8 @@ Hierarchy::Hierarchy(const HierarchyParams &params, Rng *rng)
       plainMissPath_(params.l1.writePolicy == WritePolicy::WriteBack &&
                      params.l1.allocPolicy == AllocPolicy::WriteAllocate &&
                      params.randomFillWindow == 0 &&
-                     params.prefetchGuardProb <= 0.0)
+                     params.prefetchGuardProb <= 0.0),
+      trackPendingWb_(params.lat.flushWbDrainExtra > 0)
 {
     if (params.llcSlices > 1) {
         fatalf("Hierarchy: llcSlices=", params.llcSlices,
@@ -83,6 +84,7 @@ Hierarchy::reset()
     l1_.reset();
     l2_.reset();
     llc_.reset();
+    pendingDirtyWb_ = 0;
 }
 
 void
@@ -241,6 +243,8 @@ Hierarchy::missPath(ThreadId tid, Addr paddr, bool isWrite,
             res.l1VictimDirty = true;
             res.latency += lat.l1DirtyEvictPenalty;
             ++ctr.l1DirtyWritebacks;
+            if (trackPendingWb_ && pendingDirtyWb_ < kPendingWbCap)
+                ++pendingDirtyWb_;
             writebackToL2(out.evicted.lineAddr, tid);
         }
     }
@@ -405,6 +409,14 @@ Hierarchy::flush(ThreadId tid, Addr paddr)
         cost += lat.flushPresentExtra;
     if (dirty)
         cost += lat.flushDirtyExtra;
+    if (trackPendingWb_) {
+        // Flushgeist's observable: clflush serializes against the
+        // write-back buffer, so it pays for every dirty victim queued
+        // since the last flush — *that* drain time, not the flushed
+        // line's own state, is what the flush-latency receiver reads.
+        cost += lat.flushWbDrainExtra * pendingDirtyWb_;
+        pendingDirtyWb_ = 0;
+    }
     return cost + noise();
 }
 

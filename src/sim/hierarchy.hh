@@ -94,6 +94,17 @@ struct LatencyModel
     Cycles flushDirtyExtra = 8;
 
     /**
+     * Extra clflush cost per pending L1 dirty write-back queued since
+     * the last flush (Flushgeist's observable: clflush serializes
+     * against the write-back buffer, so flushing any line stalls until
+     * the set's recently-evicted dirty victims drain). 0 — the default
+     * on every preset — disables the tracking entirely and keeps
+     * flush() bit-identical to the pre-observer model; the
+     * flush-latency observer plan opts in (chan/degraded).
+     */
+    Cycles flushWbDrainExtra = 0;
+
+    /**
      * Sigma of the zero-mean Gaussian measurement noise added per
      * access (bank conflicts, minor queuing). 0 disables noise.
      */
@@ -404,6 +415,20 @@ class Hierarchy final : public MemorySystem
     /** The static configuration. */
     const HierarchyParams &params() const { return params_; }
 
+    /**
+     * L1 dirty write-backs queued since the last flush (capped at
+     * kPendingWbCap). Always 0 unless lat.flushWbDrainExtra opted the
+     * tracking in. Exposed for the observer tests.
+     */
+    std::uint64_t pendingDirtyWritebacks() const { return pendingDirtyWb_; }
+
+    /**
+     * Write-back buffer depth: pending dirty write-backs beyond this
+     * have already drained by the time a flush can observe them, which
+     * bounds the first-probe spike after a long untimed prime.
+     */
+    static constexpr std::uint64_t kPendingWbCap = 16;
+
   private:
     /**
      * Gaussian measurement noise (>= 0), 0 when rng or sigma absent.
@@ -482,6 +507,10 @@ class Hierarchy final : public MemorySystem
     Cache llc_;
     std::vector<PerfCounters> counters_;
     bool plainMissPath_; //!< no defense hooks: use missPath<true>
+
+    /** Dirty write-backs queued since the last flush (Flushgeist). */
+    std::uint64_t pendingDirtyWb_ = 0;
+    bool trackPendingWb_; //!< lat.flushWbDrainExtra > 0
 };
 
 } // namespace wb::sim

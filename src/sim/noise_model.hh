@@ -16,6 +16,7 @@
 #define WB_SIM_NOISE_MODEL_HH
 
 #include "common/types.hh"
+#include "sim/observer.hh"
 
 namespace wb::sim
 {
@@ -98,6 +99,41 @@ struct NoiseModel
      * debugging a program's trace emitter.
      */
     bool traceExecution = true;
+
+    /**
+     * What the observer's measurement apparatus can do (timer
+     * resolution/jitter, flush availability, eviction-only fallback).
+     * The default is the legacy full-strength observer; see
+     * sim/observer.hh and docs/OBSERVERS.md.
+     */
+    ObserverModel observer;
+
+    /**
+     * Effective observer-visible timer granule: the platform rdtscp
+     * coarseness (tscGranularity, also set by the fuzzy-time defense)
+     * and the observer's own floor both apply to every timestamp.
+     */
+    Cycles
+    timerGranule() const
+    {
+        return tscGranularity > observer.timerGranularity
+                   ? tscGranularity
+                   : observer.timerGranularity;
+    }
+
+    /**
+     * Route an offline duration measurement through the observer choke
+     * point (sim/observer.hh observeDuration): quantize to the
+     * effective granule with a uniform unknown phase, plus timer
+     * jitter. No-op (and no RNG draws) for the default observer on a
+     * granule-1 platform.
+     */
+    double
+    observeDuration(double duration, Rng &rng) const
+    {
+        return sim::observeDuration(duration, timerGranule(),
+                                    observer.timerJitterSigma, rng);
+    }
 
     /** Measurement sigma for a given sampling period in cycles. */
     double

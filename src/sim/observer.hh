@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Observer-capability model: what the attacker's measurement apparatus
+ * can actually do.
+ *
+ * Every receiver in the repo historically assumed the strongest
+ * possible observer — a cycle-accurate rdtscp plus clflush and
+ * eviction primitives at will. Real deployments of the WB channel span
+ * much weaker attackers:
+ *
+ *  - sandboxed JavaScript gets a deliberately coarsened, jittered
+ *    timer (~µs resolution; "The Spy in the Sandbox" regime) and must
+ *    amplify the 12-cycle dirty-eviction signal by repetition,
+ *  - some observers read dirty state from CLFLUSH *latency* rather
+ *    than load timing (the Flushgeist variant — flushing a line whose
+ *    set has pending dirty write-backs stalls on the store buffer),
+ *  - others have no flush instruction at all (CacheOut regime) and
+ *    must evict through discovered congruent sets.
+ *
+ * ObserverModel captures that axis. It rides inside sim::NoiseModel so
+ * the existing config plumbing (platform registry, defenses, scheduler,
+ * sweeps) carries it everywhere a timestamp is produced, and the
+ * degraded-decoder layer (chan/degraded) reads it to pick a receiver
+ * variant and a repetition factor. The default-constructed model is the
+ * legacy full-strength observer and is bit-identical to pre-observer
+ * behaviour by construction: no RNG draws, no rounding, flush allowed.
+ *
+ * See docs/OBSERVERS.md for the three observer classes and the
+ * repetition-amplification math.
+ */
+
+#ifndef WB_SIM_OBSERVER_HH
+#define WB_SIM_OBSERVER_HH
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace wb::sim
+{
+
+/** The four observer capability classes of the extended taxonomy. */
+enum class ObserverClass
+{
+    /** Legacy full-strength observer: rdtscp + clflush at will. */
+    CycleAccurate,
+
+    /**
+     * Coarse/jittered timer (sandboxed-JS regime). Load-timing
+     * receiver, but every observer-visible timestamp is floored to
+     * timerGranularity and optionally jittered; decoders compensate
+     * with repetition amplification.
+     */
+    CoarseTimer,
+
+    /**
+     * Reads dirty state from timed CLFLUSH instead of timed loads
+     * (Flushgeist): the flush of a probe line pays a drain penalty
+     * proportional to the pending dirty write-backs its set just
+     * queued. Requires the flush primitive.
+     */
+    FlushLatency,
+
+    /**
+     * No flush instruction at all (CacheOut regime): the observer can
+     * only evict through congruent sets it discovered by timing. The
+     * WB load-timing receiver is naturally flushless, so this class
+     * runs it over sets found by chan::EvictionSetFinder instead of
+     * architecturally-known ones; every flush-family baseline is
+     * denied.
+     */
+    EvictionOnly,
+};
+
+/** Stable lowercase name for tables and artifacts. */
+inline const char *
+observerClassName(ObserverClass cls)
+{
+    switch (cls) {
+    case ObserverClass::CycleAccurate: return "cycle-accurate";
+    case ObserverClass::CoarseTimer:   return "coarse-timer";
+    case ObserverClass::FlushLatency:  return "flush-latency";
+    case ObserverClass::EvictionOnly:  return "eviction-only";
+    }
+    return "?";
+}
+
+/**
+ * A ~1 µs timer floor at the 2.2 GHz presets — the post-Spectre
+ * sandboxed-JS resolution the Spy-in-the-Sandbox amplification has to
+ * beat. The binary WB signal is d2 * 12 cycles (96 at d2 = 8), so one
+ * sample carries ~1/23 of a granule of signal and the decoder needs
+ * thousands of repetitions per symbol.
+ */
+inline constexpr Cycles kSandboxTimerGranule = 2200;
+
+/** What the observer's measurement apparatus can do. */
+struct ObserverModel
+{
+    ObserverClass cls = ObserverClass::CycleAccurate;
+
+    /**
+     * Timer resolution floor in cycles; observer-visible timestamps
+     * are quantized to multiples of this. 1 (or 0) = cycle-accurate.
+     * Combines with NoiseModel::tscGranularity (platform rdtscp
+     * coarseness and the fuzzy-time defense) by max — both floors
+     * apply to the same timestamp.
+     */
+    Cycles timerGranularity = 1;
+
+    /**
+     * Gaussian jitter (sigma, cycles) the sandbox adds to each raw
+     * timestamp *before* quantization — so a duration (the difference
+     * of two reads) carries sigma * sqrt(2) of jitter.
+     */
+    double timerJitterSigma = 0.0;
+
+    /** Whether the clflush primitive is available to the observer. */
+    bool hasFlush = true;
+
+    /** Timer degraded enough that decoders must amplify? */
+    bool
+    coarseTimer() const
+    {
+        return timerGranularity > 1 || timerJitterSigma > 0.0;
+    }
+
+    /** Anything weaker than the legacy full-strength observer? */
+    bool
+    degraded() const
+    {
+        return cls != ObserverClass::CycleAccurate || coarseTimer() ||
+               !hasFlush;
+    }
+
+    /** The sandboxed-JS observer: µs timer floor plus jitter. */
+    static ObserverModel
+    sandboxTimer(Cycles granule = kSandboxTimerGranule,
+                 double jitterSigma = 0.0)
+    {
+        ObserverModel o;
+        o.cls = ObserverClass::CoarseTimer;
+        o.timerGranularity = granule;
+        o.timerJitterSigma = jitterSigma;
+        return o;
+    }
+
+    /** The Flushgeist observer: cycle-accurate timer, flush probing. */
+    static ObserverModel
+    flushLatency()
+    {
+        ObserverModel o;
+        o.cls = ObserverClass::FlushLatency;
+        return o;
+    }
+
+    /** The CacheOut observer: no flush instruction anywhere. */
+    static ObserverModel
+    evictionOnly()
+    {
+        ObserverModel o;
+        o.cls = ObserverClass::EvictionOnly;
+        o.hasFlush = false;
+        return o;
+    }
+};
+
+/**
+ * The one observer-visible duration choke point (the quantization-
+ * bypass audit fix): every offline measurement that previously
+ * differenced raw virtual time routes through here so a configured
+ * resolution floor cannot be sidestepped by calibration.
+ *
+ * Models the observer timing a duration with a floored counter whose
+ * phase is unknown: with granule g, a true duration d starting at a
+ * uniformly random counter phase reads floor((phase + d) / g) * g —
+ * i.e. one of the two neighbouring multiples of g, with probabilities
+ * that make the *expected* reading exactly d. That unbiasedness is
+ * what repetition amplification integrates against; see
+ * docs/OBSERVERS.md. Jitter (sigma per raw read, so sigma * sqrt(2)
+ * per duration) is added before flooring, as the sandbox does.
+ *
+ * With granule <= 1 and no jitter this returns the input unchanged and
+ * draws nothing from @p rng — the legacy cycle-accurate path stays
+ * bit-identical.
+ */
+inline double
+observeDuration(double duration, Cycles granule, double jitterSigma, Rng &rng)
+{
+    if (granule <= 1 && jitterSigma <= 0.0)
+        return duration;
+    double d = duration;
+    if (jitterSigma > 0.0)
+        d += rng.gaussian(0.0, jitterSigma * 1.4142135623730951);
+    if (granule <= 1)
+        return d;
+    const double g = static_cast<double>(granule);
+    const double phase = rng.uniform() * g;
+    return std::floor((phase + d) / g) * g;
+}
+
+} // namespace wb::sim
+
+#endif // WB_SIM_OBSERVER_HH

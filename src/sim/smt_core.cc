@@ -10,7 +10,8 @@ namespace wb::sim
 SmtCore::SmtCore(MemorySystem &mem, const NoiseModel &noise, Rng &rng,
                  ThreadId tidBase, ThreadId tidSpan)
     : mem_(&mem), fastHier_(dynamic_cast<Hierarchy *>(&mem)),
-      noise_(noise), rng_(rng), tidBase_(tidBase), tidSpan_(tidSpan)
+      noise_(noise), rng_(rng), obsGranule_(noise.timerGranule()),
+      tidBase_(tidBase), tidSpan_(tidSpan)
 {
 }
 
@@ -58,7 +59,7 @@ SmtCore::addThread(Program *program, AddressSpace space, Cycles startTime)
 Cycles
 SmtCore::quantize(Cycles t) const
 {
-    const Cycles g = noise_.tscGranularity;
+    const Cycles g = obsGranule_;
     if (g <= 1)
         return t; // per-op hot path: skip the division entirely
     return (t / g) * g;
@@ -332,6 +333,15 @@ SmtCore::execOp(ThreadCtx &ctx, ThreadId tid, ThreadId idx,
         break;
       }
       case MemOp::Kind::Flush: {
+        if (!noise_.observer.hasFlush) {
+            // An eviction-only observer has no clflush. A program that
+            // issues one anyway would be silently modelling a
+            // capability the scenario denies — fail loudly instead
+            // (the flush-family honesty bugfix; see sim/observer.hh).
+            fatalf("SmtCore: Flush op under an observer with "
+                   "hasFlush=false (", observerClassName(noise_.observer.cls),
+                   ") — the program must fall back to eviction");
+        }
         const Addr paddr = ctx.space.translate(op.vaddr);
         const Cycles lat = memFlush(tid, paddr) + noise_.opOverhead;
         ctx.time += lat;
@@ -359,7 +369,18 @@ SmtCore::execOp(ThreadCtx &ctx, ThreadId tid, ThreadId idx,
         }
         memAccess(tid, ctx.spinStackPaddr, false);
 
-        Cycles release = std::max(ctx.time, op.until);
+        Cycles target = op.until;
+        if (noise_.observer.timerGranularity > 1 && target > 0) {
+            // A coarse-timer program spins on its floored TSC: the
+            // comparison `TSC < target` only releases once the floored
+            // reading reaches target, i.e. at the next granule
+            // boundary at or above it. (Gated on the *observer*
+            // granularity so legacy tscGranularity-only platforms keep
+            // their pre-observer release semantics and RNG streams.)
+            target = ((target + obsGranule_ - 1) / obsGranule_) *
+                     obsGranule_;
+        }
+        Cycles release = std::max(ctx.time, target);
         double overshoot = 0.0;
         if (noise_.spinOvershootMean > 0.0)
             overshoot += rng_.exponential(noise_.spinOvershootMean);
@@ -391,7 +412,22 @@ SmtCore::execOp(ThreadCtx &ctx, ThreadId tid, ThreadId idx,
 
     ctx.quiescent = op.kind == MemOp::Kind::SpinUntil ||
                     op.kind == MemOp::Kind::Delay;
-    res.tsc = quantize(ctx.time);
+    if (noise_.observer.timerJitterSigma > 0.0 &&
+        (op.kind == MemOp::Kind::TscRead ||
+         op.kind == MemOp::Kind::SpinUntil)) {
+        // Sandbox timer jitter perturbs the *reading*, not the clock:
+        // the thread's real time is unaffected, only the value the
+        // program sees through the coarse timer moves. Applied to the
+        // two op kinds whose tsc a program actually consumes, and only
+        // when configured, so the default observer draws nothing.
+        const double raw =
+            static_cast<double>(ctx.time) +
+            rng_.gaussian(0.0, noise_.observer.timerJitterSigma);
+        res.tsc = quantize(
+            raw <= 0.0 ? 0 : static_cast<Cycles>(std::llround(raw)));
+    } else {
+        res.tsc = quantize(ctx.time);
+    }
     return true;
 }
 

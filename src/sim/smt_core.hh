@@ -486,7 +486,13 @@ class SmtCore
      */
     unsigned preemptHits(std::size_t trials);
 
-    /** Quantize a cycle count to the TSC granularity. */
+    /**
+     * Quantize a cycle count to the effective observer-visible timer
+     * granularity (max of platform tscGranularity and the observer's
+     * own resolution floor; see NoiseModel::timerGranule). Every
+     * OpResult::tsc the cores hand to programs passes through here —
+     * the in-simulation half of the observer choke point.
+     */
     Cycles quantize(Cycles t) const;
 
     // --- Devirtualized backend dispatch: when the backend is the
@@ -528,6 +534,7 @@ class SmtCore
     Hierarchy *fastHier_; //!< non-null when mem_ is a Hierarchy
     NoiseModel noise_;
     Rng &rng_;
+    Cycles obsGranule_ = 1; //!< cached noise_.timerGranule()
     ThreadId tidBase_;
     ThreadId tidSpan_; //!< max threads (0 = unlimited)
     std::vector<ThreadCtx> threads_;
